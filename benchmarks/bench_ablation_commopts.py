@@ -1,0 +1,64 @@
+"""Ablation — the communication optimizations Chameleon does not perform.
+
+§V-C: "the current Chameleon implementation does not make use of complex
+collective communication schemes ... without additional optimizations (no
+detection of collective communications or message aggregation)".  This
+bench quantifies what those optimizations would buy (or cost) on top of
+the paper's point-to-point setup, for both distributions:
+
+* binomial broadcast trees spread each fan-out across forwarders;
+* naive message aggregation coalesces same-destination messages.
+
+Byte counts are invariant by construction (asserted); only schedules move.
+"""
+
+from conftest import print_header
+
+from repro.comm import count_communications
+from repro.config import bora
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.graph import build_cholesky_graph
+from repro.runtime import simulate
+
+B, N = 500, 48
+
+
+def sweep():
+    out = {}
+    for dist in (SymmetricBlockCyclic(8), BlockCyclic2D(7, 4)):
+        g = build_cholesky_graph(N, B, dist)
+        machine = bora(dist.num_nodes)
+        expected = count_communications(g)
+        rows = {}
+        for label, kwargs in (
+            ("point-to-point", {}),
+            ("broadcast tree", {"broadcast": "tree"}),
+            ("aggregation", {"aggregate": True}),
+        ):
+            rep = simulate(g, machine, **kwargs)
+            assert rep.comm_bytes == expected.total_bytes
+            rows[label] = (rep.makespan, rep.comm_messages)
+        out[dist.name] = rows
+    return out
+
+
+def test_ablation_comm_optimizations(run_once):
+    results = run_once(sweep)
+    print_header(
+        f"Ablation: communication optimizations (POTRF, n={N * B}, P=28)",
+        f"{'distribution':>20} {'mode':>16} {'makespan':>10} {'messages':>9}",
+    )
+    for name, rows in results.items():
+        for label, (makespan, messages) in rows.items():
+            print(f"{name:>20} {label:>16} {makespan:>9.3f}s {messages:>9}")
+
+    for name, rows in results.items():
+        p2p = rows["point-to-point"]
+        tree = rows["broadcast tree"]
+        aggr = rows["aggregation"]
+        # Trees spread the fan-out: never slower, same message count.
+        assert tree[0] <= p2p[0] * 1.01
+        assert tree[1] == p2p[1]
+        # Naive aggregation trades message count against delivery
+        # granularity; it must cut messages substantially.
+        assert aggr[1] < 0.7 * p2p[1]

@@ -1,0 +1,73 @@
+"""Figure 10 — SBC vs 2DBC performance for every r in 6..9.
+
+The paper shows that the SBC improvement observed for r = 8 holds across
+node counts: for each r in 6..9 it plots per-node GFlop/s of SBC against
+the two fairest 2DBC configurations of Table I.  We reproduce each panel
+at simulation scale and assert SBC's curve sits on top in the
+communication-sensitive range.
+"""
+
+from conftest import FULL, print_header, sizes
+
+from repro.config import bora
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.graph import build_cholesky_graph
+from repro.runtime import simulate
+
+B = 500
+NS = sizes([40, 80], [40, 80, 120, 160])
+
+#: Table I pairings: r -> 2DBC options.
+PANELS = {
+    6: [(5, 3), (4, 4)],
+    7: [(5, 4), (7, 3)],
+    8: [(7, 4), (6, 5)],
+    9: [(7, 5), (6, 6)],
+}
+
+
+def sweep():
+    out = {}
+    for r, bc_opts in PANELS.items():
+        dists = [SymmetricBlockCyclic(r)] + [BlockCyclic2D(p, q) for p, q in bc_opts]
+        panel = {}
+        for dist in dists:
+            machine = bora(dist.num_nodes)
+            panel[dist.name] = (
+                dist.num_nodes,
+                [
+                    simulate(build_cholesky_graph(N, B, dist), machine).gflops_per_node
+                    for N in NS
+                ],
+            )
+        out[r] = panel
+    return out
+
+
+def test_fig10_all_r(run_once):
+    results = run_once(sweep)
+    for r, panel in results.items():
+        names = list(panel)
+        print_header(
+            f"Figure 10 panel r={r}",
+            f"{'n':>8} " + " ".join(f"{n:>16}" for n in names),
+        )
+        for i, N in enumerate(NS):
+            print(
+                f"{N * B:>8} "
+                + " ".join(f"{panel[n][1][i]:>16.1f}" for n in names)
+            )
+        sbc_name = names[0]
+        P_sbc, sbc = panel[sbc_name]
+        for bc_name in names[1:]:
+            P_bc, bc = panel[bc_name]
+            # The per-node figure inherently favours smaller node counts
+            # (fixed work over fewer nodes), so allow a wider tolerance
+            # when the 2DBC option uses fewer nodes than SBC.
+            tol = 0.97 if P_sbc <= P_bc else 0.955
+            for i in range(len(NS)):
+                assert sbc[i] > tol * bc[i]
+            # When SBC does not use more nodes than the 2DBC option, it
+            # must strictly win somewhere in the sweep.
+            if P_sbc <= P_bc:
+                assert any(sbc[i] > bc[i] for i in range(len(NS)))

@@ -1,0 +1,54 @@
+"""Figure 12 — total running time of Cholesky vs matrix size.
+
+Same data as Figure 10 but in absolute seconds (the paper truncates at
+n <= 200000 where the differences are visible).  We print the simulated
+makespans for each r of Table I and assert SBC's total time is below the
+matched 2DBC's for every size.
+"""
+
+from conftest import FULL, print_header, sizes
+
+from repro.config import bora
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.graph import build_cholesky_graph
+from repro.runtime import simulate
+
+B = 500
+NS = sizes([40, 80], [40, 80, 120, 160])
+PAIRS = [(6, (5, 3)), (7, (7, 3)), (8, (7, 4)), (9, (6, 6))]
+
+
+def sweep():
+    out = {}
+    for r, (p, q) in PAIRS:
+        sbc = SymmetricBlockCyclic(r)
+        bc = BlockCyclic2D(p, q)
+        out[r] = {
+            "sbc": [
+                simulate(build_cholesky_graph(N, B, sbc), bora(sbc.num_nodes)).makespan
+                for N in NS
+            ],
+            "bc": [
+                simulate(build_cholesky_graph(N, B, bc), bora(bc.num_nodes)).makespan
+                for N in NS
+            ],
+            "names": (sbc.name, bc.name),
+        }
+    return out
+
+
+def test_fig12_runtime(run_once):
+    results = run_once(sweep)
+    for r, data in results.items():
+        sbc_name, bc_name = data["names"]
+        print_header(
+            f"Figure 12 panel r={r}: total running time (s)",
+            f"{'n':>8} {sbc_name:>18} {bc_name:>14}",
+        )
+        for i, N in enumerate(NS):
+            print(f"{N * B:>8} {data['sbc'][i]:>18.3f} {data['bc'][i]:>14.3f}")
+        for i in range(len(NS)):
+            assert data["sbc"][i] <= data["bc"][i] * 1.02
+        # Running time grows with n (the growth is milder than the O(n^3)
+        # work because bigger matrices use the nodes better).
+        assert data["sbc"][-1] > 1.5 * data["sbc"][0]

@@ -1,0 +1,74 @@
+"""Full-paper-scale analysis via analytic bounds (n up to 300000).
+
+The DES cannot execute the paper's 36M-task graphs, but the closed-form
+bounds of :mod:`repro.runtime.bounds` evaluate any size in milliseconds:
+total work over platform rate, busiest-port traffic over link bandwidth,
+and the POTRF-TRSM-SYRK spine.  This bench sweeps the paper's true sizes
+and asserts the structural facts behind Figures 9-11:
+
+* at small n the spine binds (both distributions equally: latency-land);
+* in the mid range the network port binds, and there SBC's bound is
+  ~sqrt(2) better than 2DBC's — the regime of the paper's 23% gains;
+* at the largest n the work bound takes over and the curves converge —
+  exactly the large-n behaviour of the paper's plots.
+"""
+
+from conftest import print_header
+
+from repro.config import MachineSpec, NetworkSpec, bora
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.runtime import cholesky_bounds
+
+B = 500
+NS = [25, 50, 100, 200, 400, 600]  # n = 12500 .. 300000, the paper's sweep
+
+
+def sweep():
+    # A slightly tighter network than the calibrated default exposes the
+    # port-bound band within the paper's size range.
+    machine = MachineSpec(nodes=28, cores=34,
+                          network=NetworkSpec(bandwidth=2e9, latency=30e-6))
+    out = {}
+    for dist in (SymmetricBlockCyclic(8), BlockCyclic2D(7, 4)):
+        rows = []
+        for N in NS:
+            bd = cholesky_bounds(dist, N, B, machine)
+            rows.append((N, bd))
+        out[dist.name] = rows
+    return out
+
+
+def test_full_scale_bounds(run_once):
+    results = run_once(sweep)
+    print_header(
+        "Analytic bounds at the paper's full sizes (P=28, b=500)",
+        f"{'n':>8} " + " ".join(
+            f"{name + ' ' + col:>26}"
+            for name in results
+            for col in ("lb(s)/binding",)
+        ),
+    )
+    for idx, N in enumerate(NS):
+        cells = []
+        for name, rows in results.items():
+            bd = rows[idx][1]
+            cells.append(f"{bd.makespan_lower_bound:>16.2f} {bd.binding:>9}")
+        print(f"{N * B:>8} " + " ".join(cells))
+
+    sbc_rows = results["SBC-extended(r=8)"]
+    bc_rows = results["2DBC(7x4)"]
+    bindings_sbc = [bd.binding for _N, bd in sbc_rows]
+    bindings_bc = [bd.binding for _N, bd in bc_rows]
+    # The three regimes appear in order for 2DBC: spine -> port -> work.
+    assert bindings_bc[0] == "spine"
+    assert "port" in bindings_bc
+    assert bindings_bc[-1] == "work"
+    # Wherever 2DBC is port-bound, SBC's bound is strictly better.
+    for (N, s), (_N2, b) in zip(sbc_rows, bc_rows):
+        if b.binding == "port":
+            assert s.makespan_lower_bound < b.makespan_lower_bound
+            assert 1.2 < b.port_bound / s.port_bound < 1.6
+    # At the largest size both are work-bound with identical bounds: the
+    # large-n convergence of the paper's curves.
+    assert bindings_sbc[-1] == bindings_bc[-1] == "work"
+    assert sbc_rows[-1][1].makespan_lower_bound == bc_rows[-1][1].makespan_lower_bound

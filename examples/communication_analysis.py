@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Communication analysis: counted volumes, bounds and out-of-core models.
+
+Walks through the paper's analytical story without running any simulation:
+
+1. exact counted POTRF volume vs the closed forms of Theorem 1 (Figure 8);
+2. the sqrt(2) asymptotic gap between SBC and square 2DBC (§III-D);
+3. arithmetic intensities and the connection to sequential out-of-core
+   algorithms (§III-E), including Béreux's blocked algorithm simulated
+   against an explicit memory model;
+4. 2.5D volumes and the optimal slice count r = 2c (§IV).
+
+Usage:  python examples/communication_analysis.py
+"""
+
+import math
+
+from repro.comm import (
+    bc2d_cholesky_volume,
+    beaumont_lower_bound,
+    bereux_volume,
+    cholesky_message_count,
+    confchox_volume,
+    measured_cholesky_intensity,
+    memory_per_node_2d,
+    optimal_sbc25d_parameters,
+    sbc25d_volume_elements,
+    sbc_cholesky_volume,
+    storage_tiles,
+)
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.ooc import block_left_looking_volume, panel_left_looking_volume
+
+
+def counted_vs_formula() -> None:
+    print("=== Counted volume vs Theorem 1 (messages, in tiles) ===")
+    r = 7
+    sbc = SymmetricBlockCyclic(r)
+    bc = BlockCyclic2D(5, 4)
+    print(f"{'N':>6} {'SBC counted':>12} {'S(r-2)':>10} {'2DBC counted':>13} {'S(p+q-2)':>10}")
+    for N in (30, 60, 120, 240):
+        print(f"{N:>6} {cholesky_message_count(sbc, N):>12} "
+              f"{int(sbc_cholesky_volume(N, r)):>10} "
+              f"{cholesky_message_count(bc, N):>13} "
+              f"{int(bc2d_cholesky_volume(N, 5, 4)):>10}")
+    print("Counted volumes converge to the theorem's leading terms from below\n"
+          "(broadcasts near the matrix edge reach fewer nodes).\n")
+
+
+def intensity_story() -> None:
+    print("=== Arithmetic intensity (flops per transferred element) ===")
+    b, N = 8, 192
+    sbc = SymmetricBlockCyclic(8, variant="basic")  # P = 32
+    bc = BlockCyclic2D(6, 5)  # P = 30
+    for d in (sbc, bc):
+        M = memory_per_node_2d(N * b, d.num_nodes)
+        rho = measured_cholesky_intensity(d, N, b)
+        print(f"  {d.name:>16}: rho = {rho:8.1f}   "
+              f"(2/3)sqrt(M) = {2 / 3 * math.sqrt(M):8.1f}   "
+              f"rho/sqrt(M) = {rho / math.sqrt(M):.3f}")
+    print("SBC reaches the (2/3)sqrt(M) of Béreux's sequential algorithm;\n"
+          "2DBC is stuck a factor sqrt(2) lower for Cholesky (§III-E).\n")
+
+
+def out_of_core() -> None:
+    print("=== Sequential out-of-core Cholesky (elements transferred) ===")
+    n, M = 16000, 100_000
+    print(f"n = {n}, fast memory M = {M}")
+    rows = [
+        ("lower bound n^3/(3 sqrt(2) sqrt(M))", beaumont_lower_bound(n, M)),
+        ("Béreux leading term n^3/(3 sqrt(M))", bereux_volume(n, M)),
+        ("blocked left-looking (simulated)", block_left_looking_volume(n, M)),
+        ("naive panel left-looking (simulated)", panel_left_looking_volume(n, M)),
+        ("COnfCHOX-style n^3/sqrt(M)", confchox_volume(n, M)),
+        ("2.5D SBC n^3/(2 sqrt(M)) [this paper]", sbc25d_volume_elements(n, M)),
+    ]
+    for name, v in rows:
+        print(f"  {name:>40}: {v / 1e9:9.3f} G elements")
+    print()
+
+
+def twofive_d() -> None:
+    print("=== 2.5D: optimal replication (§IV-B) ===")
+    for P in (128, 1024, 8192):
+        r, c = optimal_sbc25d_parameters(P)
+        S = storage_tiles(100)
+        vol = S * (r + c - 2)
+        vol_bc = S * (3 * P ** (1 / 3) - 3)
+        print(f"  P = {P:5}: r = {r:6.1f}, c = {c:5.1f} (r = 2c), "
+              f"volume ratio 2.5D-BC / 2.5D-SBC = {vol_bc / vol:.3f}")
+    print(f"  asymptotic ratio: cbrt(2) = {2 ** (1 / 3):.3f}")
+
+
+if __name__ == "__main__":
+    counted_vs_formula()
+    intensity_story()
+    out_of_core()
+    twofive_d()

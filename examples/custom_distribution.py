@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Writing your own distribution: a row-cycled SBC variant.
+
+The paper closes by noting that a sqrt(2) gap remains between SBC and the
+Cholesky lower bound, inviting new distribution designs.  This example
+shows the full workflow for experimenting with one:
+
+1. subclass ``repro.distributions.Distribution``;
+2. check its structural invariants and load balance;
+3. count its exact communication volume against SBC and 2DBC;
+4. simulate it on the paper's platform.
+
+The variant implemented here keeps SBC's generic pattern but cycles the
+diagonal-pattern family by block *row* instead of block column.  The
+communication volume is exactly SBC's (the Theorem 1 clique invariant only
+needs the diagonal entry at position d to be a pair containing d), but the
+diagonal tiles of a panel column spread over several owners instead of
+landing on one — removing a per-panel hot sender (see DESIGN.md §5).
+
+Usage:  python examples/custom_distribution.py
+"""
+
+import numpy as np
+
+from repro.comm import cholesky_volume_exact, count_communications
+from repro.config import bora
+from repro.distributions import (
+    BlockCyclic2D,
+    SymmetricBlockCyclic,
+    lower_tile_counts,
+)
+from repro.distributions.sbc import pair_from_index, pair_index
+from repro.graph import build_cholesky_graph
+from repro.runtime import simulate
+
+
+class RowCycledSBC(SymmetricBlockCyclic):
+    """SBC with the diagonal-pattern choice cycled by block row."""
+
+    @property
+    def name(self) -> str:
+        return f"SBC-rowcycle(r={self.r})"
+
+    def owner(self, i: int, j: int) -> int:
+        if i < j:
+            i, j = j, i
+        x, y = i % self.r, j % self.r
+        if x != y:
+            return pair_index(x, y)
+        pattern = (i // self.r) % self.num_diag_patterns
+        return self._diag_patterns[pattern][x]
+
+    def owner_map(self, N: int) -> np.ndarray:
+        out = np.empty((N, N), dtype=np.int64)
+        for i in range(N):
+            for j in range(N):
+                out[i, j] = self.owner(i, j)
+        return out
+
+
+def main() -> None:
+    r = 8
+    candidates = [RowCycledSBC(r), SymmetricBlockCyclic(r), BlockCyclic2D(7, 4)]
+
+    print("=== 1. Structural invariants ===")
+    custom = candidates[0]
+    for pattern in custom.diagonal_patterns():
+        for d, node in enumerate(pattern):
+            assert d in pair_from_index(node), "clique invariant broken!"
+    print("every diagonal entry at position d is a pair containing d: "
+          "Theorem 1's r-2 fan-out is preserved\n")
+
+    N = 120
+    print(f"=== 2. Load balance over {N}x{N} tiles ===")
+    for dist in candidates:
+        counts = lower_tile_counts(dist, N)
+        print(f"  {dist.name:>20}: tiles/node in [{counts.min()}, {counts.max()}] "
+              f"(imbalance {counts.max() / counts.mean():.3f})")
+    print()
+
+    print("=== 3. Exact communication volume (GB at b=500) ===")
+    for dist in candidates:
+        vol = cholesky_volume_exact(dist, N, 500) / 1e9
+        print(f"  {dist.name:>20}: {vol:8.1f} GB")
+    print("the row-cycled variant moves exactly SBC's bytes\n")
+
+    print("=== 4. Simulated performance on bora (n=30000, P=28) ===")
+    for dist in candidates:
+        g = build_cholesky_graph(60, 500, dist)
+        rep = simulate(g, bora(dist.num_nodes))
+        print(f"  {dist.name:>20}: {rep.gflops_per_node:7.1f} GFlop/s/node")
+    print("\nSame volume, slightly different schedule: distribution design"
+          "\nchanges both what moves and when — measure both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Distributed Cholesky over real OS processes with measured traffic.
+
+Launches one process per node (the paper uses one MPI rank per node), each
+owning its tiles under the chosen distribution.  Tiles produced by TRSM and
+POTRF travel between processes as real messages; every process counts the
+bytes it sends.  The run is validated against SciPy and the measured
+traffic is compared with the analytic prediction — they must agree exactly,
+which is the reproduction of the paper's Figure 8 "measured volume" claim
+at laptop scale.
+
+Usage:  python examples/distributed_cholesky.py [r]
+"""
+
+import sys
+
+import numpy as np
+import scipy.linalg
+
+from repro.comm import count_communications
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic, best_rectangle
+from repro.graph import build_cholesky_graph
+from repro.runtime import InitialDataSpec, assemble_lower, execute_distributed
+from repro.tiles import TileGrid, random_spd_dense
+
+
+def run_one(dist, N, b, seed=0):
+    grid = TileGrid(n=N * b, b=b)
+    graph = build_cholesky_graph(N, b, dist)
+    report = execute_distributed(graph, InitialDataSpec(grid, seed=seed), timeout=300)
+
+    L = assemble_lower(graph, report.store, grid)
+    ref = scipy.linalg.cholesky(random_spd_dense(N * b, seed=seed, b=b), lower=True)
+    err = np.abs(L - ref).max()
+
+    predicted = count_communications(graph)
+    print(f"\n{dist.name}: P = {dist.num_nodes} processes, n = {N * b} (N = {N} tiles)")
+    print(f"  numerical error vs SciPy : {err:.2e}")
+    print(f"  measured traffic         : {report.total_bytes / 1e6:.2f} MB "
+          f"in {report.total_messages} messages")
+    print(f"  predicted traffic        : {predicted.total_bytes / 1e6:.2f} MB "
+          f"in {predicted.num_messages} messages")
+    assert report.total_bytes == predicted.total_bytes, "prediction mismatch!"
+    busiest = max(report.sent_bytes.items(), key=lambda kv: kv[1])
+    print(f"  busiest sender           : node {busiest[0]} "
+          f"({busiest[1] / 1e6:.2f} MB)")
+    return report
+
+
+def main() -> None:
+    r = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    N, b = 12, 32
+
+    sbc = SymmetricBlockCyclic(r)
+    rep_sbc = run_one(sbc, N, b)
+
+    bc = best_rectangle(sbc.num_nodes)
+    rep_bc = run_one(bc, N, b)
+
+    ratio = rep_bc.total_bytes / max(rep_sbc.total_bytes, 1)
+    print(f"\nSBC moved {ratio:.2f}x less data than {bc.name} at equal node count")
+    print("(the ratio approaches sqrt(2) ~ 1.41 as the matrix grows — Theorem 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: factor a matrix with SBC and see why it communicates less.
+
+Runs a real tiled Cholesky factorization under the Symmetric Block-Cyclic
+distribution, validates it against SciPy, then compares the exact counted
+communication volume of SBC and 2D block-cyclic at equal node counts and
+simulates both on the paper's *bora* cluster model.
+
+Usage:  python examples/quickstart.py
+"""
+
+import numpy as np
+import scipy.linalg
+
+import repro
+
+
+def main() -> None:
+    # --- 1. Real numerics: factor a 512x512 SPD matrix on P=21 "nodes" ----
+    r = 7
+    sbc = repro.SymmetricBlockCyclic(r)  # P = r(r-1)/2 = 21 nodes
+    print(f"Distribution: {sbc.name}, P = {sbc.num_nodes} nodes")
+
+    L, info = repro.cholesky(n=512, b=64, dist=sbc)
+    err = np.abs(L - scipy.linalg.cholesky(info["a"], lower=True)).max()
+    print(f"Factorization of a 512x512 SPD matrix: max |L - L_ref| = {err:.2e}")
+    print(f"Tasks executed: {info['num_tasks']}, "
+          f"communication: {info['comm'].total_gbytes * 1e3:.2f} MB\n")
+
+    # --- 2. Communication volume: SBC vs 2DBC at the paper's scale --------
+    b = 500  # the paper's tile size (2 MB per tile)
+    bc_best = repro.BlockCyclic2D(5, 4)   # P = 20, the paper's fair option
+    bc_same = repro.BlockCyclic2D(7, 3)   # P = 21, exact same node count
+    print(f"POTRF communication volume (GB), tile size b={b}:")
+    print(f"{'n':>10} {'SBC r=7':>12} {'2DBC 5x4':>12} {'2DBC 7x3':>12}")
+    for N in (50, 100, 200, 400):
+        row = [repro.communication_volume(d, N, b) for d in (sbc, bc_best, bc_same)]
+        print(f"{N * b:>10} {row[0]:>12.1f} {row[1]:>12.1f} {row[2]:>12.1f}")
+    print("SBC transfers ~sqrt(2) fewer bytes than the best 2DBC (Theorem 1).\n")
+
+    # --- 3. Simulated time on the paper's platform ------------------------
+    N = 60  # n = 30000
+    machine = repro.bora(21)
+    rep_sbc = repro.simulate_cholesky(ntiles=N, b=b, dist=sbc, machine=machine)
+    rep_bc = repro.simulate_cholesky(ntiles=N, b=b, dist=bc_same, machine=machine)
+    print(f"Simulated POTRF, n = {N * b}, P = 21 (34 cores/node, 100 Gb/s):")
+    print(f"  SBC  r=7 : {rep_sbc.gflops_per_node:7.1f} GFlop/s/node "
+          f"({rep_sbc.comm_bytes / 1e9:.1f} GB moved)")
+    print(f"  2DBC 7x3 : {rep_bc.gflops_per_node:7.1f} GFlop/s/node "
+          f"({rep_bc.comm_bytes / 1e9:.1f} GB moved)")
+    gain = rep_sbc.gflops_per_node / rep_bc.gflops_per_node - 1
+    print(f"  -> SBC is {gain * 100:.0f}% faster in the communication-bound regime")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""POSV and POTRI workflows: SBC beyond the factorization itself.
+
+Reproduces the paper's §V-F at example scale:
+
+* POSV — Cholesky + two triangular solves against a one-tile-wide RHS held
+  in a 1D row-cyclic layout; the gain from SBC is diluted by the
+  distribution-independent solve phase.
+* POTRI — Cholesky + TRTRI + LAUUM.  TRTRI's nonsymmetric dependencies
+  favour 2DBC, so the paper's mixed strategy remaps the matrix to 2DBC for
+  TRTRI and back to SBC for LAUUM; all three variants are compared by
+  exact counted communication volume, and the mixed strategy is validated
+  numerically.
+
+Usage:  python examples/solve_and_invert.py
+"""
+
+import numpy as np
+
+import repro
+from repro.comm import count_communications
+from repro.distributions import BlockCyclic2D, RowCyclic1D, SymmetricBlockCyclic
+from repro.graph import build_posv_graph, build_potri_graph
+from repro.kernels.reference import posv_reference, potri_reference
+
+
+def posv_demo() -> None:
+    print("=== POSV: solve A x = B (cf. Figure 13) ===")
+    sbc = SymmetricBlockCyclic(4)
+    x, info = repro.solve(n=256, b=32, dist=sbc, width=32)
+    err = np.abs(x - posv_reference(info["a"], info["b"])).max()
+    print(f"solution error vs SciPy: {err:.2e}")
+
+    # Communication of the full POSV graph: SBC vs 2DBC for A.
+    N, b = 40, 500
+    for dist in (sbc, BlockCyclic2D(3, 2)):
+        g = build_posv_graph(N, b, dist, RowCyclic1D(dist.num_nodes))
+        c = count_communications(g)
+        print(f"  {dist.name:>12}: {c.total_bytes / 1e9:6.2f} GB "
+              f"({c.num_messages} messages)")
+    print("The solve phases communicate the same volume under both layouts,"
+          "\nso SBC's relative gain is smaller than for POTRF alone.\n")
+
+
+def potri_demo() -> None:
+    print("=== POTRI: invert A (cf. Figure 14) ===")
+    sbc = SymmetricBlockCyclic(4)
+    bc = BlockCyclic2D(3, 2)
+    inv, info = repro.inverse(n=256, b=32, dist=sbc, trtri_dist=bc)
+    err = np.abs(inv - potri_reference(info["a"])).max()
+    print(f"inverse error vs SciPy (SBC remap 2DBC strategy): {err:.2e}")
+
+    N, b = 40, 500
+    variants = {
+        "pure 2DBC": build_potri_graph(N, b, bc),
+        "pure SBC": build_potri_graph(N, b, sbc),
+        "SBC remap 2DBC": build_potri_graph(N, b, sbc, trtri_dist=bc),
+    }
+    print(f"POTRI communication at N={N} tiles, P={sbc.num_nodes}:")
+    for name, g in variants.items():
+        c = count_communications(g)
+        kinds = c.messages_by_kind
+        remaps = kinds.get("REMAP", 0)
+        print(f"  {name:>15}: {c.total_bytes / 1e9:6.2f} GB "
+              f"(REMAP messages: {remaps})")
+    print("TRTRI broadcasts along rows AND columns independently, which "
+          "\nfavours 2DBC; remapping pays off once P is large (paper: P >= 28).")
+
+
+if __name__ == "__main__":
+    posv_demo()
+    potri_demo()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Symmetric Block-Cyclic Distribution: Fewer
+Communications Leads to Faster Dense Cholesky Factorization" (SC 2022).
+
+Public surface:
+
+* distributions: :class:`BlockCyclic2D`, :class:`SymmetricBlockCyclic`,
+  :class:`TwoDotFiveD`, :class:`RowCyclic1D`;
+* task graphs for POTRF / POSV / POTRI (2D and 2.5D);
+* exact communication counting plus the paper's closed forms and bounds;
+* three runtimes: numeric local execution, a discrete-event cluster
+  simulator, and a multiprocessing distributed executor;
+* the high-level helpers in :mod:`repro.api`.
+"""
+
+from . import comm, config, distributions, graph, kernels, ooc, runtime, tiles
+from .api import (
+    cholesky,
+    lu,
+    communication_volume,
+    inverse,
+    simulate_cholesky,
+    solve,
+)
+from .config import KernelModel, MachineSpec, NetworkSpec, bora, laptop
+from .distributions import (
+    BlockCyclic2D,
+    Distribution,
+    RowCyclic1D,
+    SymmetricBlockCyclic,
+    TwoDotFiveD,
+    best_rectangle,
+)
+from .tiles import TileGrid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "comm",
+    "config",
+    "distributions",
+    "graph",
+    "kernels",
+    "ooc",
+    "runtime",
+    "tiles",
+    "cholesky",
+    "lu",
+    "solve",
+    "inverse",
+    "communication_volume",
+    "simulate_cholesky",
+    "MachineSpec",
+    "NetworkSpec",
+    "KernelModel",
+    "bora",
+    "laptop",
+    "Distribution",
+    "BlockCyclic2D",
+    "SymmetricBlockCyclic",
+    "TwoDotFiveD",
+    "RowCyclic1D",
+    "best_rectangle",
+    "TileGrid",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""Closed-form communication volumes from the paper.
+
+These are the leading-order expressions of §III-D, §IV and §V-F.2; the
+exact counted volumes are slightly smaller because broadcasts near the end
+of the matrix reach fewer than a full pattern of nodes (an O(N^2 r^2)
+correction on O(N^2 r) totals).  Volumes are in *tiles*: multiply by
+``b*b*element_size`` for bytes.  ``S = N(N+1)/2`` is the tile count of the
+stored lower triangle.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "storage_tiles",
+    "bc2d_cholesky_volume",
+    "sbc_cholesky_volume",
+    "bc25d_cholesky_volume",
+    "sbc25d_cholesky_volume",
+    "optimal_sbc25d_parameters",
+    "optimal_bc25d_parameters",
+    "trtri_volume_bc2d",
+    "trtri_volume_sbc",
+    "potri_volume_bc2d",
+    "potri_volume_sbc_remap",
+    "asymptotic_ratio_2d",
+    "asymptotic_ratio_25d",
+]
+
+
+def storage_tiles(N: int) -> int:
+    """S: tiles needed to store the symmetric matrix (lower triangle)."""
+    return N * (N + 1) // 2
+
+
+def bc2d_cholesky_volume(N: int, p: int, q: int) -> float:
+    """2DBC POTRF volume, leading order: each tile is broadcast once to the
+    p nodes of its pattern row and q of its pattern column: S*(p + q - 2)."""
+    return storage_tiles(N) * (p + q - 2)
+
+
+def sbc_cholesky_volume(N: int, r: int, variant: str = "extended") -> float:
+    """Theorem 1: S*(r-2) for extended SBC, S*(r-1) for basic SBC."""
+    fanout = r - 2 if variant == "extended" else r - 1
+    return storage_tiles(N) * fanout
+
+
+def bc25d_cholesky_volume(N: int, p: int, q: int, c: int) -> float:
+    """2.5D block-cyclic: in-slice broadcasts + (c-1) reduction transfers
+    per tile: S*(p + q + c - 3)."""
+    return storage_tiles(N) * (p + q + c - 3)
+
+
+def sbc25d_cholesky_volume(N: int, r: int, c: int, variant: str = "basic") -> float:
+    """§IV-A: D = D1 + D2 = S*(r + c - 2) for basic SBC slices
+    (S*(r + c - 3) with extended slices)."""
+    fanout = r - 1 if variant == "basic" else r - 2
+    return storage_tiles(N) * (fanout + c - 1)
+
+
+def optimal_sbc25d_parameters(P: int) -> tuple:
+    """§IV-B: minimize r + c subject to r^2 c = 2P — KKT gives r = 2c.
+
+    Returns the real-valued optimum (r, c) = (2 * cbrt(P/2), cbrt(P/2));
+    integer deployments round these.
+    """
+    if P < 1:
+        raise ValueError(f"node count must be positive, got {P}")
+    c = (P / 2.0) ** (1.0 / 3.0)
+    return (2.0 * c, c)
+
+
+def optimal_bc25d_parameters(P: int) -> tuple:
+    """2.5D block-cyclic optimum: p = q = c = cbrt(P)."""
+    if P < 1:
+        raise ValueError(f"node count must be positive, got {P}")
+    s = P ** (1.0 / 3.0)
+    return (s, s, s)
+
+
+def trtri_volume_bc2d(N: int, p: int, q: int) -> float:
+    """TRTRI under 2DBC: independent row and column broadcasts, S*(p+q-2)."""
+    return storage_tiles(N) * (p + q - 2)
+
+
+def trtri_volume_sbc(N: int, r: int) -> float:
+    """TRTRI under extended SBC: rows and columns each hit r-1 nodes and the
+    sets no longer coincide (nonsymmetric reads): S*(2r - 2)."""
+    return storage_tiles(N) * (2 * r - 2)
+
+
+def potri_volume_bc2d(N: int, p: int, q: int) -> float:
+    """POTRI = POTRF + TRTRI + LAUUM all under 2DBC: 3*S*(p+q-2)."""
+    return 3.0 * storage_tiles(N) * (p + q - 2)
+
+
+def potri_volume_sbc_remap(N: int, r: int, p: int, q: int) -> float:
+    """The paper's mixed strategy: POTRF and LAUUM under extended SBC,
+    TRTRI under 2DBC, with two full remaps: S*(2(r-2) + (p+q-2) + 2) =
+    S*(2r + p + q - 4)."""
+    return storage_tiles(N) * (2 * r + p + q - 4)
+
+
+def asymptotic_ratio_2d() -> float:
+    """Volume ratio square-2DBC / extended-SBC as P -> infinity: sqrt(2)."""
+    return math.sqrt(2.0)
+
+
+def asymptotic_ratio_25d() -> float:
+    """Volume ratio optimal 2.5D-BC / optimal 2.5D-SBC: cbrt(2) ~ 1.26."""
+    return 2.0 ** (1.0 / 3.0)

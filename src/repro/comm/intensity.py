@@ -1,0 +1,91 @@
+"""Arithmetic-intensity analysis of §III-E.
+
+The arithmetic intensity of a node is its flop count divided by its
+communication volume (elements).  §III-E compares, as a function of the
+per-node memory M:
+
+* LU with 2DBC: first iteration sqrt(M), whole factorization (2/3) sqrt(M);
+* Cholesky with 2DBC: first iteration sqrt(M)/sqrt(2) — the distribution
+  cannot exploit symmetry;
+* Cholesky with SBC: first iteration sqrt(M), whole run (2/3) sqrt(M) —
+  matching Béreux's sequential algorithm;
+* the true Cholesky optimum is sqrt(2M) [13], leaving a sqrt(2) gap open.
+
+Functions mirror those derivations and also compute *measured* intensities
+from counted volumes, so the asymptotic claims can be checked numerically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..distributions.base import Distribution
+from ..kernels.flops import cholesky_flops, lu_total_flops
+from .fast_counter import cholesky_message_count, lu_message_count
+
+__all__ = [
+    "lu_2dbc_first_iteration_intensity",
+    "cholesky_2dbc_first_iteration_intensity",
+    "cholesky_sbc_first_iteration_intensity",
+    "average_intensity_factor",
+    "measured_cholesky_intensity",
+    "measured_lu_intensity",
+]
+
+
+def _check_memory(M: float) -> None:
+    if M <= 0:
+        raise ValueError(f"memory size must be positive, got {M}")
+
+
+def lu_2dbc_first_iteration_intensity(M: float) -> float:
+    """LU + 2DBC, first iteration: 2k^2 flops for 2k transfers with
+    k = sqrt(M) tiles stored per node -> sqrt(M) (optimal for LU)."""
+    _check_memory(M)
+    return math.sqrt(M)
+
+
+def cholesky_2dbc_first_iteration_intensity(M: float) -> float:
+    """Cholesky + 2DBC: half the flops (k^2) for the same 2k transfers,
+    with k = sqrt(2M) -> sqrt(M)/sqrt(2): 2DBC wastes the symmetry."""
+    _check_memory(M)
+    return math.sqrt(M) / math.sqrt(2.0)
+
+
+def cholesky_sbc_first_iteration_intensity(M: float) -> float:
+    """Cholesky + SBC: 2k^2 flops for 2k transfers with k = sqrt(M)
+    -> sqrt(M), recovering Béreux's out-of-core intensity."""
+    _check_memory(M)
+    return math.sqrt(M)
+
+
+def average_intensity_factor() -> float:
+    """The shrinking trailing matrix degrades the average intensity by 2/3
+    for both LU+2DBC and Cholesky+SBC."""
+    return 2.0 / 3.0
+
+
+def measured_cholesky_intensity(dist: Distribution, N: int, b: int) -> float:
+    """Measured whole-run intensity: total flops / transferred elements.
+
+    Uses the exact counted volume; as N grows with P fixed this converges
+    to (2/3) sqrt(M) for SBC and (2/3) sqrt(M/2) ... for square 2DBC, per
+    §III-E.
+    """
+    volume_elements = cholesky_message_count(dist, N) * b * b
+    if volume_elements == 0:
+        raise ValueError("no communication: intensity undefined (single node?)")
+    return cholesky_flops(N * b) / volume_elements
+
+
+def measured_lu_intensity(dist: Distribution, N: int, b: int) -> float:
+    """Measured whole-run LU intensity: total flops / transferred elements.
+
+    With square 2DBC this converges to (2/3) sqrt(M) (M = N^2 b^2 / P for
+    the full, nonsymmetric matrix) — the reference point SBC lifts
+    Cholesky to (§III-E).
+    """
+    volume_elements = lu_message_count(dist, N) * b * b
+    if volume_elements == 0:
+        raise ValueError("no communication: intensity undefined (single node?)")
+    return lu_total_flops(N * b) / volume_elements

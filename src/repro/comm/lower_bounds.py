@@ -1,0 +1,91 @@
+"""Communication lower bounds and reference algorithm volumes (§II).
+
+All bounds are for the Cholesky factorization of an ``n x n`` matrix with
+fast/local memory of ``M`` elements, counted in *elements transferred*:
+
+* Olivry et al. [8]:      n^3 / (6 sqrt(M))      (automated cDAG analysis)
+* Beaumont et al. [13]:   n^3 / (3 sqrt(2) sqrt(M))   (tight: matching algorithm exists)
+* Béreux [14]:            n^3 / (3 sqrt(M)) + O(n^2)  (out-of-core algorithm)
+* COnfCHOX [9]:           n^3 / sqrt(M) + O(n^2)      (2.5D parallel algorithm)
+* SBC 2.5D (this paper):  n^3 / (2 sqrt(M)) + o(n^3)
+
+Helpers also convert between the parallel setting (P nodes, memory M each)
+and the sequential out-of-core one, following §III-E.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "olivry_lower_bound",
+    "beaumont_lower_bound",
+    "bereux_volume",
+    "confchox_volume",
+    "sbc25d_volume_elements",
+    "memory_per_node_2d",
+    "max_arithmetic_intensity_lu",
+    "max_arithmetic_intensity_cholesky",
+]
+
+
+def _check(n: float, M: float) -> None:
+    if n <= 0:
+        raise ValueError(f"matrix dimension must be positive, got {n}")
+    if M <= 0:
+        raise ValueError(f"memory size must be positive, got {M}")
+
+
+def olivry_lower_bound(n: float, M: float) -> float:
+    """Lower bound n^3 / (6 sqrt(M)) from automated cDAG analysis [8]."""
+    _check(n, M)
+    return n**3 / (6.0 * math.sqrt(M))
+
+
+def beaumont_lower_bound(n: float, M: float) -> float:
+    """Tight symmetric-aware lower bound n^3 / (3 sqrt(2) sqrt(M)) [13]."""
+    _check(n, M)
+    return n**3 / (3.0 * math.sqrt(2.0) * math.sqrt(M))
+
+
+def bereux_volume(n: float, M: float) -> float:
+    """Leading term of Béreux's out-of-core algorithm: n^3 / (3 sqrt(M))."""
+    _check(n, M)
+    return n**3 / (3.0 * math.sqrt(M))
+
+
+def confchox_volume(n: float, M: float) -> float:
+    """Leading term of COnfCHOX's 2.5D algorithm: n^3 / sqrt(M) [9]."""
+    _check(n, M)
+    return n**3 / math.sqrt(M)
+
+
+def sbc25d_volume_elements(n: float, M: float) -> float:
+    """Leading term of this paper's 2.5D SBC: n^3 / (2 sqrt(M)) (§IV-A)."""
+    _check(n, M)
+    return n**3 / (2.0 * math.sqrt(M))
+
+
+def memory_per_node_2d(n: float, P: float, symmetric: bool = True) -> float:
+    """Elements stored per node by a balanced 2D distribution.
+
+    M = n^2 / (2P) when only the lower triangle is stored (Cholesky),
+    n^2 / P otherwise (LU).
+    """
+    if P <= 0:
+        raise ValueError(f"node count must be positive, got {P}")
+    return n * n / ((2.0 if symmetric else 1.0) * P)
+
+
+def max_arithmetic_intensity_lu(M: float) -> float:
+    """Upper bound on flops per transferred element for LU: sqrt(M) [8]."""
+    if M <= 0:
+        raise ValueError(f"memory size must be positive, got {M}")
+    return math.sqrt(M)
+
+
+def max_arithmetic_intensity_cholesky(M: float) -> float:
+    """Upper bound for Cholesky: sqrt(2M) [13] — sqrt(2) above Béreux."""
+    if M <= 0:
+        raise ValueError(f"memory size must be positive, got {M}")
+    return math.sqrt(2.0 * M)

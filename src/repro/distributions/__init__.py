@@ -1,0 +1,39 @@
+"""Static tile-to-node distributions: 2DBC, SBC, 1D row-cyclic, 2.5D."""
+
+from .base import Distribution
+from .block_cyclic import BlockCyclic2D, best_rectangle
+from .row_cyclic import RowCyclic1D
+from .sbc import SymmetricBlockCyclic, pair_from_index, pair_index, sbc_num_nodes
+from .twod5 import TwoDotFiveD
+from .visualize import (
+    render_diagonal_patterns,
+    render_owner_grid,
+    render_pattern,
+)
+from .analysis import (
+    BalanceReport,
+    balance_report,
+    load_imbalance,
+    lower_tile_counts,
+    trailing_imbalance_profile,
+)
+
+__all__ = [
+    "Distribution",
+    "BlockCyclic2D",
+    "best_rectangle",
+    "SymmetricBlockCyclic",
+    "pair_index",
+    "pair_from_index",
+    "sbc_num_nodes",
+    "RowCyclic1D",
+    "TwoDotFiveD",
+    "BalanceReport",
+    "balance_report",
+    "load_imbalance",
+    "lower_tile_counts",
+    "trailing_imbalance_profile",
+    "render_owner_grid",
+    "render_pattern",
+    "render_diagonal_patterns",
+]

@@ -1,0 +1,75 @@
+"""Text rendering of tile-to-node allocations (the paper's Figures 1-6).
+
+``render_owner_grid`` draws the owner of every tile of an ``N x N`` grid;
+``render_pattern`` draws one pattern period; ``render_diagonal_patterns``
+lists an SBC distribution's diagonal-pattern family.  Useful both for
+documentation and for eyeballing that a distribution does what its figure
+in the paper shows — the test suite checks the renderings of the paper's
+exact examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import Distribution
+from .sbc import SymmetricBlockCyclic
+
+__all__ = ["render_owner_grid", "render_pattern", "render_diagonal_patterns"]
+
+
+def _cell(value: int, width: int) -> str:
+    return str(value).rjust(width)
+
+
+def render_owner_grid(
+    dist: Distribution,
+    N: int,
+    lower_only: bool = False,
+    block: Optional[int] = None,
+) -> str:
+    """Owners of the N x N tile grid, one row per line.
+
+    ``lower_only`` blanks the upper triangle (symmetric storage view);
+    ``block`` inserts separators every ``block`` tiles to make the
+    repeating pattern visible.
+    """
+    if N < 1:
+        raise ValueError(f"need at least one tile, got N={N}")
+    owners = dist.owner_map(N)
+    width = max(2, len(str(int(owners.max()))) + 1)
+    lines: List[str] = []
+    hsep = None
+    if block:
+        cells = ("-" * width + "-") * block
+        groups = -(-N // block)
+        hsep = "+".join([cells] * groups)
+    for i in range(N):
+        row = []
+        for j in range(N):
+            if lower_only and j > i:
+                row.append(" " * width)
+            else:
+                row.append(_cell(int(owners[i, j]), width))
+            if block and (j + 1) % block == 0 and j + 1 < N:
+                row.append(" |")
+        lines.append(" ".join(row))
+        if block and (i + 1) % block == 0 and i + 1 < N and hsep:
+            lines.append(hsep)
+    return "\n".join(lines)
+
+
+def render_pattern(dist: Distribution, period: int) -> str:
+    """One pattern period of a distribution (e.g. r x r for SBC)."""
+    return render_owner_grid(dist, period)
+
+
+def render_diagonal_patterns(dist: SymmetricBlockCyclic) -> str:
+    """The diagonal-pattern family of an SBC distribution, one per line."""
+    if not isinstance(dist, SymmetricBlockCyclic):
+        raise TypeError("diagonal patterns only exist for SymmetricBlockCyclic")
+    lines = []
+    for idx, pattern in enumerate(dist.diagonal_patterns()):
+        entries = " ".join(str(node) for node in pattern)
+        lines.append(f"pattern {idx}: [{entries}]")
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Programmatic and command-line access to the paper's experiment sweeps.
+
+The bench suite (``benchmarks/``) asserts the paper's claims; this module
+exposes the same sweeps as plain functions returning data (for notebooks
+and downstream studies) and as a small CLI:
+
+    python -m repro.experiments list
+    python -m repro.experiments fig8 --sizes 50 100 200
+    python -m repro.experiments fig9 --sizes 30 60
+    python -m repro.experiments theorem1 --ntiles 240
+    python -m repro.experiments scaling --ntiles 72
+    python -m repro.experiments breakdown --r 8 --ntiles 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Sequence, Tuple
+
+from .comm import (
+    bc2d_cholesky_volume,
+    cholesky_message_count,
+    cholesky_volume_exact,
+    sbc_cholesky_volume,
+)
+from .config import bora
+from .distributions import BlockCyclic2D, SymmetricBlockCyclic, TwoDotFiveD
+from .graph import build_cholesky_graph, build_cholesky_graph_25d
+from .runtime import critical_path_breakdown, simulate
+
+__all__ = [
+    "fig8_volumes",
+    "fig9_performance",
+    "theorem1_table",
+    "strong_scaling",
+    "spine_breakdown",
+    "main",
+]
+
+B_DEFAULT = 500
+
+
+def fig8_volumes(
+    sizes: Sequence[int] = (25, 50, 100, 200, 400, 600), b: int = B_DEFAULT
+) -> Dict[str, List[float]]:
+    """Figure 8 series: exact POTRF volume (GB) per tile count."""
+    dists = {
+        "SBC r=7": SymmetricBlockCyclic(7),
+        "2DBC 5x4": BlockCyclic2D(5, 4),
+        "2DBC 7x3": BlockCyclic2D(7, 3),
+    }
+    return {
+        name: [cholesky_volume_exact(d, N, b) / 1e9 for N in sizes]
+        for name, d in dists.items()
+    }
+
+
+def fig9_performance(
+    sizes: Sequence[int] = (30, 60, 100), b: int = B_DEFAULT
+) -> Dict[str, List[float]]:
+    """Figure 9 series: simulated GFlop/s per node for the P~28 configs."""
+    configs = [
+        ("2D SBC r=8", 28, lambda N: build_cholesky_graph(N, b, SymmetricBlockCyclic(8)), {}),
+        ("2DBC 7x4", 28, lambda N: build_cholesky_graph(N, b, BlockCyclic2D(7, 4)), {}),
+        ("2.5D SBC c=3", 24,
+         lambda N: build_cholesky_graph_25d(
+             N, b, TwoDotFiveD(SymmetricBlockCyclic(4, variant="basic"), 3)), {}),
+        ("2.5D BC c=3", 27,
+         lambda N: build_cholesky_graph_25d(N, b, TwoDotFiveD(BlockCyclic2D(3, 3), 3)), {}),
+        ("COnfCHOX-like", 32, lambda N: build_cholesky_graph(N, b, BlockCyclic2D(8, 4)),
+         {"synchronized": True}),
+    ]
+    out: Dict[str, List[float]] = {}
+    for name, P, builder, kw in configs:
+        machine = bora(P)
+        out[name] = [
+            simulate(builder(N), machine, **kw).gflops_per_node for N in sizes
+        ]
+    return out
+
+
+def theorem1_table(ntiles: int = 240) -> List[Tuple[str, int, int, float]]:
+    """(name, counted, formula, ratio) rows for the Theorem 1 comparison."""
+    rows = []
+    for r in (6, 7, 8, 9):
+        d = SymmetricBlockCyclic(r)
+        counted = cholesky_message_count(d, ntiles)
+        formula = sbc_cholesky_volume(ntiles, r)
+        rows.append((d.name, counted, int(formula), counted / formula))
+    for p, q in ((5, 4), (7, 4), (6, 6)):
+        d = BlockCyclic2D(p, q)
+        counted = cholesky_message_count(d, ntiles)
+        formula = bc2d_cholesky_volume(ntiles, p, q)
+        rows.append((d.name, counted, int(formula), counted / formula))
+    return rows
+
+
+def strong_scaling(ntiles: int = 72, b: int = B_DEFAULT) -> List[Tuple[str, int, float]]:
+    """Figure 11 rows: (config, P, GFlop/s per node) at fixed matrix size."""
+    rows = []
+    for r in (6, 7, 8, 9):
+        d = SymmetricBlockCyclic(r)
+        rep = simulate(build_cholesky_graph(ntiles, b, d), bora(d.num_nodes))
+        rows.append((d.name, d.num_nodes, rep.gflops_per_node))
+    for p, q in ((4, 4), (5, 4), (7, 4), (6, 6)):
+        d = BlockCyclic2D(p, q)
+        rep = simulate(build_cholesky_graph(ntiles, b, d), bora(d.num_nodes))
+        rows.append((d.name, d.num_nodes, rep.gflops_per_node))
+    return rows
+
+
+def spine_breakdown(r: int = 8, ntiles: int = 60, b: int = B_DEFAULT):
+    """Realized-critical-path breakdown for SBC vs the matched 2DBC."""
+    from .distributions import best_rectangle
+
+    sbc = SymmetricBlockCyclic(r)
+    bc = best_rectangle(sbc.num_nodes)
+    out = {}
+    for d in (sbc, bc):
+        g = build_cholesky_graph(ntiles, b, d)
+        rep = simulate(g, bora(d.num_nodes), trace=True)
+        out[d.name] = critical_path_breakdown(g, rep)
+    return out
+
+
+def _print_series(series: Dict[str, List[float]], sizes: Sequence[int], b: int,
+                  unit: str) -> None:
+    names = list(series)
+    print(f"{'n':>8} " + " ".join(f"{n:>14}" for n in names))
+    for i, N in enumerate(sizes):
+        print(f"{N * b:>8} " + " ".join(f"{series[n][i]:>14.1f}" for n in names))
+    print(f"({unit})")
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's experiment sweeps from the command line.",
+    )
+    parser.add_argument("experiment",
+                        choices=["list", "fig8", "fig9", "theorem1", "scaling",
+                                 "breakdown"])
+    parser.add_argument("--sizes", type=int, nargs="+", default=None,
+                        help="tile counts N to sweep")
+    parser.add_argument("--ntiles", type=int, default=None, help="tile count N")
+    parser.add_argument("--b", type=int, default=B_DEFAULT, help="tile size")
+    parser.add_argument("--r", type=int, default=8, help="SBC parameter r")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("fig8      exact communication volumes (SBC r=7 vs 2DBC)")
+        print("fig9      simulated performance at P ~ 28 (2D/2.5D, baseline)")
+        print("theorem1  counted volumes vs the closed forms")
+        print("scaling   strong scaling across P = 15..36")
+        print("breakdown realized-critical-path analysis, SBC vs 2DBC")
+        return 0
+    if args.experiment == "fig8":
+        sizes = args.sizes or [25, 50, 100, 200, 400, 600]
+        _print_series(fig8_volumes(sizes, args.b), sizes, args.b, "GB")
+        return 0
+    if args.experiment == "fig9":
+        sizes = args.sizes or [30, 60]
+        _print_series(fig9_performance(sizes, args.b), sizes, args.b,
+                      "GFlop/s per node")
+        return 0
+    if args.experiment == "theorem1":
+        for name, counted, formula, ratio in theorem1_table(args.ntiles or 240):
+            print(f"{name:>20} counted {counted:>9} formula {formula:>9} "
+                  f"ratio {ratio:.3f}")
+        return 0
+    if args.experiment == "scaling":
+        for name, P, gf in strong_scaling(args.ntiles or 72, args.b):
+            print(f"{name:>18} P={P:<3} {gf:>8.1f} GFlop/s/node")
+        return 0
+    if args.experiment == "breakdown":
+        for name, bd in spine_breakdown(args.r, args.ntiles or 60, args.b).items():
+            print(f"{name}: {bd}")
+        return 0
+    return 1  # pragma: no cover - argparse guards choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

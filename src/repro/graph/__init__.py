@@ -1,0 +1,67 @@
+"""Task graphs for the tiled Cholesky family of operations."""
+
+from .task import DataKey, GraphBuilder, Task, TaskGraph
+from .cholesky import (
+    build_cholesky_graph,
+    build_cholesky_graph_25d,
+    cholesky_phase,
+    declare_spd_tiles,
+)
+from .solve import backward_solve_phase, build_posv_graph, forward_solve_phase
+from .inversion import (
+    build_lauum_graph,
+    build_potri_graph,
+    build_trtri_graph,
+    lauum_phase,
+    trtri_phase,
+)
+from .lu import build_lu_graph, build_lu_graph_25d
+from .redistribution import remap_phase
+from .priorities import (
+    KIND_RANK,
+    set_critical_path_priorities,
+    set_iteration_priorities,
+)
+from .properties import (
+    GraphStats,
+    expected_cholesky_counts,
+    expected_lauum_counts,
+    expected_trtri_counts,
+    graph_stats,
+    kind_counts,
+    node_task_counts,
+    validate_graph,
+)
+
+__all__ = [
+    "DataKey",
+    "Task",
+    "TaskGraph",
+    "GraphBuilder",
+    "build_cholesky_graph",
+    "build_cholesky_graph_25d",
+    "cholesky_phase",
+    "declare_spd_tiles",
+    "build_posv_graph",
+    "forward_solve_phase",
+    "backward_solve_phase",
+    "build_trtri_graph",
+    "build_lauum_graph",
+    "build_potri_graph",
+    "build_lu_graph",
+    "build_lu_graph_25d",
+    "trtri_phase",
+    "lauum_phase",
+    "remap_phase",
+    "KIND_RANK",
+    "set_iteration_priorities",
+    "set_critical_path_priorities",
+    "validate_graph",
+    "kind_counts",
+    "node_task_counts",
+    "expected_cholesky_counts",
+    "expected_trtri_counts",
+    "expected_lauum_counts",
+    "GraphStats",
+    "graph_stats",
+]

@@ -1,0 +1,158 @@
+"""Task-graph builders for the tiled Cholesky factorization (Algorithm 1).
+
+``build_cholesky_graph`` produces the 2D graph: every tile has a single
+owner given by the distribution and all tasks modifying it run there
+(owner computes).  ``build_cholesky_graph_25d`` produces the 2.5D variant
+of §IV: iteration ``i`` runs on slice ``i mod c``, each slice accumulates
+partial updates in its own copy of the trailing matrix, and explicit
+REDUCE tasks aggregate the partials onto the iteration's slice right
+before the tile's final TRSM/POTRF.
+"""
+
+from __future__ import annotations
+
+from ..distributions.base import Distribution
+from ..distributions.twod5 import TwoDotFiveD
+from ..kernels.flops import kernel_flops
+from .task import DataKey, GraphBuilder, TaskGraph
+
+__all__ = [
+    "build_cholesky_graph",
+    "build_cholesky_graph_25d",
+    "declare_spd_tiles",
+    "cholesky_phase",
+]
+
+
+def declare_spd_tiles(bld: GraphBuilder, N: int, dist: Distribution) -> None:
+    """Declare the initial lower-triangle tiles of A, resident at their owners."""
+    for j in range(N):
+        for i in range(j, N):
+            bld.declare("A", i, j, dist.owner(i, j), "spd")
+
+
+def cholesky_phase(
+    bld: GraphBuilder, N: int, dist: Distribution, iteration_offset: int = 0
+) -> None:
+    """Append the POTRF task graph to an existing builder (tiles declared)."""
+    b = bld.graph.b
+    for i in range(N):
+        it = iteration_offset + i
+        # POTRF on the diagonal tile.
+        prev = bld.current("A", i, i)
+        diag = bld.bump("A", i, i)
+        bld.task("POTRF", dist.owner(i, i), (i,), (prev,), diag,
+                 kernel_flops("POTRF", b), it)
+        # Panel of TRSMs below the diagonal.
+        for j in range(i + 1, N):
+            prev = bld.current("A", j, i)
+            out = bld.bump("A", j, i)
+            bld.task("TRSM", dist.owner(j, i), (j, i), (prev, diag), out,
+                     kernel_flops("TRSM", b), it)
+        # Trailing matrix update.
+        for k in range(i + 1, N):
+            a_ki = bld.current("A", k, i)
+            prev = bld.current("A", k, k)
+            out = bld.bump("A", k, k)
+            bld.task("SYRK", dist.owner(k, k), (k, i), (prev, a_ki), out,
+                     kernel_flops("SYRK", b), it)
+            for j in range(k + 1, N):
+                a_ji = bld.current("A", j, i)
+                prev = bld.current("A", j, k)
+                out = bld.bump("A", j, k)
+                bld.task("GEMM", dist.owner(j, k), (j, k, i),
+                         (prev, a_ji, a_ki), out, kernel_flops("GEMM", b), it)
+
+
+def build_cholesky_graph(N: int, b: int, dist: Distribution) -> TaskGraph:
+    """2D tiled Cholesky factorization graph on ``N x N`` tiles of size ``b``."""
+    if N < 1:
+        raise ValueError(f"need at least one tile, got N={N}")
+    graph = TaskGraph(b)
+    bld = GraphBuilder(graph)
+    declare_spd_tiles(bld, N, dist)
+    cholesky_phase(bld, N, dist)
+    return graph
+
+
+def _ensure_partial(bld: GraphBuilder, d25: TwoDotFiveD, i: int, j: int, s: int) -> None:
+    """Declare slice ``s``'s partial-update stream for tile (i, j) if missing.
+
+    The stream of the tile's *final* slice starts from the replicated input
+    data; every other slice accumulates into a zero-initialized buffer so
+    the reduction is a plain sum.
+    """
+    if not bld.exists("A", i, j, part=s):
+        bld.declare("A", i, j, d25.owner(s, i, j), "zero", part=s)
+
+
+def _reduce_partials(
+    bld: GraphBuilder, d25: TwoDotFiveD, i: int, j: int, target: int, iteration: int
+) -> DataKey:
+    """Aggregate all partial streams of tile (i, j) onto slice ``target``.
+
+    Returns the version holding the fully-updated tile on slice ``target``.
+    Skipped entirely (no task) when only the target stream exists.
+    """
+    b = bld.graph.b
+    reads = [bld.current("A", i, j, part=target)]
+    for s in range(d25.c):
+        if s != target and bld.exists("A", i, j, part=s):
+            reads.append(bld.current("A", i, j, part=s))
+    if len(reads) == 1:
+        return reads[0]
+    out = bld.bump("A", i, j, part=target)
+    flops = (len(reads) - 1) * kernel_flops("REDUCE", b)
+    bld.task("REDUCE", d25.owner(target, i, j), (i, j), tuple(reads), out,
+             flops, iteration)
+    return out
+
+
+def build_cholesky_graph_25d(N: int, b: int, d25: TwoDotFiveD) -> TaskGraph:
+    """2.5D tiled Cholesky graph: replication over ``c`` slices (§IV).
+
+    Data streams: ``DataKey(part=s)`` is slice ``s``'s copy of a tile.  The
+    stream of the slice performing the tile's final iteration is seeded
+    with the input data ("spd"); other slices accumulate partial GEMM/SYRK
+    updates from zero and feed the REDUCE.
+    """
+    if N < 1:
+        raise ValueError(f"need at least one tile, got N={N}")
+    graph = TaskGraph(b)
+    bld = GraphBuilder(graph)
+    # Final slice of tile (i, j), i >= j: the slice of iteration j (its TRSM
+    # for off-diagonal tiles, its POTRF for the diagonal).
+    for j in range(N):
+        for i in range(j, N):
+            t = d25.slice_of_iteration(j)
+            bld.declare("A", i, j, d25.owner(t, i, j), "spd", part=t)
+
+    for i in range(N):
+        s = d25.slice_of_iteration(i)
+        # Aggregate pending updates, then factorize the diagonal tile.
+        acc = _reduce_partials(bld, d25, i, i, s, i)
+        diag = bld.bump("A", i, i, part=s)
+        bld.task("POTRF", d25.owner(s, i, i), (i,), (acc,), diag,
+                 kernel_flops("POTRF", b), i)
+        # Panel TRSMs (always on slice s = final slice of column i).
+        for j in range(i + 1, N):
+            accp = _reduce_partials(bld, d25, j, i, s, i)
+            out = bld.bump("A", j, i, part=s)
+            bld.task("TRSM", d25.owner(s, j, i), (j, i), (accp, diag), out,
+                     kernel_flops("TRSM", b), i)
+        # Trailing updates of iteration i accumulate on slice s's streams.
+        for k in range(i + 1, N):
+            a_ki = bld.current("A", k, i, part=s)
+            _ensure_partial(bld, d25, k, k, s)
+            prev = bld.current("A", k, k, part=s)
+            out = bld.bump("A", k, k, part=s)
+            bld.task("SYRK", d25.owner(s, k, k), (k, i), (prev, a_ki), out,
+                     kernel_flops("SYRK", b), i)
+            for j in range(k + 1, N):
+                a_ji = bld.current("A", j, i, part=s)
+                _ensure_partial(bld, d25, j, k, s)
+                prev = bld.current("A", j, k, part=s)
+                out = bld.bump("A", j, k, part=s)
+                bld.task("GEMM", d25.owner(s, j, k), (j, k, i),
+                         (prev, a_ji, a_ki), out, kernel_flops("GEMM", b), i)
+    return graph

@@ -1,0 +1,41 @@
+"""Explicit data redistribution between operations.
+
+The paper's POTRI experiment (§V-F.2) remaps the matrix from SBC to 2DBC
+before TRTRI (whose nonsymmetric dependencies favour 2DBC) and back after,
+with the redistribution handled asynchronously by the runtime and
+overlapped with computation.  A remap is expressed as one zero-flop REMAP
+task per tile whose owner changes: it runs on the *new* owner, reads the
+current version (one transfer), and produces the next version there.
+"""
+
+from __future__ import annotations
+
+from ..distributions.base import Distribution
+from .task import GraphBuilder
+
+__all__ = ["remap_phase"]
+
+
+def remap_phase(
+    bld: GraphBuilder,
+    N: int,
+    to_dist: Distribution,
+    iteration: int,
+    name: str = "A",
+) -> int:
+    """Move every lower-triangle tile of ``name`` to ``to_dist``'s owner.
+
+    Returns the number of tiles actually moved (tiles whose current source
+    node already matches the new owner are left untouched — no task, no
+    communication)."""
+    moved = 0
+    for j in range(N):
+        for i in range(j, N):
+            new_node = to_dist.owner(i, j)
+            cur = bld.current(name, i, j)
+            if bld.graph.source_of(cur) == new_node:
+                continue
+            out = bld.bump(name, i, j)
+            bld.task("REMAP", new_node, (i, j), (cur,), out, 0.0, iteration)
+            moved += 1
+    return moved

@@ -1,0 +1,213 @@
+"""Task graph representation (sequential task flow, StarPU style).
+
+A :class:`TaskGraph` is a list of :class:`Task` objects referencing
+*versioned* data: each tile version is a :class:`DataKey` with a unique
+producer task (or an initial descriptor when the version pre-exists the
+computation).  Dependencies are therefore implicit — a task depends on the
+producers of the versions it reads — exactly how StarPU infers dependencies
+from the access modes Chameleon declares.
+
+Builders emit tasks in algorithm order, which is a valid topological order
+(every read references an already-emitted version); runtimes rely on this
+and the validators check it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+__all__ = ["DataKey", "Task", "TaskGraph", "GraphBuilder"]
+
+
+class DataKey(NamedTuple):
+    """One immutable version of one tile.
+
+    ``name`` distinguishes matrices ("A" for the symmetric operand, "B" for
+    right-hand sides); ``part`` identifies the replica/partial-sum stream in
+    2.5D graphs (the slice index; always 0 in 2D graphs).
+    """
+
+    name: str
+    i: int
+    j: int
+    ver: int
+    part: int = 0
+
+
+class Task:
+    """One tile kernel invocation placed on one node."""
+
+    __slots__ = (
+        "id",
+        "kind",
+        "node",
+        "coords",
+        "reads",
+        "write",
+        "flops",
+        "iteration",
+        "priority",
+    )
+
+    def __init__(
+        self,
+        id: int,
+        kind: str,
+        node: int,
+        coords: Tuple[int, ...],
+        reads: Tuple[DataKey, ...],
+        write: Optional[DataKey],
+        flops: float,
+        iteration: int,
+    ):
+        self.id = id
+        self.kind = kind
+        self.node = node
+        self.coords = coords
+        self.reads = reads
+        self.write = write
+        self.flops = flops
+        self.iteration = iteration
+        self.priority = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Task {self.id} {self.kind}{self.coords} @n{self.node}>"
+
+
+class TaskGraph:
+    """A complete tiled operation: tasks + data versioning metadata."""
+
+    def __init__(self, b: int, width: int = 0, element_size: int = 8):
+        self.b = b  # tile size
+        self.width = width  # right-hand-side width (0 when unused)
+        self.element_size = element_size
+        self.tasks: List[Task] = []
+        #: DataKey -> producing task id
+        self.producer: Dict[DataKey, int] = {}
+        #: initial DataKey -> (home node, descriptor) where descriptor tells
+        #: runtimes how to materialize the data ("spd", "rhs", "zero", ...)
+        self.initial: Dict[DataKey, Tuple[int, str]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_initial(self, key: DataKey, home: int, descriptor: str) -> DataKey:
+        """Declare a version that exists before the computation starts."""
+        if key in self.initial or key in self.producer:
+            raise ValueError(f"data {key} already declared")
+        self.initial[key] = (home, descriptor)
+        return key
+
+    def add_task(
+        self,
+        kind: str,
+        node: int,
+        coords: Tuple[int, ...],
+        reads: Tuple[DataKey, ...],
+        write: Optional[DataKey],
+        flops: float,
+        iteration: int,
+    ) -> Task:
+        for k in reads:
+            if k not in self.producer and k not in self.initial:
+                raise ValueError(f"task {kind}{coords} reads undeclared data {k}")
+        if write is not None and (write in self.producer or write in self.initial):
+            raise ValueError(f"data {write} already has a producer")
+        t = Task(len(self.tasks), kind, node, coords, tuple(reads), write, flops, iteration)
+        self.tasks.append(t)
+        if write is not None:
+            self.producer[write] = t.id
+        return t
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def data_bytes(self, key: DataKey) -> int:
+        """Size in bytes of one version of this datum."""
+        cols = self.width if (key.name == "B" and self.width) else self.b
+        return self.b * cols * self.element_size
+
+    def source_of(self, key: DataKey) -> int:
+        """Node where a version is produced (or initially resides)."""
+        tid = self.producer.get(key)
+        if tid is not None:
+            return self.tasks[tid].node
+        try:
+            return self.initial[key][0]
+        except KeyError:
+            raise KeyError(f"unknown data {key}") from None
+
+    def consumers(self) -> Dict[DataKey, List[int]]:
+        """Map version -> ids of tasks reading it (insertion order)."""
+        out: Dict[DataKey, List[int]] = {}
+        for t in self.tasks:
+            for k in t.reads:
+                out.setdefault(k, []).append(t.id)
+        return out
+
+    def dependency_edges(self) -> Iterator[Tuple[int, int]]:
+        """(producer id, consumer id) pairs — initial data yields no edge."""
+        for t in self.tasks:
+            for k in t.reads:
+                tid = self.producer.get(k)
+                if tid is not None:
+                    yield (tid, t.id)
+
+    def total_flops(self) -> float:
+        return sum(t.flops for t in self.tasks)
+
+    def nodes_used(self) -> int:
+        return 1 + max(t.node for t in self.tasks) if self.tasks else 0
+
+
+class GraphBuilder:
+    """Stateful helper tracking the current version of every tile.
+
+    Lets several operation builders (POTRF, then TRSM solves, then TRTRI,
+    LAUUM, remaps...) compose into a single graph, exactly like Chameleon
+    merges the task graphs of chained operations without synchronization.
+    """
+
+    def __init__(self, graph: TaskGraph):
+        self.graph = graph
+        # (name, i, j, part) -> current version number
+        self._ver: Dict[Tuple[str, int, int, int], int] = {}
+
+    def declare(
+        self, name: str, i: int, j: int, home: int, descriptor: str, part: int = 0
+    ) -> DataKey:
+        """Declare the initial version of a tile, resident at ``home``."""
+        key = DataKey(name, i, j, 0, part)
+        self.graph.add_initial(key, home, descriptor)
+        self._ver[(name, i, j, part)] = 0
+        return key
+
+    def exists(self, name: str, i: int, j: int, part: int = 0) -> bool:
+        return (name, i, j, part) in self._ver
+
+    def current(self, name: str, i: int, j: int, part: int = 0) -> DataKey:
+        """Latest version of a tile (raises if the tile was never declared)."""
+        ver = self._ver[(name, i, j, part)]
+        return DataKey(name, i, j, ver, part)
+
+    def bump(self, name: str, i: int, j: int, part: int = 0) -> DataKey:
+        """Next version of a tile — the key a mutating task will write."""
+        slot = (name, i, j, part)
+        self._ver[slot] = self._ver.get(slot, -1) + 1
+        return DataKey(name, i, j, self._ver[slot], part)
+
+    def task(
+        self,
+        kind: str,
+        node: int,
+        coords: Tuple[int, ...],
+        reads: Tuple[DataKey, ...],
+        write: Optional[DataKey],
+        flops: float,
+        iteration: int,
+    ) -> Task:
+        return self.graph.add_task(kind, node, coords, reads, write, flops, iteration)

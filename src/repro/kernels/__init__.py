@@ -1,0 +1,63 @@
+"""Sequential tile kernels, flop counts, and dense references."""
+
+from . import blas, flops, reference
+from .blas import (
+    gemm,
+    gemm_acc_t,
+    gemm_inv,
+    gemm_t,
+    lauum,
+    potrf,
+    syrk,
+    syrk_t,
+    trmm,
+    trsm,
+    trsm_left_inv,
+    trsm_right_inv,
+    trsm_solve,
+    trsm_solve_t,
+    trtri,
+)
+from .flops import (
+    KERNEL_FLOPS,
+    cholesky_flops,
+    kernel_flops,
+    posv_flops,
+    potri_flops,
+)
+from .reference import (
+    cholesky_reference,
+    posv_reference,
+    potri_reference,
+    trtri_reference,
+)
+
+__all__ = [
+    "blas",
+    "flops",
+    "reference",
+    "potrf",
+    "trsm",
+    "syrk",
+    "gemm",
+    "trsm_solve",
+    "trsm_solve_t",
+    "gemm_t",
+    "gemm_acc_t",
+    "trtri",
+    "trsm_right_inv",
+    "trsm_left_inv",
+    "gemm_inv",
+    "trmm",
+    "lauum",
+    "syrk_t",
+    "KERNEL_FLOPS",
+    "kernel_flops",
+    "cholesky_flops",
+    "posv_flops",
+    "potri_flops",
+    "cholesky_reference",
+    "posv_reference",
+    "trtri_reference",
+    "potri_reference",
+]

@@ -1,0 +1,118 @@
+"""Floating-point operation counts.
+
+Per-kernel counts follow the standard LAPACK working notes conventions
+(real double precision).  The per-operation totals are the quantities used
+in the paper's figure of merit ``F = #flops / (t * P)``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KERNEL_FLOPS",
+    "kernel_flops",
+    "potrf_flops",
+    "trsm_flops",
+    "syrk_flops",
+    "gemm_flops",
+    "trtri_flops",
+    "lauum_flops",
+    "trmm_flops",
+    "cholesky_flops",
+    "lu_total_flops",
+    "posv_flops",
+    "potri_flops",
+]
+
+
+def potrf_flops(b: int) -> float:
+    """Cholesky of a b x b tile: b^3/3 + b^2/2 + b/6."""
+    return b**3 / 3.0 + b**2 / 2.0 + b / 6.0
+
+
+def trsm_flops(b: int, w: int = 0) -> float:
+    """Triangular solve of a (b x w) block against a b x b triangle: b^2 w."""
+    return float(b * b * (w if w > 0 else b))
+
+
+def syrk_flops(b: int) -> float:
+    """Symmetric rank-b update of a b x b tile: b^2 (b + 1)."""
+    return float(b * b * (b + 1))
+
+
+def gemm_flops(b: int, w: int = 0) -> float:
+    """General b x b x w tile multiply-accumulate: 2 b^2 w."""
+    return float(2 * b * b * (w if w > 0 else b))
+
+
+def trtri_flops(b: int) -> float:
+    """Inversion of a b x b triangular tile: b^3/3 + 2b/3 (LAWN 41)."""
+    return b**3 / 3.0 + 2.0 * b / 3.0
+
+
+def lauum_flops(b: int) -> float:
+    """L^T L product of a b x b triangular tile: b^3/3 + b^2/2 + b/6."""
+    return b**3 / 3.0 + b**2 / 2.0 + b / 6.0
+
+
+def trmm_flops(b: int, w: int = 0) -> float:
+    """Triangular b x b times (b x w) multiply: b^2 w."""
+    return float(b * b * (w if w > 0 else b))
+
+
+#: Flop count per kernel name as used by the task graphs; each maps
+#: (tile size b, rhs width w) -> flops.
+KERNEL_FLOPS = {
+    "POTRF": lambda b, w=0: potrf_flops(b),
+    "TRSM": lambda b, w=0: trsm_flops(b),
+    "SYRK": lambda b, w=0: syrk_flops(b),
+    "GEMM": lambda b, w=0: gemm_flops(b),
+    "TRSM_SOLVE": lambda b, w=0: trsm_flops(b, w),
+    "TRSM_SOLVE_T": lambda b, w=0: trsm_flops(b, w),
+    "GEMM_RHS": lambda b, w=0: gemm_flops(b, w),
+    "GEMM_RHS_T": lambda b, w=0: gemm_flops(b, w),
+    "TRTRI": lambda b, w=0: trtri_flops(b),
+    "TRSM_RINV": lambda b, w=0: trsm_flops(b),
+    "TRSM_LINV": lambda b, w=0: trsm_flops(b),
+    "GEMM_INV": lambda b, w=0: gemm_flops(b),
+    "TRMM": lambda b, w=0: trmm_flops(b),
+    "LAUUM": lambda b, w=0: lauum_flops(b),
+    "SYRK_T": lambda b, w=0: syrk_flops(b),
+    "GEMM_T": lambda b, w=0: gemm_flops(b),
+    # LU (no pivoting) kernels.
+    "GETRF": lambda b, w=0: 2.0 * potrf_flops(b),
+    "TRSM_L": lambda b, w=0: trsm_flops(b),
+    "TRSM_U": lambda b, w=0: trsm_flops(b),
+    "GEMM_LU": lambda b, w=0: gemm_flops(b),
+    # 2.5D reduction: one tile addition per contribution.
+    "REDUCE": lambda b, w=0: float(b * b),
+    # Redistribution copies move data but perform no arithmetic.
+    "REMAP": lambda b, w=0: 0.0,
+}
+
+
+def kernel_flops(kind: str, b: int, w: int = 0) -> float:
+    """Flops of one task of the given kernel ``kind`` on tile size ``b``."""
+    try:
+        return KERNEL_FLOPS[kind](b, w)
+    except KeyError:
+        raise ValueError(f"unknown kernel kind {kind!r}") from None
+
+
+def lu_total_flops(n: int) -> float:
+    """Total flops of an n x n LU factorization without pivoting."""
+    return 2.0 * n**3 / 3.0 - n**2 / 2.0 - n / 6.0
+
+
+def cholesky_flops(n: int) -> float:
+    """Total flops of an n x n Cholesky factorization: n^3/3 + n^2/2 + n/6."""
+    return n**3 / 3.0 + n**2 / 2.0 + n / 6.0
+
+
+def posv_flops(n: int, nrhs: int) -> float:
+    """POSV = POTRF + two triangular solves (n^2 flops per rhs column each)."""
+    return cholesky_flops(n) + 2.0 * n * n * nrhs
+
+
+def potri_flops(n: int) -> float:
+    """POTRI = POTRF + TRTRI + LAUUM ~= n^3 in total."""
+    return cholesky_flops(n) + (n**3 / 3.0 + 2.0 * n / 3.0) + (n**3 / 3.0 + n**2 / 2.0 + n / 6.0)

@@ -1,0 +1,21 @@
+"""Sequential out-of-core Cholesky models (two-level memory, §II/§III-E)."""
+
+from .cache import CacheStats, TileCache
+from .bereux import (
+    block_left_looking_volume,
+    choose_block_size,
+    panel_left_looking_volume,
+    simulate_tiled_right_looking,
+)
+from .execute import OutOfCoreResult, execute_block_left_looking
+
+__all__ = [
+    "TileCache",
+    "CacheStats",
+    "choose_block_size",
+    "block_left_looking_volume",
+    "panel_left_looking_volume",
+    "simulate_tiled_right_looking",
+    "OutOfCoreResult",
+    "execute_block_left_looking",
+]

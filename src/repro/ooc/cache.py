@@ -1,0 +1,106 @@
+"""Fast-memory (cache) model for out-of-core algorithm simulation.
+
+The two-level memory model of §II: a fast memory of ``capacity`` elements
+and an unlimited slow memory.  Algorithms explicitly ``load`` tiles before
+using them and may ``pin`` tiles to protect them from eviction; evicting a
+dirty tile counts as a store.  The counters give the exact transfer volume
+of a simulated out-of-core execution.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Tuple
+
+__all__ = ["TileCache", "CacheStats"]
+
+
+class CacheStats:
+    """Transfer counters of one out-of-core simulation."""
+
+    __slots__ = ("loaded", "stored")
+
+    def __init__(self) -> None:
+        self.loaded = 0
+        self.stored = 0
+
+    @property
+    def total(self) -> int:
+        return self.loaded + self.stored
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CacheStats(loaded={self.loaded}, stored={self.stored})"
+
+
+class TileCache:
+    """LRU cache of variably-sized tiles with pinning and dirty tracking."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.used = 0
+        self.stats = CacheStats()
+        # key -> (size, pinned, dirty); OrderedDict gives LRU order.
+        self._entries: "OrderedDict[Hashable, Tuple[int, bool, bool]]" = OrderedDict()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def _evict_for(self, size: int) -> None:
+        while self.used + size > self.capacity:
+            victim = None
+            for k, (sz, pinned, dirty) in self._entries.items():
+                if not pinned:
+                    victim = (k, sz, dirty)
+                    break
+            if victim is None:
+                raise MemoryError(
+                    f"cannot fit {size} elements: all {self.used} resident "
+                    f"elements are pinned (capacity {self.capacity})"
+                )
+            k, sz, dirty = victim
+            del self._entries[k]
+            self.used -= sz
+            if dirty:
+                self.stats.stored += sz
+
+    def load(self, key: Hashable, size: int, pin: bool = False) -> bool:
+        """Ensure a tile is resident; returns True if a transfer happened."""
+        if size > self.capacity:
+            raise MemoryError(f"tile of {size} elements exceeds capacity {self.capacity}")
+        if key in self._entries:
+            sz, _pinned, dirty = self._entries.pop(key)
+            self._entries[key] = (sz, pin or _pinned, dirty)
+            return False
+        self._evict_for(size)
+        self._entries[key] = (size, pin, False)
+        self.used += size
+        self.stats.loaded += size
+        return True
+
+    def create(self, key: Hashable, size: int, pin: bool = False) -> None:
+        """Allocate a new (dirty) tile without loading it from slow memory."""
+        if key in self._entries:
+            raise KeyError(f"tile {key} already resident")
+        self._evict_for(size)
+        self._entries[key] = (size, pin, True)
+        self.used += size
+
+    def touch_dirty(self, key: Hashable) -> None:
+        """Mark a resident tile as modified (must be stored on eviction)."""
+        size, pinned, _ = self._entries.pop(key)
+        self._entries[key] = (size, pinned, True)
+
+    def unpin(self, key: Hashable) -> None:
+        if key in self._entries:
+            size, _pinned, dirty = self._entries.pop(key)
+            self._entries[key] = (size, False, dirty)
+
+    def flush(self) -> None:
+        """Write back every dirty tile and empty the cache."""
+        for _k, (sz, _pinned, dirty) in self._entries.items():
+            if dirty:
+                self.stats.stored += sz
+        self._entries.clear()
+        self.used = 0

@@ -1,0 +1,42 @@
+"""Runtimes: numeric local execution, cluster simulation, distributed IPC."""
+
+from .execution import KERNEL_DISPATCH, InitialDataSpec, apply_task, materialize_initial
+from .local import (
+    assemble_lower,
+    assemble_rhs,
+    assemble_symmetric,
+    execute_graph,
+    final_versions,
+)
+from .simulator import (
+    CriticalPathBreakdown,
+    SimReport,
+    critical_path_breakdown,
+    iteration_profile,
+    simulate,
+    utilization_timeline,
+)
+from .bounds import CholeskyBounds, cholesky_bounds
+from .distributed import DistributedReport, execute_distributed
+
+__all__ = [
+    "KERNEL_DISPATCH",
+    "InitialDataSpec",
+    "apply_task",
+    "materialize_initial",
+    "execute_graph",
+    "final_versions",
+    "assemble_lower",
+    "assemble_symmetric",
+    "assemble_rhs",
+    "simulate",
+    "SimReport",
+    "CriticalPathBreakdown",
+    "critical_path_breakdown",
+    "iteration_profile",
+    "utilization_timeline",
+    "execute_distributed",
+    "DistributedReport",
+    "CholeskyBounds",
+    "cholesky_bounds",
+]

@@ -1,0 +1,120 @@
+"""Analytic makespan bounds — full-paper-scale performance estimates.
+
+The discrete-event simulator is event-exact but Python-bound: the paper's
+largest runs (n = 300000, 36M tasks) are out of its reach.  This module
+computes the three classical lower bounds on any schedule's makespan from
+*closed-form* quantities (the O(N^2) traffic counters and per-iteration
+durations), which costs milliseconds at any size:
+
+* **work bound** — total flops over the platform's aggregate rate;
+* **port bound** — the busiest node's egress/ingress traffic over the
+  link bandwidth (this is where SBC's sqrt(2) shows up);
+* **spine bound** — the dependency chain POTRF -> TRSM -> SYRK -> POTRF
+  through all N iterations, including its two inter-node hops.
+
+``max`` of the three is a valid lower bound on the makespan of *any*
+schedule; dividing the flop count by it gives an upper bound on GFlop/s
+per node.  The simulator approaches these bounds from above (asserted in
+the tests), and at full scale the bounds alone already order the
+distributions the way the paper measures — including the Figure 11
+headline at n = 200000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.fast_counter import cholesky_node_traffic
+from ..config import MachineSpec
+from ..distributions.base import Distribution
+from ..kernels.flops import (
+    cholesky_flops,
+    potrf_flops,
+    syrk_flops,
+    trsm_flops,
+)
+
+__all__ = ["CholeskyBounds", "cholesky_bounds"]
+
+
+@dataclass(frozen=True)
+class CholeskyBounds:
+    """Lower bounds on the POTRF makespan under a given distribution."""
+
+    work_bound: float
+    port_bound: float
+    spine_bound: float
+    total_flops: float
+    num_nodes: int
+
+    @property
+    def makespan_lower_bound(self) -> float:
+        return max(self.work_bound, self.port_bound, self.spine_bound)
+
+    @property
+    def gflops_per_node_upper_bound(self) -> float:
+        return self.total_flops / (self.makespan_lower_bound * self.num_nodes) / 1e9
+
+    @property
+    def binding(self) -> str:
+        """Which resource binds: 'work', 'port', or 'spine'."""
+        best = self.makespan_lower_bound
+        if best == self.work_bound:
+            return "work"
+        if best == self.port_bound:
+            return "port"
+        return "spine"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"lb {self.makespan_lower_bound:.3f}s ({self.binding}-bound: "
+            f"work {self.work_bound:.3f} / port {self.port_bound:.3f} / "
+            f"spine {self.spine_bound:.3f}); "
+            f"<= {self.gflops_per_node_upper_bound:.0f} GF/s/node"
+        )
+
+
+def cholesky_bounds(dist: Distribution, N: int, b: int,
+                    machine: MachineSpec) -> CholeskyBounds:
+    """Compute the three bounds for POTRF on ``N x N`` tiles of size ``b``."""
+    if machine.nodes < dist.num_nodes:
+        raise ValueError(
+            f"distribution uses {dist.num_nodes} nodes but machine has "
+            f"{machine.nodes}"
+        )
+    n = N * b
+    flops = cholesky_flops(n)
+    kernel = machine.kernel
+
+    # Work: the whole platform computing flat out.
+    work = flops / (machine.nodes * machine.cores * kernel.rate(b))
+
+    # Ports: the busiest node's one-directional traffic at link speed.
+    if dist.num_nodes > 1:
+        sent, recv = cholesky_node_traffic(dist, N)
+        tile = machine.tile_bytes(b)
+        busiest = max(int(sent.max()), int(recv.max()))
+        port = busiest * tile / machine.network.bandwidth
+    else:
+        port = 0.0
+
+    # Spine: POTRF(i) -> TRSM(i+1,i) -> SYRK(i+1,i+1) -> POTRF(i+1), with
+    # an inter-node hop after POTRF and after TRSM whenever the owners
+    # differ (checked per iteration against the actual distribution).
+    hop = machine.network.transfer_time(machine.tile_bytes(b))
+    spine = kernel.duration(potrf_flops(b), b) * N
+    for i in range(N - 1):
+        spine += kernel.duration(trsm_flops(b), b)
+        spine += kernel.duration(syrk_flops(b), b)
+        if dist.owner(i, i) != dist.owner(i + 1, i):
+            spine += hop
+        if dist.owner(i + 1, i) != dist.owner(i + 1, i + 1):
+            spine += hop
+
+    return CholeskyBounds(
+        work_bound=work,
+        port_bound=port,
+        spine_bound=spine,
+        total_flops=flops,
+        num_nodes=machine.nodes,
+    )

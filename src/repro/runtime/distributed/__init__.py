@@ -1,0 +1,5 @@
+"""Multiprocessing owner-computes executor with real message passing."""
+
+from .executor import DistributedReport, execute_distributed
+
+__all__ = ["execute_distributed", "DistributedReport"]

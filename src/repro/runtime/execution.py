@@ -1,0 +1,164 @@
+"""Numeric execution of task graphs: kernel dispatch and data stores.
+
+Maps each task kind to its tile kernel (read inputs in the order the graph
+builders declared them, produce the written version) and materializes the
+graph's *initial* versions from their descriptors:
+
+* ``"spd"``  — tile (i, j) of the seeded random SPD matrix;
+* ``"rhs"``  — tile row i of the seeded right-hand side;
+* ``"zero"`` — a zero tile (2.5D partial-update accumulators);
+* ``"tri"``  — tile of a seeded lower-triangular matrix (standalone
+  TRTRI/LAUUM graphs).
+
+Because initial tiles are derived from a seed, every node of a distributed
+runtime can materialize its own tiles without any input communication —
+the paper likewise excludes the initial distribution from its measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..kernels import blas
+from ..tiles.generation import generate_rhs_tile, generate_spd_tile
+from ..tiles.layout import TileGrid
+from ..graph.task import DataKey, Task, TaskGraph
+
+__all__ = ["KERNEL_DISPATCH", "apply_task", "materialize_initial", "InitialDataSpec"]
+
+
+def _reduce(*parts: np.ndarray) -> np.ndarray:
+    """2.5D reduction: sum of the target stream and all partial streams."""
+    out = parts[0].copy()
+    for p in parts[1:]:
+        out += p
+    return out
+
+
+def _remap(a: np.ndarray) -> np.ndarray:
+    """Redistribution copy: the data is unchanged, only its home moves."""
+    return a.copy()
+
+
+def _gemm_rhs(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Forward-solve update B_j <- B_j - L_{j,i} B_i (no transpose)."""
+    return c - a @ b
+
+
+#: kind -> kernel taking the read arrays (in builder order) -> written array
+KERNEL_DISPATCH: Dict[str, Callable[..., np.ndarray]] = {
+    "POTRF": blas.potrf,
+    "TRSM": blas.trsm,
+    "SYRK": blas.syrk,
+    "GEMM": blas.gemm,
+    "TRSM_SOLVE": blas.trsm_solve,
+    "TRSM_SOLVE_T": blas.trsm_solve_t,
+    "GEMM_RHS": _gemm_rhs,
+    "GEMM_RHS_T": blas.gemm_t,  # B_j <- B_j - L_{i,j}^T B_i
+    "TRTRI": blas.trtri,
+    "TRSM_RINV": blas.trsm_right_inv,
+    "TRSM_LINV": blas.trsm_left_inv,
+    "GEMM_INV": blas.gemm_inv,
+    "TRMM": blas.trmm,
+    "LAUUM": blas.lauum,
+    "SYRK_T": blas.syrk_t,
+    "GEMM_T": blas.gemm_acc_t,
+    "GETRF": blas.getrf_nopiv,
+    "TRSM_L": blas.trsm_lu_right,
+    "TRSM_U": blas.trsm_lu_left,
+    "GEMM_LU": blas.gemm_nn,
+    "REDUCE": _reduce,
+    "REMAP": _remap,
+}
+
+
+def apply_task(task: Task, inputs) -> np.ndarray:
+    """Run one task's kernel on its input arrays."""
+    try:
+        fn = KERNEL_DISPATCH[task.kind]
+    except KeyError:
+        raise ValueError(f"no kernel registered for task kind {task.kind!r}") from None
+    return fn(*inputs)
+
+
+def _spd_like_square_tile(grid, seed: int, i: int, j: int) -> np.ndarray:
+    """Tile (i, j) of a seeded diagonally-dominant nonsymmetric matrix."""
+    rng = np.random.default_rng(np.random.SeedSequence((seed ^ 0x1077, i, j)))
+    g = rng.standard_normal(grid.tile_shape(i, j))
+    if i == j:
+        g = g + grid.n * np.eye(g.shape[0])
+    return g
+
+
+class InitialDataSpec:
+    """Seeds and geometry needed to materialize any initial version.
+
+    By default tiles come from the seeded generators (so distributed
+    workers can build their inputs locally); pass ``matrix`` (a dense
+    array or :class:`~repro.tiles.TiledMatrix`) and/or ``rhs`` (a dense
+    ``(n, width)`` array) to factor user-provided data instead — the
+    arrays then travel with the spec (pickled to distributed workers).
+    """
+
+    def __init__(self, grid: TileGrid, seed: int = 0, width: int = 0,
+                 matrix=None, rhs=None):
+        self.grid = grid
+        self.seed = seed
+        self.width = width
+        if matrix is not None and not hasattr(matrix, "grid"):
+            from ..tiles.tiled_matrix import SymmetricTiledMatrix
+
+            matrix = SymmetricTiledMatrix.from_dense(np.asarray(matrix), grid.b)
+        if matrix is not None and matrix.grid.n != grid.n:
+            raise ValueError(
+                f"matrix is {matrix.grid.n}x{matrix.grid.n} but the grid "
+                f"expects n={grid.n}"
+            )
+        self.matrix = matrix
+        if rhs is not None:
+            rhs = np.asarray(rhs, dtype=np.float64)
+            if rhs.shape[0] != grid.n:
+                raise ValueError(
+                    f"rhs has {rhs.shape[0]} rows but the grid expects n={grid.n}"
+                )
+            self.width = rhs.shape[1]
+        self.rhs = rhs
+
+    def materialize(self, key: DataKey, descriptor: str) -> np.ndarray:
+        if descriptor == "spd":
+            if self.matrix is not None:
+                return np.array(self.matrix[key.i, key.j], dtype=np.float64)
+            return generate_spd_tile(self.grid, self.seed, key.i, key.j)
+        if descriptor == "rhs":
+            if self.rhs is not None:
+                return np.array(self.rhs[self.grid.row_span(key.i), :])
+            if self.width <= 0:
+                raise ValueError("rhs data requested but width is not set")
+            return generate_rhs_tile(self.grid, self.seed, key.i, self.width)
+        if descriptor == "zero":
+            return np.zeros(self.grid.tile_shape(key.i, key.j))
+        if descriptor == "lu":
+            # A diagonally-dominant square tile grid: LU without pivoting
+            # is stable on the assembled matrix.
+            g = _spd_like_square_tile(self.grid, self.seed, key.i, key.j)
+            return g
+        if descriptor == "tri":
+            # A well-conditioned lower-triangular tile grid: the lower
+            # triangle of the Cholesky factor surrogate — unit-ish diagonal.
+            t = generate_spd_tile(self.grid, self.seed, key.i, key.j)
+            if key.i == key.j:
+                # The SPD diagonal tile is shifted by n*I, so dividing by n
+                # leaves a near-unit diagonal: well-conditioned triangle.
+                return np.tril(t / self.grid.n)
+            return t / self.grid.n
+        raise ValueError(f"unknown initial data descriptor {descriptor!r}")
+
+
+def materialize_initial(graph: TaskGraph, spec: InitialDataSpec) -> Dict[DataKey, np.ndarray]:
+    """All initial versions of a graph, keyed by their DataKey."""
+    return {
+        key: spec.materialize(key, descriptor)
+        for key, (_home, descriptor) in graph.initial.items()
+    }

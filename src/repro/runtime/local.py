@@ -1,0 +1,189 @@
+"""Local (single-process) execution of task graphs.
+
+This is the numerical backbone of the library: it really runs every tile
+kernel, either sequentially (deterministic, used by the test suite) or on
+a thread pool with dependency tracking (NumPy's BLAS releases the GIL, so
+tile kernels genuinely overlap) — a single-node analogue of StarPU's
+dynamic scheduler.
+
+Versions whose every consumer has run are freed eagerly, so peak memory
+stays proportional to the matrix, not to the task count.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..graph.task import DataKey, TaskGraph
+from ..tiles.layout import TileGrid
+from .execution import InitialDataSpec, apply_task
+
+__all__ = [
+    "execute_graph",
+    "final_versions",
+    "assemble_lower",
+    "assemble_symmetric",
+    "assemble_rhs",
+]
+
+
+def final_versions(graph: TaskGraph) -> Dict[Tuple[str, int, int], DataKey]:
+    """Last-written version of every tile (falling back to initial data).
+
+    In 2.5D graphs the partial streams of non-final slices are dead after
+    their REDUCE; the last write to a tile is always the version holding
+    its final value, so this map is valid for every builder in the library.
+    """
+    out: Dict[Tuple[str, int, int], DataKey] = {}
+    for key in graph.initial:
+        slot = (key.name, key.i, key.j)
+        if slot not in out:
+            out[slot] = key
+    for t in graph.tasks:
+        if t.write is not None:
+            out[(t.write.name, t.write.i, t.write.j)] = t.write
+    return out
+
+
+def execute_graph(
+    graph: TaskGraph,
+    spec: InitialDataSpec,
+    num_threads: int = 0,
+) -> Dict[DataKey, np.ndarray]:
+    """Run every task; returns the store restricted to final versions.
+
+    ``num_threads`` <= 1 selects the sequential executor.
+    """
+    keep = set(final_versions(graph).values())
+    if num_threads and num_threads > 1:
+        return _execute_threaded(graph, spec, num_threads, keep)
+    return _execute_sequential(graph, spec, keep)
+
+
+def _initial_store(graph: TaskGraph, spec: InitialDataSpec) -> Dict[DataKey, np.ndarray]:
+    return {
+        key: spec.materialize(key, descriptor)
+        for key, (_home, descriptor) in graph.initial.items()
+    }
+
+
+def _refcounts(graph: TaskGraph) -> Dict[DataKey, int]:
+    counts: Dict[DataKey, int] = {}
+    for t in graph.tasks:
+        for k in t.reads:
+            counts[k] = counts.get(k, 0) + 1
+    return counts
+
+
+def _execute_sequential(
+    graph: TaskGraph, spec: InitialDataSpec, keep: set
+) -> Dict[DataKey, np.ndarray]:
+    store = _initial_store(graph, spec)
+    refs = _refcounts(graph)
+    for t in graph.tasks:
+        inputs = [store[k] for k in t.reads]
+        out = apply_task(t, inputs)
+        if t.write is not None:
+            store[t.write] = out
+        for k in t.reads:
+            refs[k] -= 1
+            if refs[k] == 0 and k not in keep:
+                del store[k]
+    return {k: v for k, v in store.items() if k in keep}
+
+
+def _execute_threaded(
+    graph: TaskGraph, spec: InitialDataSpec, num_threads: int, keep: set
+) -> Dict[DataKey, np.ndarray]:
+    store = _initial_store(graph, spec)
+    refs = _refcounts(graph)
+    lock = threading.Lock()
+
+    # Dependency bookkeeping: indegree = number of reads with a producer.
+    indeg = [0] * len(graph.tasks)
+    consumers: list = [[] for _ in range(len(graph.tasks))]
+    for t in graph.tasks:
+        for k in t.reads:
+            pid = graph.producer.get(k)
+            if pid is not None:
+                indeg[t.id] += 1
+                consumers[pid].append(t.id)
+
+    def run_one(tid: int) -> int:
+        t = graph.tasks[tid]
+        with lock:
+            inputs = [store[k] for k in t.reads]
+        out = apply_task(t, inputs)
+        with lock:
+            if t.write is not None:
+                store[t.write] = out
+            for k in t.reads:
+                refs[k] -= 1
+                if refs[k] == 0 and k not in keep:
+                    del store[k]
+        return tid
+
+    ready = [t.id for t in graph.tasks if indeg[t.id] == 0]
+    done_count = 0
+    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+        pending = {pool.submit(run_one, tid) for tid in ready}
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                tid = fut.result()  # re-raises kernel errors
+                done_count += 1
+                for c in consumers[tid]:
+                    indeg[c] -= 1
+                    if indeg[c] == 0:
+                        pending.add(pool.submit(run_one, c))
+    if done_count != len(graph.tasks):
+        raise RuntimeError(
+            f"executed {done_count}/{len(graph.tasks)} tasks: dependency cycle?"
+        )
+    return {k: v for k, v in store.items() if k in keep}
+
+
+# -- result assembly ---------------------------------------------------------
+
+
+def assemble_lower(
+    graph: TaskGraph, store: Dict[DataKey, np.ndarray], grid: TileGrid
+) -> np.ndarray:
+    """Assemble the final "A" tiles into a dense lower-triangular matrix."""
+    out = np.zeros((grid.n, grid.n))
+    for (name, i, j), key in final_versions(graph).items():
+        if name != "A":
+            continue
+        tile = store[key]
+        if i == j:
+            tile = np.tril(tile)
+        out[grid.row_span(i), grid.row_span(j)] = tile
+    return out
+
+
+def assemble_symmetric(
+    graph: TaskGraph, store: Dict[DataKey, np.ndarray], grid: TileGrid
+) -> np.ndarray:
+    """Assemble final "A" tiles into a dense symmetric matrix (POTRI result)."""
+    out = np.zeros((grid.n, grid.n))
+    for (name, i, j), key in final_versions(graph).items():
+        if name != "A":
+            continue
+        out[grid.row_span(i), grid.row_span(j)] = store[key]
+    return np.tril(out) + np.tril(out, -1).T
+
+
+def assemble_rhs(
+    graph: TaskGraph, store: Dict[DataKey, np.ndarray], grid: TileGrid, width: int
+) -> np.ndarray:
+    """Assemble the final "B" tiles into a dense (n, width) matrix."""
+    out = np.zeros((grid.n, width))
+    for (name, i, _j), key in final_versions(graph).items():
+        if name != "B":
+            continue
+        out[grid.row_span(i), :] = store[key]
+    return out

@@ -1,0 +1,24 @@
+"""Discrete-event cluster simulator (StarPU-like runtime timing model)."""
+
+from .engine import SimReport, TaskTrace, TransferTrace, simulate
+from .network import Chunk, NetworkSim, Transfer
+from .analysis import (
+    CriticalPathBreakdown,
+    critical_path_breakdown,
+    iteration_profile,
+    utilization_timeline,
+)
+
+__all__ = [
+    "simulate",
+    "SimReport",
+    "TaskTrace",
+    "TransferTrace",
+    "NetworkSim",
+    "Transfer",
+    "Chunk",
+    "CriticalPathBreakdown",
+    "critical_path_breakdown",
+    "iteration_profile",
+    "utilization_timeline",
+]

@@ -1,0 +1,416 @@
+"""Discrete-event simulation of a task graph on a cluster.
+
+Models the execution environment of the paper's experiments:
+
+* each node runs ``machine.cores`` workers; a ready task is started on a
+  free worker, highest priority first (StarPU's dynamic local scheduling);
+* the owner-computes placement is already encoded in the graph;
+* data produced on one node and read on another travels as one eager
+  point-to-point message per (version, destination), overlapped with
+  computation (§V-C: communications are asynchronous and per-tile);
+* optional ``synchronized`` mode withholds tasks of iteration ``k`` until
+  every task of iteration ``k-1`` has completed — the static fork-join
+  behaviour of classical MPI implementations, used as the COnfCHOX-style
+  baseline.
+
+The simulated transferred bytes are, by construction, exactly the volume
+reported by :func:`repro.comm.count_communications` on the same graph;
+the test suite verifies the equality.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...config import MachineSpec
+from ...graph.priorities import set_critical_path_priorities
+from ...graph.task import DataKey, Task, TaskGraph
+from .network import NetworkSim, Transfer
+
+__all__ = ["SimReport", "TaskTrace", "TransferTrace", "simulate"]
+
+
+@dataclass
+class TaskTrace:
+    """Timing of one executed task (only recorded when tracing is on)."""
+
+    task_id: int
+    ready: float  # all inputs present at the node
+    start: float  # worker began executing
+    end: float    # kernel finished
+
+
+@dataclass
+class TransferTrace:
+    """Timing of one delivered message (only recorded when tracing is on)."""
+
+    key: object  # DataKey transferred
+    src: int
+    dst: int
+    submitted: float  # producer finished / transfer requested
+    started: float  # first quantum pushed through the egress port
+    delivered: float  # last quantum landed at the destination
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent waiting for the source's egress port."""
+        return self.started - self.submitted
+
+    @property
+    def total(self) -> float:
+        """Submission-to-delivery latency."""
+        return self.delivered - self.submitted
+
+
+@dataclass
+class SimReport:
+    """Outcome of one simulated execution."""
+
+    makespan: float
+    total_flops: float
+    num_nodes: int
+    comm_bytes: int
+    comm_messages: int
+    busy_time: List[float] = field(default_factory=list)
+    time_by_kind: Dict[str, float] = field(default_factory=dict)
+    num_tasks: int = 0
+    cores_per_node: int = 1
+    trace: Optional[List["TaskTrace"]] = None
+    transfers: Optional[List["TransferTrace"]] = None
+
+    @property
+    def gflops_per_node(self) -> float:
+        """The paper's figure of merit: #flops / (t * P) in GFlop/s."""
+        return self.total_flops / (self.makespan * self.num_nodes) / 1e9
+
+    @property
+    def avg_utilization(self) -> float:
+        """Mean fraction of worker-time spent computing."""
+        if not self.busy_time or self.makespan <= 0:
+            return 0.0
+        workers = len(self.busy_time) * self.cores_per_node
+        return sum(self.busy_time) / (self.makespan * workers)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary (durations in seconds, traffic in bytes)."""
+        return {
+            "makespan": self.makespan,
+            "gflops_per_node": self.gflops_per_node,
+            "total_flops": self.total_flops,
+            "num_nodes": self.num_nodes,
+            "cores_per_node": self.cores_per_node,
+            "comm_bytes": self.comm_bytes,
+            "comm_messages": self.comm_messages,
+            "avg_utilization": self.avg_utilization,
+            "num_tasks": self.num_tasks,
+            "time_by_kind": dict(self.time_by_kind),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"makespan {self.makespan:.3f}s, {self.gflops_per_node:.1f} GFlop/s/node, "
+            f"{self.comm_bytes / 1e9:.2f} GB in {self.comm_messages} messages, "
+            f"utilization {self.avg_utilization:.2f}"
+        )
+
+
+class _NodeState:
+    """Worker pool and ready queue of one simulated node."""
+
+    __slots__ = ("free_workers", "ready", "seq")
+
+    def __init__(self, workers: int):
+        self.free_workers = workers
+        self.ready: list = []
+        self.seq = 0
+
+    def push(self, task: Task) -> None:
+        self.seq += 1
+        heapq.heappush(self.ready, (-task.priority, self.seq, task))
+
+    def pop(self) -> Optional[Task]:
+        if not self.ready:
+            return None
+        return heapq.heappop(self.ready)[2]
+
+
+def simulate(
+    graph: TaskGraph,
+    machine: MachineSpec,
+    synchronized: bool = False,
+    duration_fn: Optional[Callable[[Task], float]] = None,
+    auto_priorities: bool = True,
+    trace: bool = False,
+    broadcast: str = "direct",
+    aggregate: bool = False,
+) -> SimReport:
+    """Simulate ``graph`` on ``machine``; see module docstring for the model.
+
+    ``aggregate`` coalesces queued messages sharing a (source,
+    destination) pair into one wire message — same bytes, fewer messages.
+
+    ``broadcast`` selects how a version reaches its remote consumers:
+    ``"direct"`` (the paper's setup: the producer sends one point-to-point
+    message per destination) or ``"tree"`` (binomial forwarding: receivers
+    relay the tile onwards, spreading the port load and reducing the
+    depth of large fan-outs to log2 — the collective-communication
+    optimization §V-C notes Chameleon does not perform).  Total message
+    and byte counts are identical in both modes.
+    """
+    if broadcast not in ("direct", "tree"):
+        raise ValueError(f"unknown broadcast mode {broadcast!r}")
+    if not graph.tasks:
+        raise ValueError("cannot simulate an empty graph")
+    if graph.nodes_used() > machine.nodes:
+        raise ValueError(
+            f"graph uses {graph.nodes_used()} nodes but machine has {machine.nodes}"
+        )
+    num_nodes = machine.nodes
+    if duration_fn is None:
+        b = graph.b
+        kernel = machine.kernel
+        duration_fn = lambda t: kernel.duration(t.flops, b)  # noqa: E731
+    if auto_priorities and all(t.priority == 0.0 for t in graph.tasks):
+        # Bottom-level priorities mirror Chameleon's scheduling hints and
+        # let both workers and the network favour the critical path.
+        set_critical_path_priorities(graph, duration_fn)
+
+    tasks = graph.tasks
+    n_tasks = len(tasks)
+
+    # --- dependency bookkeeping --------------------------------------------
+    # missing[t] = input instances not yet present at t.node.
+    missing = [0] * n_tasks
+    # consumers on the producing node, released when the producer finishes.
+    local_consumers: Dict[DataKey, List[int]] = defaultdict(list)
+    # consumers at remote nodes, released when the transfer arrives.
+    remote_needers: Dict[Tuple[DataKey, int], List[int]] = defaultdict(list)
+    # destination nodes awaiting each key (drives eager transfer fan-out).
+    key_dsts: Dict[DataKey, List[int]] = defaultdict(list)
+    initial_sources: List[Tuple[DataKey, int]] = []  # misplaced initial data
+    for t in tasks:
+        for k in t.reads:
+            pid = graph.producer.get(k)
+            if pid is not None:
+                missing[t.id] += 1
+                if tasks[pid].node == t.node:
+                    local_consumers[k].append(t.id)
+                else:
+                    if (k, t.node) not in remote_needers:
+                        key_dsts[k].append(t.node)
+                    remote_needers[(k, t.node)].append(t.id)
+            else:
+                home = graph.initial[k][0]
+                if home != t.node:
+                    missing[t.id] += 1
+                    if (k, t.node) not in remote_needers:
+                        if k not in key_dsts:
+                            initial_sources.append((k, home))
+                        key_dsts[k].append(t.node)
+                    remote_needers[(k, t.node)].append(t.id)
+
+    # --- synchronized-mode bookkeeping -------------------------------------
+    iterations = sorted({t.iteration for t in tasks})
+    iter_pos = {it: i for i, it in enumerate(iterations)}
+    iter_remaining = [0] * len(iterations)
+    for t in tasks:
+        iter_remaining[iter_pos[t.iteration]] += 1
+    iter_blocked: Dict[int, List[Task]] = defaultdict(list)
+    released_idx = 0  # tasks with iteration index <= released_idx may run
+
+    nodes = [_NodeState(machine.cores) for _ in range(num_nodes)]
+    net = NetworkSim(machine.network, num_nodes, aggregate=aggregate)
+
+    # --- event loop ---------------------------------------------------------
+    events: list = []  # (time, seq, kind, payload)
+    seq = 0
+    busy_time = [0.0] * num_nodes
+    time_by_kind: Dict[str, float] = defaultdict(float)
+    done = 0
+    now = 0.0
+
+    def push_event(time: float, kind: str, payload) -> None:
+        nonlocal seq
+        seq += 1
+        heapq.heappush(events, (time, seq, kind, payload))
+
+    traces: List[TaskTrace] = []
+    transfer_traces: List[TransferTrace] = []
+    ready_time = [0.0] * n_tasks if trace else None
+    first_chunk_start: Dict[Tuple[DataKey, int], float] = {}
+
+    def start_task(task: Task, time: float) -> None:
+        dur = duration_fn(task)
+        busy_time[task.node] += dur
+        time_by_kind[task.kind] += dur
+        if trace:
+            traces.append(TaskTrace(task.id, ready_time[task.id], time, time + dur))
+        push_event(time + dur, "task", task)
+
+    def enqueue_ready(task: Task, time: float) -> None:
+        """Task has all inputs at its node; start it or queue it."""
+        if trace:
+            ready_time[task.id] = time
+        if synchronized and iter_pos[task.iteration] > released_idx:
+            iter_blocked[iter_pos[task.iteration]].append(task)
+            return
+        st = nodes[task.node]
+        if st.free_workers > 0:
+            st.free_workers -= 1
+            start_task(task, time)
+        else:
+            st.push(task)
+
+    def data_arrived_local(key: DataKey, time: float) -> None:
+        for tid in local_consumers.get(key, ()):
+            missing[tid] -= 1
+            if missing[tid] == 0:
+                enqueue_ready(tasks[tid], time)
+
+    def data_arrived_remote(key: DataKey, dst: int, time: float) -> None:
+        for tid in remote_needers.pop((key, dst), ()):
+            missing[tid] -= 1
+            if missing[tid] == 0:
+                enqueue_ready(tasks[tid], time)
+
+    def launch(chunk) -> None:
+        tr = chunk.transfer
+        if trace and (tr.key, tr.dst) not in first_chunk_start:
+            first_chunk_start[(tr.key, tr.dst)] = chunk.egress_done
+        push_event(chunk.egress_done, "sent", chunk)
+        if chunk.final:
+            push_event(chunk.delivery, "xfer", tr)
+
+    # Forwarding plans for tree broadcasts: (key, node) -> child nodes.
+    tree_children: Dict[Tuple[DataKey, int], List[int]] = {}
+
+    def _send(key: DataKey, src: int, dst: int, prio: float, time: float) -> None:
+        started = net.submit(Transfer(key, src, dst, graph.data_bytes(key), prio), time)
+        if started is not None:
+            launch(started)
+
+    def request_transfers(key: DataKey, src: int, time: float) -> None:
+        """Eagerly push a fresh version to every remote consumer node."""
+        dsts = key_dsts.pop(key, None)
+        if not dsts:
+            return
+        prios = {
+            dst: max(tasks[tid].priority for tid in remote_needers[(key, dst)])
+            for dst in dsts
+        }
+        if broadcast == "direct" or len(dsts) == 1:
+            for dst in dsts:
+                _send(key, src, dst, prios[dst], time)
+            return
+        # Binomial tree: urgent destinations closest to the root; node at
+        # index i is served by the node at index i - 2^floor(log2 i).
+        order = sorted(dsts, key=lambda d: -prios[d])
+        ring = [src] + order
+        children: Dict[int, List[int]] = defaultdict(list)
+        for i in range(1, len(ring)):
+            parent = i - (1 << (i.bit_length() - 1))
+            children[parent].append(i)
+        # Each edge carries the max priority of the subtree it serves.
+        subtree_prio = [0.0] * len(ring)
+        for i in range(len(ring) - 1, 0, -1):
+            subtree_prio[i] = max(
+                [prios[ring[i]]] + [subtree_prio[c] for c in children.get(i, ())]
+            )
+        for i in range(1, len(ring)):
+            kids = children.get(i)
+            if kids:
+                tree_children[(key, ring[i])] = [ring[c] for c in kids]
+        for c in children[0]:
+            _send(key, src, ring[c], subtree_prio[c], time)
+        # Stash subtree priorities for the forwarding hops.
+        for i in range(1, len(ring)):
+            for c in children.get(i, ()):
+                _forward_prios[(key, ring[c])] = subtree_prio[c]
+
+    _forward_prios: Dict[Tuple[DataKey, int], float] = {}
+
+    def release_iterations(time: float) -> None:
+        nonlocal released_idx
+        while (
+            released_idx + 1 < len(iterations)
+            and iter_remaining[released_idx] == 0
+        ):
+            released_idx += 1
+            for task in iter_blocked.pop(released_idx, []):
+                if missing[task.id] == 0:
+                    enqueue_ready(task, time)
+
+    # Kick off: source tasks and transfers of misplaced initial data.
+    for t in tasks:
+        if missing[t.id] == 0:
+            enqueue_ready(t, 0.0)
+    for key, home in initial_sources:
+        request_transfers(key, home, 0.0)
+
+    while events:
+        now, _, kind, payload = heapq.heappop(events)
+        if kind == "task":
+            task = payload
+            done += 1
+            st = nodes[task.node]
+            nxt = st.pop()
+            if nxt is not None:
+                start_task(nxt, now)
+            else:
+                st.free_workers += 1
+            if task.write is not None:
+                data_arrived_local(task.write, now)
+                request_transfers(task.write, task.node, now)
+            if synchronized:
+                iter_remaining[iter_pos[task.iteration]] -= 1
+                release_iterations(now)
+        elif kind == "sent":  # source egress channel freed
+            nxt = net.egress_freed(payload.transfer.src, now)
+            if nxt is not None:
+                launch(nxt)
+        else:  # transfer delivered at the destination
+            tr = payload
+            if trace:
+                transfer_traces.append(
+                    TransferTrace(
+                        key=tr.key,
+                        src=tr.src,
+                        dst=tr.dst,
+                        submitted=tr.submitted,
+                        started=first_chunk_start.get((tr.key, tr.dst), tr.submitted),
+                        delivered=tr.end,
+                    )
+                )
+            for key in tr.keys:
+                data_arrived_remote(key, tr.dst, tr.end)
+                for child in tree_children.pop((key, tr.dst), ()):
+                    _send(
+                        key,
+                        tr.dst,
+                        child,
+                        _forward_prios.pop((key, child), tr.priority),
+                        tr.end,
+                    )
+
+    if done != n_tasks:
+        raise RuntimeError(
+            f"simulation deadlock: executed {done}/{n_tasks} tasks "
+            f"({sum(len(v) for v in iter_blocked.values())} blocked on barriers)"
+        )
+
+    return SimReport(
+        makespan=now,
+        total_flops=graph.total_flops(),
+        num_nodes=machine.nodes,
+        comm_bytes=net.total_bytes,
+        comm_messages=net.total_messages,
+        busy_time=busy_time,
+        time_by_kind=dict(time_by_kind),
+        num_tasks=n_tasks,
+        cores_per_node=machine.cores,
+        trace=traces if trace else None,
+        transfers=transfer_traces if trace else None,
+    )

@@ -1,0 +1,27 @@
+"""Tile layout and tiled matrix storage."""
+
+from .layout import TileGrid
+from .tiled_matrix import SymmetricTiledMatrix, TiledMatrix
+from .io import load_tiled, save_tiled
+from .generation import (
+    generate_rhs_tile,
+    generate_spd_tile,
+    random_rhs_dense,
+    random_rhs_tiled,
+    random_spd_dense,
+    random_spd_tiled,
+)
+
+__all__ = [
+    "TileGrid",
+    "TiledMatrix",
+    "SymmetricTiledMatrix",
+    "random_spd_dense",
+    "random_spd_tiled",
+    "random_rhs_dense",
+    "random_rhs_tiled",
+    "generate_spd_tile",
+    "generate_rhs_tile",
+    "save_tiled",
+    "load_tiled",
+]

@@ -1,0 +1,57 @@
+"""Saving and loading tiled matrices (checkpointing factors).
+
+A factorization of the paper's largest matrices is hours of work; a
+production library must be able to persist the tiled result and reload it
+for subsequent solves.  Tiles are stored in NumPy's ``.npz`` container
+with self-describing keys (``A_<i>_<j>``) plus grid metadata, so a file
+written by one process layout can be read back under any distribution.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .layout import TileGrid
+from .tiled_matrix import SymmetricTiledMatrix, TiledMatrix
+
+__all__ = ["save_tiled", "load_tiled"]
+
+_FORMAT_VERSION = 1
+
+
+def save_tiled(path: Union[str, os.PathLike], matrix: TiledMatrix) -> None:
+    """Write a tiled matrix (and its geometry) to an ``.npz`` file."""
+    payload = {
+        "__meta__": np.array(
+            [_FORMAT_VERSION, matrix.grid.n, matrix.grid.b,
+             1 if matrix.symmetric else 0],
+            dtype=np.int64,
+        )
+    }
+    for (i, j) in list(matrix.keys()):
+        payload[f"A_{i}_{j}"] = matrix[i, j]
+    np.savez_compressed(path, **payload)
+
+
+def load_tiled(path: Union[str, os.PathLike]) -> TiledMatrix:
+    """Read a tiled matrix written by :func:`save_tiled`."""
+    with np.load(path) as data:
+        if "__meta__" not in data:
+            raise ValueError(f"{path} is not a repro tiled-matrix file")
+        version, n, b, symmetric = (int(x) for x in data["__meta__"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported tiled-matrix format version {version} "
+                f"(this build reads version {_FORMAT_VERSION})"
+            )
+        grid = TileGrid(n=n, b=b)
+        matrix = SymmetricTiledMatrix(grid) if symmetric else TiledMatrix(grid)
+        for key in data.files:
+            if key == "__meta__":
+                continue
+            _, i, j = key.split("_")
+            matrix[int(i), int(j)] = data[key]
+    return matrix

@@ -1,0 +1,94 @@
+"""Tile grid geometry for tiled matrix algorithms.
+
+A ``TileGrid`` describes how an ``n x n`` matrix is cut into ``N x N``
+square tiles of size ``b`` (the last row/column of tiles may be smaller
+when ``b`` does not divide ``n``).  For the symmetric operations of the
+paper only the lower triangle ``i >= j`` is stored; the grid provides
+iteration helpers and tile-count formulas used throughout the library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["TileGrid"]
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Geometry of the tiling of an ``n x n`` matrix into ``b x b`` tiles."""
+
+    n: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"matrix dimension must be positive, got {self.n}")
+        if self.b < 1:
+            raise ValueError(f"tile size must be positive, got {self.b}")
+
+    @property
+    def ntiles(self) -> int:
+        """Number of tile rows/columns N = ceil(n / b)."""
+        return -(-self.n // self.b)
+
+    @classmethod
+    def from_ntiles(cls, ntiles: int, b: int) -> "TileGrid":
+        """Grid with exactly ``ntiles`` full tiles of size ``b``."""
+        return cls(n=ntiles * b, b=b)
+
+    def tile_rows(self, i: int) -> int:
+        """Number of matrix rows covered by tile row ``i``."""
+        self._check_index(i)
+        return min(self.b, self.n - i * self.b)
+
+    def tile_shape(self, i: int, j: int) -> Tuple[int, int]:
+        """Shape of tile (i, j)."""
+        return (self.tile_rows(i), self.tile_rows(j))
+
+    def row_span(self, i: int) -> slice:
+        """Slice of matrix rows covered by tile row ``i``."""
+        self._check_index(i)
+        return slice(i * self.b, min((i + 1) * self.b, self.n))
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self.ntiles:
+            raise IndexError(f"tile index {i} out of range [0, {self.ntiles})")
+
+    def check_tile(self, i: int, j: int) -> None:
+        """Validate a (row, column) tile index pair."""
+        self._check_index(i)
+        self._check_index(j)
+
+    def lower_tiles(self) -> Iterator[Tuple[int, int]]:
+        """All (i, j) with i >= j — the stored tiles of a symmetric matrix."""
+        for j in range(self.ntiles):
+            for i in range(j, self.ntiles):
+                yield (i, j)
+
+    def all_tiles(self) -> Iterator[Tuple[int, int]]:
+        """All (i, j) tile coordinates of the full square grid."""
+        for i in range(self.ntiles):
+            for j in range(self.ntiles):
+                yield (i, j)
+
+    @property
+    def num_lower_tiles(self) -> int:
+        """N(N+1)/2 — tiles in the lower triangle, diagonal included."""
+        N = self.ntiles
+        return N * (N + 1) // 2
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes to store the lower triangle, counted tile-wise (doubles).
+
+        This is the quantity the paper calls ``S`` (times the element size):
+        the total size required to store the symmetric matrix A.
+        """
+        return self.num_lower_tiles * self.b * self.b * 8
+
+    def is_uniform(self) -> bool:
+        """True when b divides n, i.e. every tile is exactly b x b."""
+        return self.n % self.b == 0

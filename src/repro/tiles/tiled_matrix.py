@@ -1,0 +1,140 @@
+"""Tiled matrix containers.
+
+``TiledMatrix`` stores a dense matrix as a dictionary of NumPy tiles keyed
+by (tile-row, tile-column).  ``SymmetricTiledMatrix`` stores only the lower
+triangle (``i >= j``), mirroring the storage scheme assumed by the paper:
+the upper triangle is implicit by symmetry and never materialized.
+
+Tiles are owned copies (C-contiguous ``float64``), so kernels can update
+them in place without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from .layout import TileGrid
+
+__all__ = ["TiledMatrix", "SymmetricTiledMatrix"]
+
+TileKey = Tuple[int, int]
+
+
+class TiledMatrix:
+    """A general (square) matrix stored as a grid of tiles."""
+
+    symmetric = False
+
+    def __init__(self, grid: TileGrid):
+        self.grid = grid
+        self._tiles: Dict[TileKey, np.ndarray] = {}
+
+    @classmethod
+    def from_dense(cls, a: np.ndarray, b: int) -> "TiledMatrix":
+        """Cut a dense square array into tiles of size ``b``."""
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"expected a square matrix, got shape {a.shape}")
+        grid = TileGrid(n=a.shape[0], b=b)
+        m = cls(grid)
+        for i, j in m._stored_keys():
+            m[i, j] = a[grid.row_span(i), grid.row_span(j)]
+        return m
+
+    def _stored_keys(self) -> Iterator[TileKey]:
+        return self.grid.all_tiles()
+
+    def _canonical(self, key: TileKey) -> TileKey:
+        self.grid.check_tile(*key)
+        return key
+
+    def __getitem__(self, key: TileKey) -> np.ndarray:
+        return self._tiles[self._canonical(key)]
+
+    def __setitem__(self, key: TileKey, value: np.ndarray) -> None:
+        key = self._canonical(key)
+        value = np.ascontiguousarray(value, dtype=np.float64)
+        if value.shape != self.grid.tile_shape(*key):
+            raise ValueError(
+                f"tile {key} expects shape {self.grid.tile_shape(*key)}, "
+                f"got {value.shape}"
+            )
+        self._tiles[key] = value
+
+    def __contains__(self, key: TileKey) -> bool:
+        return self._canonical(key) in self._tiles
+
+    def keys(self) -> Iterator[TileKey]:
+        return iter(self._tiles)
+
+    def to_dense(self) -> np.ndarray:
+        """Assemble the stored tiles back into a dense array.
+
+        Missing tiles are treated as zero.  The symmetric subclass fills
+        the upper triangle by mirroring.
+        """
+        out = np.zeros((self.grid.n, self.grid.n))
+        for (i, j), tile in self._tiles.items():
+            out[self.grid.row_span(i), self.grid.row_span(j)] = tile
+        return out
+
+    def copy(self) -> "TiledMatrix":
+        dup = type(self)(self.grid)
+        for key, tile in self._tiles.items():
+            dup._tiles[key] = tile.copy()
+        return dup
+
+
+class SymmetricTiledMatrix(TiledMatrix):
+    """A symmetric matrix storing only tiles with ``i >= j``.
+
+    Reading tile (i, j) with i < j returns the transpose of the stored
+    tile (j, i); writing above the diagonal is rejected, matching the
+    owner-computes discipline of the tiled Cholesky algorithms where only
+    lower-triangular tiles are ever produced.
+    """
+
+    symmetric = True
+
+    @classmethod
+    def from_dense(cls, a: np.ndarray, b: int) -> "SymmetricTiledMatrix":
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError(f"expected a square matrix, got shape {a.shape}")
+        if not np.allclose(a, a.T, atol=1e-10 * max(1.0, np.abs(a).max())):
+            raise ValueError("matrix is not symmetric")
+        m = super().from_dense(a, b)
+        return m  # type: ignore[return-value]
+
+    def _stored_keys(self) -> Iterator[TileKey]:
+        return self.grid.lower_tiles()
+
+    def _canonical(self, key: TileKey) -> TileKey:
+        self.grid.check_tile(*key)
+        return key
+
+    def __getitem__(self, key: TileKey) -> np.ndarray:
+        i, j = self._canonical(key)
+        if i >= j:
+            return self._tiles[(i, j)]
+        return self._tiles[(j, i)].T
+
+    def __setitem__(self, key: TileKey, value: np.ndarray) -> None:
+        i, j = key
+        if i < j:
+            raise KeyError(
+                f"cannot write upper-triangle tile ({i}, {j}) of a symmetric matrix"
+            )
+        super().__setitem__(key, value)
+
+    def to_dense(self) -> np.ndarray:
+        # Mirror strictly-lower tiles into the upper triangle; diagonal
+        # tiles are stored with their full (symmetric) content.
+        out = np.zeros((self.grid.n, self.grid.n))
+        for (i, j), tile in self._tiles.items():
+            out[self.grid.row_span(i), self.grid.row_span(j)] = tile
+            if i > j:
+                out[self.grid.row_span(j), self.grid.row_span(i)] = tile.T
+        return out

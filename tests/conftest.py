@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    BlockCyclic2D,
+    RowCyclic1D,
+    SymmetricBlockCyclic,
+)
+
+
+def make_distributions():
+    """A representative zoo of small distributions for parametrized tests."""
+    return [
+        BlockCyclic2D(1, 1),
+        BlockCyclic2D(2, 3),
+        BlockCyclic2D(3, 3),
+        BlockCyclic2D(5, 4),
+        SymmetricBlockCyclic(3),
+        SymmetricBlockCyclic(4),
+        SymmetricBlockCyclic(5),
+        SymmetricBlockCyclic(6),
+        SymmetricBlockCyclic(7),
+        SymmetricBlockCyclic(4, variant="basic"),
+        SymmetricBlockCyclic(6, variant="basic"),
+        RowCyclic1D(5),
+    ]
+
+
+@pytest.fixture(params=make_distributions(), ids=lambda d: d.name)
+def any_dist(request):
+    return request.param
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

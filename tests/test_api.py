@@ -1,0 +1,88 @@
+"""Tests for the high-level repro.api facade."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+import repro
+from repro.kernels.reference import posv_reference, potri_reference
+
+
+class TestCholeskyApi:
+    def test_returns_factor_and_info(self):
+        L, info = repro.cholesky(n=64, b=16, dist=repro.SymmetricBlockCyclic(3))
+        np.testing.assert_allclose(
+            L, scipy.linalg.cholesky(info["a"], lower=True), atol=1e-9
+        )
+        assert info["num_tasks"] > 0
+        assert info["comm"].total_bytes >= 0
+
+    def test_threads_runtime(self):
+        L, info = repro.cholesky(
+            n=64, b=16, dist=repro.BlockCyclic2D(2, 2), runtime="threads"
+        )
+        np.testing.assert_allclose(
+            L, scipy.linalg.cholesky(info["a"], lower=True), atol=1e-9
+        )
+
+    def test_rejects_non_dividing_tile(self):
+        with pytest.raises(ValueError):
+            repro.cholesky(n=65, b=16, dist=repro.BlockCyclic2D(2, 2))
+
+    def test_rejects_unknown_runtime(self):
+        with pytest.raises(ValueError):
+            repro.cholesky(n=32, b=16, dist=repro.BlockCyclic2D(1, 1), runtime="mpi")
+
+
+class TestSolveApi:
+    def test_solution(self):
+        x, info = repro.solve(n=64, b=16, dist=repro.SymmetricBlockCyclic(3), width=4)
+        np.testing.assert_allclose(x, posv_reference(info["a"], info["b"]), atol=1e-9)
+
+    def test_default_width_is_tile(self):
+        x, _ = repro.solve(n=48, b=16, dist=repro.BlockCyclic2D(2, 2))
+        assert x.shape == (48, 16)
+
+
+class TestInverseApi:
+    def test_inverse(self):
+        inv, info = repro.inverse(n=64, b=16, dist=repro.SymmetricBlockCyclic(3))
+        np.testing.assert_allclose(inv, potri_reference(info["a"]), atol=1e-8)
+
+    def test_inverse_with_remap(self):
+        inv, info = repro.inverse(
+            n=64,
+            b=16,
+            dist=repro.SymmetricBlockCyclic(4),
+            trtri_dist=repro.BlockCyclic2D(3, 2),
+        )
+        np.testing.assert_allclose(inv, potri_reference(info["a"]), atol=1e-8)
+
+
+class TestAnalysisApi:
+    def test_communication_volume_gb(self):
+        v_sbc = repro.communication_volume(repro.SymmetricBlockCyclic(7), ntiles=60, b=500)
+        v_bc = repro.communication_volume(repro.BlockCyclic2D(7, 3), ntiles=60, b=500)
+        assert 0 < v_sbc < v_bc
+
+    def test_simulate_cholesky_2d(self):
+        rep = repro.simulate_cholesky(ntiles=16, b=500, dist=repro.SymmetricBlockCyclic(4))
+        assert rep.makespan > 0
+        assert rep.gflops_per_node > 0
+
+    def test_simulate_cholesky_25d(self):
+        d = repro.TwoDotFiveD(repro.SymmetricBlockCyclic(4, variant="basic"), 2)
+        rep = repro.simulate_cholesky(ntiles=12, b=500, dist25=d)
+        assert rep.makespan > 0
+
+    def test_simulate_requires_exactly_one_dist(self):
+        with pytest.raises(ValueError):
+            repro.simulate_cholesky(ntiles=8, b=500)
+        with pytest.raises(ValueError):
+            d = repro.TwoDotFiveD(repro.BlockCyclic2D(2, 2), 2)
+            repro.simulate_cholesky(
+                ntiles=8, b=500, dist=repro.BlockCyclic2D(2, 2), dist25=d
+            )
+
+    def test_version(self):
+        assert repro.__version__

@@ -1,0 +1,123 @@
+"""Tests for closed-form volumes, including TRTRI/POTRI (§V-F.2)."""
+
+import pytest
+
+from repro.comm import (
+    bc25d_cholesky_volume,
+    bc2d_cholesky_volume,
+    count_communications,
+    potri_volume_bc2d,
+    potri_volume_sbc_remap,
+    sbc_cholesky_volume,
+    storage_tiles,
+    trtri_volume_bc2d,
+    trtri_volume_sbc,
+)
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.graph import build_lauum_graph, build_potri_graph, build_trtri_graph
+
+
+class TestStorage:
+    @pytest.mark.parametrize("N", [1, 2, 10])
+    def test_storage_tiles(self, N):
+        assert storage_tiles(N) == N * (N + 1) // 2
+
+
+class TestTrtriVolumes:
+    def test_2dbc_counted_below_formula(self):
+        p, q, N = 3, 2, 36
+        g = build_trtri_graph(N, 8, BlockCyclic2D(p, q))
+        counted = count_communications(g).num_messages
+        assert counted <= trtri_volume_bc2d(N, p, q)
+        assert counted == pytest.approx(trtri_volume_bc2d(N, p, q), rel=0.30)
+
+    def test_sbc_counted_below_formula(self):
+        r, N = 4, 36
+        g = build_trtri_graph(N, 8, SymmetricBlockCyclic(r))
+        counted = count_communications(g).num_messages
+        assert counted <= trtri_volume_sbc(N, r)
+
+    def test_2dbc_beats_sbc_on_trtri(self):
+        """§V-F.2: TRTRI's nonsymmetric reads favour 2DBC over SBC at
+        equal node count (P=6: 3x2 vs r=4)."""
+        N = 48
+        g_bc = build_trtri_graph(N, 8, BlockCyclic2D(3, 2))
+        g_sbc = build_trtri_graph(N, 8, SymmetricBlockCyclic(4))
+        assert (
+            count_communications(g_bc).total_bytes
+            < count_communications(g_sbc).total_bytes
+        )
+
+    def test_sbc_beats_2dbc_on_lauum(self):
+        """LAUUM has POTRF's symmetric pattern, so SBC wins there."""
+        N = 48
+        g_bc = build_lauum_graph(N, 8, BlockCyclic2D(3, 2))
+        g_sbc = build_lauum_graph(N, 8, SymmetricBlockCyclic(4))
+        assert (
+            count_communications(g_sbc).total_bytes
+            < count_communications(g_bc).total_bytes
+        )
+
+
+class TestPotriVolumes:
+    def test_remap_strategy_beats_pure_2dbc_at_scale(self):
+        """Leading terms: S(2r+p+q-4) < 3S(p+q-2) for the paper's regime."""
+        # Paper's example r=8 (P=28), p=7, q=4: ratio 27/23 ~ 1.17.
+        N = 100
+        v_bc = potri_volume_bc2d(N, 7, 4)
+        v_remap = potri_volume_sbc_remap(N, 8, 7, 4)
+        assert v_bc / v_remap == pytest.approx(27 / 23, rel=1e-9)
+
+    def test_counted_potri_remap_below_pure_2dbc(self):
+        """The counted volumes of full POTRI graphs reproduce the paper's
+        ordering: remapped SBC < pure 2DBC (equal node counts P=6)."""
+        N = 36
+        g_bc = build_potri_graph(N, 8, BlockCyclic2D(3, 2))
+        g_remap = build_potri_graph(
+            N, 8, SymmetricBlockCyclic(4), trtri_dist=BlockCyclic2D(3, 2)
+        )
+        v_bc = count_communications(g_bc).total_bytes
+        v_remap = count_communications(g_remap).total_bytes
+        assert v_remap < v_bc
+
+    def test_remap_crossover(self):
+        """§V-F.2: the remap strategy only pays off once P is large enough
+        for the broadcast savings to cover the two full redistributions.
+        At P=6 the overhead dominates (pure SBC wins); the leading-order
+        formulas show remap winning at the paper's P=28.
+
+        (A counted check at N=72, r=8 confirms the large-P ordering:
+        remap 57643 < pure SBC 58872 < 2DBC 64830 messages — too slow for
+        a unit test, recorded in EXPERIMENTS.md.)
+        """
+        N = 36
+        g_sbc = build_potri_graph(N, 8, SymmetricBlockCyclic(4))
+        g_remap = build_potri_graph(
+            N, 8, SymmetricBlockCyclic(4), trtri_dist=BlockCyclic2D(3, 2)
+        )
+        assert (
+            count_communications(g_sbc).total_bytes
+            <= count_communications(g_remap).total_bytes
+        )
+        # Leading-order terms at the paper's scale: remap < pure SBC < 2DBC.
+        r, p, q = 8, 7, 4
+        S = storage_tiles(1000)
+        pure_sbc = S * (3 * (r - 2) + r)  # POTRF + LAUUM at r-2, TRTRI at 2r-2
+        assert potri_volume_sbc_remap(1000, r, p, q) < pure_sbc < potri_volume_bc2d(1000, p, q)
+
+
+class Test25DFormula:
+    def test_bc25d_formula(self):
+        assert bc25d_cholesky_volume(10, 3, 3, 2) == storage_tiles(10) * 5
+
+    def test_sbc25d_vs_2d_consistency(self):
+        """c=1 degenerates to the 2D formulas."""
+        from repro.comm import sbc25d_cholesky_volume
+
+        assert sbc25d_cholesky_volume(20, 6, 1, variant="basic") == sbc_cholesky_volume(
+            20, 6, variant="basic"
+        )
+
+    def test_bc2d_square_leading(self):
+        N, p = 50, 4
+        assert bc2d_cholesky_volume(N, p, p) == storage_tiles(N) * (2 * p - 2)

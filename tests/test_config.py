@@ -1,0 +1,73 @@
+"""Tests for the machine/network/kernel models."""
+
+import pytest
+
+from repro.config import KernelModel, MachineSpec, NetworkSpec, bora, laptop
+
+
+class TestNetworkSpec:
+    def test_transfer_time(self):
+        net = NetworkSpec(bandwidth=1e9, latency=1e-6)
+        assert net.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_bora_link_rate(self):
+        """100 Gb/s OmniPath = 12.5 GB/s; a 2 MB tile takes ~160 us."""
+        net = NetworkSpec()
+        tile = 500 * 500 * 8
+        assert net.transfer_time(tile) == pytest.approx(tile / 12.5e9, rel=0.05)
+
+
+class TestKernelModel:
+    def test_rate_saturates_with_tile_size(self):
+        k = KernelModel()
+        assert k.rate(100) < k.rate(500) < k.rate(1000)
+        assert k.rate(10000) <= k.peak_flops
+
+    def test_figure7_shape(self):
+        """Near-peak rate from b=500 on, collapsing at b=100 (Figure 7)."""
+        k = KernelModel()
+        assert k.rate(500) / (k.peak_flops * k.efficiency) > 0.85
+        assert k.rate(100) / (k.peak_flops * k.efficiency) < 0.70
+
+    def test_duration_includes_overhead(self):
+        k = KernelModel(overhead=1e-3)
+        assert k.duration(0.0, 100) == pytest.approx(1e-3)
+
+    def test_invalid_inputs(self):
+        k = KernelModel()
+        with pytest.raises(ValueError):
+            k.rate(0)
+        with pytest.raises(ValueError):
+            k.duration(-1.0, 10)
+
+
+class TestMachineSpec:
+    def test_bora_constants(self):
+        """§V-A: 41.6 GFlop/s per core, 1414.4 GFlop/s for 34 cores."""
+        m = bora(28)
+        assert m.kernel.peak_flops == pytest.approx(41.6e9)
+        assert m.node_peak_flops == pytest.approx(1414.4e9)
+        assert m.cores == 34
+
+    def test_tile_bytes(self):
+        assert bora(1).tile_bytes(500) == 2_000_000  # "2 MB tiles" (Fig. 8)
+
+    def test_gflops_per_node(self):
+        m = bora(2)
+        assert m.gflops_per_node(2e9, 1.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            m.gflops_per_node(1.0, 0.0)
+
+    def test_with_nodes(self):
+        m = bora(4).with_nodes(9)
+        assert m.nodes == 9 and m.cores == 34
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MachineSpec(nodes=0)
+        with pytest.raises(ValueError):
+            MachineSpec(nodes=1, cores=0)
+
+    def test_laptop_preset(self):
+        m = laptop()
+        assert m.nodes >= 1 and m.cores >= 1

@@ -1,0 +1,210 @@
+"""Tests for the Symmetric Block-Cyclic distribution — the paper's §III."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions import (
+    SymmetricBlockCyclic,
+    lower_tile_counts,
+    pair_from_index,
+    pair_index,
+    sbc_num_nodes,
+)
+
+
+class TestPairIndexing:
+    def test_matches_paper_figures(self):
+        """Node numbering of Figure 2/4: (0,1)->0, (0,2)->1, (1,2)->2, ..."""
+        expected = {(0, 1): 0, (0, 2): 1, (1, 2): 2, (0, 3): 3, (1, 3): 4, (2, 3): 5}
+        for (x, y), node in expected.items():
+            assert pair_index(x, y) == node
+            assert pair_index(y, x) == node
+
+    def test_rejects_equal(self):
+        with pytest.raises(ValueError):
+            pair_index(3, 3)
+
+    @given(x=st.integers(0, 50), y=st.integers(0, 50))
+    def test_roundtrip(self, x, y):
+        if x == y:
+            return
+        assert pair_from_index(pair_index(x, y)) == (min(x, y), max(x, y))
+
+    @given(node=st.integers(0, 2000))
+    def test_inverse_roundtrip(self, node):
+        lo, hi = pair_from_index(node)
+        assert lo < hi
+        assert pair_index(lo, hi) == node
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("r,P", [(2, 1), (3, 3), (4, 6), (6, 15), (7, 21), (8, 28), (9, 36)])
+    def test_extended_node_counts_match_table1(self, r, P):
+        assert SymmetricBlockCyclic(r).num_nodes == P == sbc_num_nodes(r)
+
+    @pytest.mark.parametrize("r,P", [(2, 2), (4, 8), (6, 18), (8, 32)])
+    def test_basic_node_counts(self, r, P):
+        assert SymmetricBlockCyclic(r, variant="basic").num_nodes == P
+
+    def test_basic_rejects_odd_r(self):
+        with pytest.raises(ValueError):
+            SymmetricBlockCyclic(5, variant="basic")
+
+    def test_rejects_bad_variant(self):
+        with pytest.raises(ValueError):
+            SymmetricBlockCyclic(4, variant="fancy")
+
+    def test_rejects_small_r(self):
+        with pytest.raises(ValueError):
+            SymmetricBlockCyclic(1)
+
+    @pytest.mark.parametrize("r", [3, 5, 7, 9, 11])
+    def test_odd_pattern_count(self, r):
+        assert SymmetricBlockCyclic(r).num_diag_patterns == (r - 1) // 2
+
+    @pytest.mark.parametrize("r", [4, 6, 8, 10])
+    def test_even_pattern_count(self, r):
+        """Figure 6: r-1 patterns for even r (3 patterns for r=4)."""
+        assert SymmetricBlockCyclic(r).num_diag_patterns == r - 1
+
+
+class TestPaperFigures:
+    def test_figure4_odd_r5_first_pattern(self):
+        """Figure 4, r=5: first pattern's diagonal is 0,2,5,9,6."""
+        s = SymmetricBlockCyclic(5)
+        assert s.diagonal_patterns()[0] == [0, 2, 5, 9, 6]
+
+    def test_figure4_odd_r5_second_pattern(self):
+        s = SymmetricBlockCyclic(5)
+        assert s.diagonal_patterns()[1] == [1, 4, 8, 3, 7]
+
+    def test_figure3_basic_r4_diagonal(self):
+        """Figure 3: basic r=4 adds nodes 6, 7 round-robin on the diagonal."""
+        s = SymmetricBlockCyclic(4, variant="basic")
+        assert s.diagonal_patterns() == [[6, 7, 6, 7]]
+
+    def test_figure2_generic_pattern(self):
+        """Figure 2: off-diagonal owners of the 4x4 generic pattern."""
+        s = SymmetricBlockCyclic(4)
+        m = s.owner_map(4)
+        assert m[1, 0] == 0 and m[2, 0] == 1 and m[2, 1] == 2
+        assert m[3, 0] == 3 and m[3, 1] == 4 and m[3, 2] == 5
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("r", [3, 4, 5, 6, 7, 8, 9, 10, 11, 12])
+    def test_validate_passes(self, r):
+        SymmetricBlockCyclic(r).validate()
+
+    @pytest.mark.parametrize("r", [4, 6, 8, 10, 12])
+    def test_validate_basic(self, r):
+        SymmetricBlockCyclic(r, variant="basic").validate()
+
+    @pytest.mark.parametrize("r", [4, 5, 6, 7, 8, 9])
+    def test_diagonal_entry_contains_position(self, r):
+        """The key invariant behind Theorem 1's r-2 fan-out: the node on
+        diagonal position d is a pair containing d, so it already belongs
+        to the broadcast set of row/column d."""
+        s = SymmetricBlockCyclic(r)
+        for pattern in s.diagonal_patterns():
+            for d, node in enumerate(pattern):
+                assert d in pair_from_index(node)
+
+    @pytest.mark.parametrize("r", [5, 7, 9])
+    def test_odd_each_node_on_one_diagonal(self, r):
+        s = SymmetricBlockCyclic(r)
+        counts = np.zeros(s.num_nodes, dtype=int)
+        for pattern in s.diagonal_patterns():
+            for node in pattern:
+                counts[node] += 1
+        assert (counts == 1).all()
+
+    @pytest.mark.parametrize("r", [4, 6, 8])
+    def test_even_each_node_on_two_diagonals(self, r):
+        s = SymmetricBlockCyclic(r)
+        counts = np.zeros(s.num_nodes, dtype=int)
+        for pattern in s.diagonal_patterns():
+            for node in pattern:
+                counts[node] += 1
+        assert (counts == 2).all()
+
+    @pytest.mark.parametrize("r", [3, 4, 5, 6, 7, 8])
+    def test_row_nodes_are_all_pairs_containing_row(self, r):
+        """Every tile in (full-matrix) row with pattern index d is owned by
+        a pair containing d — so at most r-1 distinct nodes see the row."""
+        s = SymmetricBlockCyclic(r)
+        N = 4 * r * max(1, s.num_diag_patterns)
+        m = s.owner_map(N)
+        for row in range(min(N, 3 * r)):
+            d = row % r
+            for col in range(N):
+                owner = m[row, col]
+                assert d in pair_from_index(owner)
+
+
+class TestOwnerProperties:
+    @pytest.mark.parametrize("r", [3, 4, 5, 6, 7])
+    @pytest.mark.parametrize("variant", ["extended", "basic"])
+    def test_symmetric(self, r, variant):
+        if variant == "basic" and r % 2:
+            pytest.skip("basic needs even r")
+        s = SymmetricBlockCyclic(r, variant=variant)
+        N = 3 * r
+        for i in range(N):
+            for j in range(N):
+                assert s.owner(i, j) == s.owner(j, i)
+
+    @pytest.mark.parametrize("r", [3, 4, 5, 6, 7, 8])
+    @pytest.mark.parametrize("variant", ["extended", "basic"])
+    def test_owner_map_matches_owner(self, r, variant):
+        if variant == "basic" and r % 2:
+            pytest.skip("basic needs even r")
+        s = SymmetricBlockCyclic(r, variant=variant)
+        N = 2 * r * max(1, s.num_diag_patterns) + 3
+        m = s.owner_map(N)
+        for i in range(N):
+            for j in range(N):
+                assert m[i, j] == s.owner(i, j)
+
+    def test_owner_range(self):
+        s = SymmetricBlockCyclic(6)
+        m = s.owner_map(40)
+        assert m.min() >= 0 and m.max() < s.num_nodes
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(IndexError):
+            SymmetricBlockCyclic(4).owner(-1, 0)
+
+
+class TestLoadBalance:
+    @pytest.mark.parametrize("r", [4, 5, 6, 7, 8, 9])
+    def test_large_matrix_balance(self, r):
+        """Over full pattern cycles each node owns nearly the same tile count."""
+        s = SymmetricBlockCyclic(r)
+        N = 6 * r * s.num_diag_patterns
+        counts = lower_tile_counts(s, N)
+        assert counts.max() / counts.mean() < 1.05
+
+    @pytest.mark.parametrize("r", [4, 6, 8])
+    def test_basic_balance(self, r):
+        s = SymmetricBlockCyclic(r, variant="basic")
+        N = 12 * r
+        counts = lower_tile_counts(s, N)
+        # Extra (diagonal) nodes own ~half a generic node's share by design;
+        # generic nodes must be tightly balanced among themselves.
+        generic = counts[: r * (r - 1) // 2]
+        assert generic.max() / generic.mean() < 1.05
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    r=st.integers(3, 10),
+    N=st.integers(1, 60),
+)
+def test_owner_map_consistency_property(r, N):
+    s = SymmetricBlockCyclic(r)
+    m = s.owner_map(N)
+    idx = np.tril_indices(N)
+    direct = np.array([s.owner(i, j) for i, j in zip(*idx)])
+    np.testing.assert_array_equal(m[idx], direct)

@@ -1,0 +1,70 @@
+"""Tests for the repro.experiments sweeps and CLI."""
+
+import pytest
+
+from repro import experiments
+
+
+class TestSweepFunctions:
+    def test_fig8_volumes_ordering(self):
+        series = experiments.fig8_volumes(sizes=(25, 50), b=500)
+        assert set(series) == {"SBC r=7", "2DBC 5x4", "2DBC 7x3"}
+        for i in range(2):
+            assert series["SBC r=7"][i] < series["2DBC 5x4"][i] < series["2DBC 7x3"][i]
+
+    def test_theorem1_rows(self):
+        rows = experiments.theorem1_table(ntiles=60)
+        assert len(rows) == 7
+        for _name, counted, formula, ratio in rows:
+            assert counted <= formula
+            assert 0.85 < ratio <= 1.0
+
+    def test_fig9_performance_small(self):
+        series = experiments.fig9_performance(sizes=(16,), b=500)
+        assert series["2D SBC r=8"][0] > 0
+        assert series["COnfCHOX-like"][0] < series["2DBC 7x4"][0]
+
+    def test_strong_scaling_rows(self):
+        rows = experiments.strong_scaling(ntiles=24)
+        assert len(rows) == 8
+        per_node = {name: gf for name, _P, gf in rows}
+        # Smaller platforms get more per-node throughput on a fixed matrix.
+        assert per_node["SBC-extended(r=6)"] > per_node["SBC-extended(r=9)"]
+
+    def test_spine_breakdown(self):
+        out = experiments.spine_breakdown(r=6, ntiles=20)
+        assert len(out) == 2
+        for bd in out.values():
+            assert bd.makespan > 0
+            assert bd.hops > 0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert experiments.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "theorem1" in out
+
+    def test_fig8(self, capsys):
+        assert experiments.main(["fig8", "--sizes", "25", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "SBC r=7" in out and "(GB)" in out
+
+    def test_theorem1(self, capsys):
+        assert experiments.main(["theorem1", "--ntiles", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "SBC-extended(r=8)" in out
+
+    def test_scaling(self, capsys):
+        assert experiments.main(["scaling", "--ntiles", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "GFlop/s/node" in out
+
+    def test_breakdown(self, capsys):
+        assert experiments.main(["breakdown", "--r", "6", "--ntiles", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            experiments.main(["figZ"])

@@ -1,0 +1,89 @@
+"""Failure-injection tests: the runtimes must fail loudly, not wedge."""
+
+import numpy as np
+import pytest
+
+from repro.config import laptop
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.graph import DataKey, GraphBuilder, TaskGraph, build_cholesky_graph
+from repro.runtime import (
+    InitialDataSpec,
+    execute_distributed,
+    execute_graph,
+    simulate,
+)
+from repro.runtime.execution import KERNEL_DISPATCH
+from repro.tiles import TileGrid
+
+
+def poisoned_graph(b=16):
+    """A graph whose single task uses an unregistered kernel kind."""
+    g = TaskGraph(b=b)
+    bld = GraphBuilder(g)
+    bld.declare("A", 0, 0, 0, "spd")
+    out = bld.bump("A", 0, 0)
+    g.add_task("EXPLODE", 0, (0,), (DataKey("A", 0, 0, 0),), out, 1.0, 0)
+    return g
+
+
+class TestLocalFailures:
+    def test_unknown_kernel_raises_sequential(self):
+        g = poisoned_graph()
+        spec = InitialDataSpec(TileGrid(n=16, b=16), seed=0)
+        with pytest.raises(ValueError, match="EXPLODE"):
+            execute_graph(g, spec)
+
+    def test_unknown_kernel_raises_threaded(self):
+        g = poisoned_graph()
+        spec = InitialDataSpec(TileGrid(n=16, b=16), seed=0)
+        with pytest.raises(ValueError, match="EXPLODE"):
+            execute_graph(g, spec, num_threads=4)
+
+    def test_numerical_failure_propagates(self):
+        """A non-SPD tile makes POTRF raise; the executor surfaces it."""
+        g = build_cholesky_graph(2, 8, BlockCyclic2D(1, 1))
+
+        class BadSpec(InitialDataSpec):
+            def materialize(self, key, descriptor):
+                t = super().materialize(key, descriptor)
+                if key.i == key.j == 0:
+                    return -np.eye(t.shape[0])  # negative definite
+                return t
+
+        with pytest.raises(np.linalg.LinAlgError):
+            execute_graph(g, BadSpec(TileGrid(n=16, b=8), seed=0))
+
+
+class TestDistributedFailures:
+    def test_worker_error_reported_with_node_id(self):
+        g = poisoned_graph()
+        spec = InitialDataSpec(TileGrid(n=16, b=16), seed=0)
+        with pytest.raises(RuntimeError, match="node 0 failed"):
+            execute_distributed(g, spec, timeout=60)
+
+    def test_multi_node_run_with_one_failing_kernel(self):
+        """A failure on one node must not hang the gather."""
+        g = build_cholesky_graph(6, 16, SymmetricBlockCyclic(3))
+        # Poison one GEMM task's kind after construction.
+        victim = next(t for t in g.tasks if t.kind == "GEMM")
+        victim.kind = "EXPLODE"
+        spec = InitialDataSpec(TileGrid(n=96, b=16), seed=0)
+        with pytest.raises(RuntimeError, match="failed"):
+            execute_distributed(g, spec, timeout=60)
+
+
+class TestSimulatorRobustness:
+    def test_kernel_dispatch_is_not_consulted(self):
+        """The simulator times tasks without executing kernels, so unknown
+        kinds simulate fine (durations come from flops) — by design."""
+        g = poisoned_graph()
+        rep = simulate(g, laptop(nodes=1, cores=1))
+        assert rep.num_tasks == 1
+
+    def test_dispatch_registry_unchanged_by_failures(self):
+        before = set(KERNEL_DISPATCH)
+        g = poisoned_graph()
+        spec = InitialDataSpec(TileGrid(n=16, b=16), seed=0)
+        with pytest.raises(ValueError):
+            execute_graph(g, spec)
+        assert set(KERNEL_DISPATCH) == before

@@ -1,0 +1,76 @@
+"""Tests for seeded matrix generation."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.tiles import (
+    TileGrid,
+    generate_rhs_tile,
+    generate_spd_tile,
+    random_rhs_dense,
+    random_spd_dense,
+    random_spd_tiled,
+)
+
+
+class TestSPDGeneration:
+    def test_symmetric(self):
+        a = random_spd_dense(64, seed=7, b=16)
+        np.testing.assert_allclose(a, a.T)
+
+    def test_positive_definite(self):
+        a = random_spd_dense(64, seed=7, b=16)
+        scipy.linalg.cholesky(a, lower=True)  # raises if not SPD
+
+    def test_deterministic(self):
+        a = random_spd_dense(48, seed=3, b=16)
+        b = random_spd_dense(48, seed=3, b=16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_matrix(self):
+        a = random_spd_dense(48, seed=3, b=16)
+        b = random_spd_dense(48, seed=4, b=16)
+        assert not np.array_equal(a, b)
+
+    def test_tiled_matches_dense(self):
+        grid = TileGrid(n=48, b=16)
+        tiled = random_spd_tiled(grid, seed=5).to_dense()
+        dense = random_spd_dense(48, seed=5, b=16)
+        np.testing.assert_array_equal(tiled, dense)
+
+    def test_tile_independence_of_context(self):
+        """Any node can materialize tile (i, j) alone and get the same data."""
+        grid = TileGrid(n=64, b=16)
+        full = random_spd_tiled(grid, seed=9)
+        lone = generate_spd_tile(grid, 9, 2, 1)
+        np.testing.assert_array_equal(full[2, 1], lone)
+
+    def test_upper_tile_request_rejected(self):
+        grid = TileGrid(n=64, b=16)
+        with pytest.raises(ValueError):
+            generate_spd_tile(grid, 0, 0, 1)
+
+
+class TestRHSGeneration:
+    def test_shape(self):
+        b = random_rhs_dense(50, 8, seed=1, b=16)
+        assert b.shape == (50, 8)
+
+    def test_deterministic_per_tile(self):
+        grid = TileGrid(n=48, b=16)
+        t1 = generate_rhs_tile(grid, 2, 1, 8)
+        t2 = generate_rhs_tile(grid, 2, 1, 8)
+        np.testing.assert_array_equal(t1, t2)
+
+    def test_dense_matches_tiles(self):
+        grid = TileGrid(n=48, b=16)
+        dense = random_rhs_dense(48, 8, seed=2, b=16)
+        np.testing.assert_array_equal(dense[16:32], generate_rhs_tile(grid, 2, 1, 8))
+
+    def test_rhs_independent_of_spd_stream(self):
+        """RHS tiles must not collide with the SPD generator's streams."""
+        grid = TileGrid(n=32, b=16)
+        spd = generate_spd_tile(grid, 0, 1, 0)
+        rhs = generate_rhs_tile(grid, 0, 1, 16)
+        assert not np.array_equal(spd, rhs)

@@ -1,0 +1,112 @@
+"""Tests for the 2.5D Cholesky graph (§IV)."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.comm import count_communications
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic, TwoDotFiveD
+from repro.graph import build_cholesky_graph, build_cholesky_graph_25d, validate_graph
+from repro.runtime import InitialDataSpec, assemble_lower, execute_graph
+from repro.tiles import TileGrid, random_spd_dense
+
+
+def d25(c=2, base=None):
+    return TwoDotFiveD(base or SymmetricBlockCyclic(4, variant="basic"), c)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("c", [1, 2, 3])
+    def test_validates(self, c):
+        validate_graph(build_cholesky_graph_25d(8, 8, d25(c)))
+
+    def test_tasks_placed_on_iteration_slice(self):
+        d = d25(3)
+        g = build_cholesky_graph_25d(9, 8, d)
+        for t in g.tasks:
+            if t.kind in ("POTRF", "TRSM", "SYRK", "GEMM"):
+                it = t.iteration
+                s = d.slice_of_iteration(it)
+                assert d.node_slice(t.node) == s
+
+    def test_reduce_target_is_final_slice(self):
+        d = d25(2)
+        g = build_cholesky_graph_25d(8, 8, d)
+        for t in g.tasks:
+            if t.kind == "REDUCE":
+                i, j = t.coords
+                assert d.node_slice(t.node) == d.slice_of_iteration(j)
+
+    def test_reduce_counts(self):
+        """Column 0 tiles are never updated before their TRSM, so they need
+        no reduction; with c=2 every later column has accumulated updates
+        on the other slice and must be reduced."""
+        g = build_cholesky_graph_25d(4, 8, d25(2))
+        reduces = [t for t in g.tasks if t.kind == "REDUCE"]
+        cols = {t.coords[1] for t in reduces}
+        assert cols == {1, 2, 3}
+        # Each reduce with c=2 merges exactly two streams.
+        for t in reduces:
+            assert len(t.reads) == 2
+
+    def test_c1_matches_2d_task_counts(self):
+        """One slice degenerates to the 2D algorithm (plus no reductions)."""
+        base = SymmetricBlockCyclic(4, variant="basic")
+        g1 = build_cholesky_graph_25d(8, 8, TwoDotFiveD(base, 1))
+        g2 = build_cholesky_graph(8, 8, base)
+        kinds1 = sorted(t.kind for t in g1.tasks)
+        kinds2 = sorted(t.kind for t in g2.tasks)
+        assert kinds1 == kinds2
+        assert count_communications(g1).total_bytes == count_communications(g2).total_bytes
+
+    def test_zero_streams_for_non_final_slices(self):
+        g = build_cholesky_graph_25d(6, 8, d25(2))
+        descriptors = {}
+        for key, (_home, desc) in g.initial.items():
+            descriptors.setdefault((key.i, key.j), set()).add(desc)
+        for (i, j), descs in descriptors.items():
+            assert "spd" in descs
+            assert descs - {"spd"} <= {"zero"}
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("c", [2, 3])
+    @pytest.mark.parametrize("base_kind", ["basic", "bc", "extended"])
+    def test_matches_scipy(self, c, base_kind):
+        base = {
+            "basic": SymmetricBlockCyclic(4, variant="basic"),
+            "bc": BlockCyclic2D(2, 3),
+            "extended": SymmetricBlockCyclic(4),
+        }[base_kind]
+        N, b = 9, 8
+        g = build_cholesky_graph_25d(N, b, TwoDotFiveD(base, c))
+        grid = TileGrid(n=N * b, b=b)
+        store = execute_graph(g, InitialDataSpec(grid, seed=11))
+        L = assemble_lower(g, store, grid)
+        ref = scipy.linalg.cholesky(random_spd_dense(N * b, seed=11, b=b), lower=True)
+        np.testing.assert_allclose(L, ref, atol=1e-9)
+
+
+class TestCommunication:
+    def test_reduction_traffic_grows_with_c(self):
+        base = SymmetricBlockCyclic(4, variant="basic")
+        N = 12
+        vols = [
+            count_communications(
+                build_cholesky_graph_25d(N, 8, TwoDotFiveD(base, c))
+            ).messages_by_kind.get("REDUCE", 0)
+            for c in (1, 2, 3)
+        ]
+        assert vols[0] == 0
+        assert vols[1] < vols[2]
+
+    def test_trsm_broadcasts_stay_in_slice(self):
+        d = d25(3)
+        g = build_cholesky_graph_25d(12, 8, d)
+        for t in g.tasks:
+            if t.kind not in ("GEMM", "SYRK"):
+                continue
+            # column tiles read by updates were produced on the same slice
+            for k in t.reads[1:]:
+                src = g.source_of(k)
+                assert d.node_slice(src) == d.node_slice(t.node)

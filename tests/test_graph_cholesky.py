@@ -1,0 +1,104 @@
+"""Tests for the 2D Cholesky task graph builder."""
+
+import pytest
+
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.graph import (
+    build_cholesky_graph,
+    expected_cholesky_counts,
+    graph_stats,
+    kind_counts,
+    validate_graph,
+)
+from repro.kernels.flops import cholesky_flops
+
+
+class TestStructure:
+    @pytest.mark.parametrize("N", [1, 2, 3, 8, 15])
+    def test_task_counts(self, N):
+        g = build_cholesky_graph(N, 8, BlockCyclic2D(2, 2))
+        assert kind_counts(g) == {
+            k: v for k, v in expected_cholesky_counts(N).items() if v > 0
+        }
+
+    @pytest.mark.parametrize("N", [1, 4, 10])
+    def test_validates(self, N):
+        validate_graph(build_cholesky_graph(N, 8, SymmetricBlockCyclic(4)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_cholesky_graph(0, 8, BlockCyclic2D(1, 1))
+
+    def test_owner_computes_rule(self, any_dist):
+        """Every task runs on the owner of the tile it modifies."""
+        g = build_cholesky_graph(10, 8, any_dist)
+        for t in g.tasks:
+            assert t.node == any_dist.owner(t.write.i, t.write.j)
+
+    def test_initial_tiles_at_owner(self, any_dist):
+        g = build_cholesky_graph(8, 8, any_dist)
+        for key, (home, desc) in g.initial.items():
+            assert desc == "spd"
+            assert home == any_dist.owner(key.i, key.j)
+
+    def test_total_flops_close_to_n_cubed_over_3(self):
+        N, b = 16, 32
+        g = build_cholesky_graph(N, b, BlockCyclic2D(2, 2))
+        assert g.total_flops() == pytest.approx(cholesky_flops(N * b), rel=2e-2)
+
+    def test_iterations_are_panel_indices(self):
+        g = build_cholesky_graph(6, 8, BlockCyclic2D(2, 2))
+        assert {t.iteration for t in g.tasks} == set(range(6))
+        for t in g.tasks:
+            if t.kind == "POTRF":
+                assert t.coords == (t.iteration,)
+
+
+class TestDependencies:
+    def test_trsm_depends_on_potrf(self):
+        g = build_cholesky_graph(4, 8, BlockCyclic2D(2, 2))
+        by_id = {t.id: t for t in g.tasks}
+        for t in g.tasks:
+            if t.kind != "TRSM":
+                continue
+            producers = {by_id[g.producer[k]].kind for k in t.reads if k in g.producer}
+            assert "POTRF" in producers
+
+    def test_gemm_reads_two_trsm_results(self):
+        g = build_cholesky_graph(5, 8, BlockCyclic2D(2, 2))
+        by_id = {t.id: t for t in g.tasks}
+        for t in g.tasks:
+            if t.kind != "GEMM":
+                continue
+            kinds = [by_id[g.producer[k]].kind for k in t.reads if k in g.producer]
+            assert kinds.count("TRSM") == 2
+
+    def test_tile_version_chain_length(self):
+        """Tile (j, k) receives k GEMM/SYRK updates then one TRSM/POTRF."""
+        N = 6
+        g = build_cholesky_graph(N, 8, BlockCyclic2D(2, 2))
+        writes = {}
+        for t in g.tasks:
+            writes.setdefault((t.write.i, t.write.j), []).append(t.kind)
+        for (j, k), kinds in writes.items():
+            updates = [x for x in kinds if x in ("GEMM", "SYRK")]
+            finals = [x for x in kinds if x in ("TRSM", "POTRF")]
+            assert len(updates) == k
+            assert len(finals) == 1
+
+    def test_task_list_is_topological(self):
+        g = build_cholesky_graph(8, 8, SymmetricBlockCyclic(4))
+        for t in g.tasks:
+            for k in t.reads:
+                pid = g.producer.get(k)
+                if pid is not None:
+                    assert pid < t.id
+
+
+class TestStats:
+    def test_graph_stats(self):
+        g = build_cholesky_graph(6, 8, BlockCyclic2D(2, 2))
+        s = graph_stats(g)
+        assert s.num_tasks == len(g.tasks)
+        assert s.num_edges > 0
+        assert s.total_flops == g.total_flops()

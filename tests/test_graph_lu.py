@@ -1,0 +1,150 @@
+"""Tests for the tiled LU (no pivoting) builder and §III-E comparisons."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    count_communications,
+    lu_message_count,
+    measured_cholesky_intensity,
+    measured_lu_intensity,
+)
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.graph import build_lu_graph, kind_counts, validate_graph
+from repro.kernels import blas
+from repro.kernels.flops import lu_total_flops
+from repro.runtime import InitialDataSpec, execute_graph
+from repro.runtime.local import final_versions
+from repro.tiles import TileGrid
+
+
+def assemble(graph, store, grid):
+    out = np.zeros((grid.n, grid.n))
+    for (_name, i, j), key in final_versions(graph).items():
+        out[grid.row_span(i), grid.row_span(j)] = store[key]
+    return out
+
+
+class TestLUKernels:
+    def test_getrf_nopiv_reconstructs(self, rng):
+        a = rng.standard_normal((16, 16)) + 16 * np.eye(16)
+        lu = blas.getrf_nopiv(a)
+        L = np.tril(lu, -1) + np.eye(16)
+        U = np.triu(lu)
+        np.testing.assert_allclose(L @ U, a, atol=1e-10)
+
+    def test_getrf_zero_pivot_raises(self):
+        a = np.zeros((4, 4))
+        with pytest.raises(ZeroDivisionError):
+            blas.getrf_nopiv(a)
+
+    def test_trsm_lu_right(self, rng):
+        lu = blas.getrf_nopiv(rng.standard_normal((8, 8)) + 8 * np.eye(8))
+        a = rng.standard_normal((8, 8))
+        out = blas.trsm_lu_right(a, lu)
+        np.testing.assert_allclose(out @ np.triu(lu), a, atol=1e-10)
+
+    def test_trsm_lu_left(self, rng):
+        lu = blas.getrf_nopiv(rng.standard_normal((8, 8)) + 8 * np.eye(8))
+        a = rng.standard_normal((8, 8))
+        out = blas.trsm_lu_left(a, lu)
+        L = np.tril(lu, -1) + np.eye(8)
+        np.testing.assert_allclose(L @ out, a, atol=1e-10)
+
+
+class TestLUGraph:
+    def test_task_counts(self):
+        N = 6
+        g = build_lu_graph(N, 8, BlockCyclic2D(2, 2))
+        kinds = kind_counts(g)
+        assert kinds["GETRF"] == N
+        assert kinds["TRSM_L"] == kinds["TRSM_U"] == N * (N - 1) // 2
+        # Trailing updates: sum over i of (N-1-i)^2 GEMMs.
+        assert kinds["GEMM_LU"] == sum((N - 1 - i) ** 2 for i in range(N))
+
+    def test_validates(self):
+        validate_graph(build_lu_graph(7, 8, BlockCyclic2D(2, 3)))
+
+    def test_owner_computes(self):
+        d = BlockCyclic2D(3, 2)
+        g = build_lu_graph(6, 8, d)
+        for t in g.tasks:
+            assert t.node == d.owner(t.write.i, t.write.j)
+
+    def test_total_flops(self):
+        N, b = 10, 16
+        g = build_lu_graph(N, b, BlockCyclic2D(2, 2))
+        assert g.total_flops() == pytest.approx(lu_total_flops(N * b), rel=3e-2)
+
+    def test_numerics(self):
+        N, b = 6, 8
+        grid = TileGrid(n=N * b, b=b)
+        g = build_lu_graph(N, b, BlockCyclic2D(2, 2))
+        spec = InitialDataSpec(grid, seed=4)
+        store = execute_graph(g, spec)
+        packed = assemble(g, store, grid)
+        a = np.zeros((grid.n, grid.n))
+        for key, (_h, d) in g.initial.items():
+            a[grid.row_span(key.i), grid.row_span(key.j)] = spec.materialize(key, d)
+        L = np.tril(packed, -1) + np.eye(grid.n)
+        U = np.triu(packed)
+        np.testing.assert_allclose(L @ U, a, atol=1e-8)
+
+
+class TestLUCommunication:
+    @pytest.mark.parametrize("N", [1, 2, 5, 10, 16])
+    def test_fast_counter_matches_generic(self, N):
+        for dist in (BlockCyclic2D(3, 2), BlockCyclic2D(2, 2), SymmetricBlockCyclic(4)):
+            g = build_lu_graph(N, 8, dist)
+            assert lu_message_count(dist, N) == count_communications(g).num_messages
+
+    def test_2dbc_volume_leading_term(self):
+        """LU under p x q 2DBC: each tile broadcast to p-1 or q-1 others,
+        leading to ~N^2 (p + q - 2) transfers over the full square."""
+        N, p, q = 160, 4, 4
+        counted = lu_message_count(BlockCyclic2D(p, q), N)
+        # Each L-panel tile reaches q-1 nodes, each U-panel tile p-1; over
+        # the ~N^2/2 tiles of each panel family: N^2 (p + q - 2) / 2.
+        assert counted == pytest.approx(N * N * (p + q - 2) / 2, rel=0.05)
+
+    def test_sbc_does_not_help_lu(self):
+        """SBC's symmetric trick has nothing to exploit in LU: at equal P
+        it moves at least as much data as the best rectangle."""
+        N = 64
+        sbc = SymmetricBlockCyclic(4)  # P = 6
+        bc = BlockCyclic2D(3, 2)  # P = 6
+        assert lu_message_count(sbc, N) >= lu_message_count(bc, N)
+
+
+class TestSectionIIIEIntensities:
+    """The measured arithmetic-intensity story of §III-E."""
+
+    def test_lu_2dbc_reaches_two_thirds_sqrt_m(self):
+        N, b = 180, 8
+        bc = BlockCyclic2D(6, 5)
+        M = (N * b) ** 2 / bc.num_nodes  # full matrix stored
+        rho = measured_lu_intensity(bc, N, b)
+        assert rho / math.sqrt(M) == pytest.approx(2 / 3, rel=0.25)
+
+    def test_sbc_lifts_cholesky_to_lu_level(self):
+        """The paper's conclusion: Cholesky+SBC matches LU+2DBC intensity
+        (normalizing each by sqrt of its per-node memory)."""
+        N, b = 180, 8
+        bc = BlockCyclic2D(6, 5)
+        sbc = SymmetricBlockCyclic(8, variant="basic")
+        M_lu = (N * b) ** 2 / bc.num_nodes
+        M_ch = (N * b) ** 2 / (2 * sbc.num_nodes)
+        lu_norm = measured_lu_intensity(bc, N, b) / math.sqrt(M_lu)
+        ch_norm = measured_cholesky_intensity(sbc, N, b) / math.sqrt(M_ch)
+        assert ch_norm == pytest.approx(lu_norm, rel=0.10)
+
+    def test_cholesky_2dbc_is_sqrt2_below_lu_2dbc(self):
+        N, b = 180, 8
+        bc = BlockCyclic2D(6, 5)
+        M_lu = (N * b) ** 2 / bc.num_nodes
+        M_ch = (N * b) ** 2 / (2 * bc.num_nodes)
+        lu_norm = measured_lu_intensity(bc, N, b) / math.sqrt(M_lu)
+        ch_norm = measured_cholesky_intensity(bc, N, b) / math.sqrt(M_ch)
+        assert lu_norm / ch_norm == pytest.approx(math.sqrt(2), rel=0.12)

@@ -1,0 +1,197 @@
+"""Tests for POSV/TRTRI/LAUUM/POTRI graph builders and numerics."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.distributions import BlockCyclic2D, RowCyclic1D, SymmetricBlockCyclic
+from repro.graph import (
+    build_lauum_graph,
+    build_posv_graph,
+    build_potri_graph,
+    build_trtri_graph,
+    expected_lauum_counts,
+    expected_trtri_counts,
+    kind_counts,
+    remap_phase,
+    validate_graph,
+    GraphBuilder,
+    TaskGraph,
+)
+from repro.kernels.reference import posv_reference, potri_reference, trtri_reference
+from repro.runtime import (
+    InitialDataSpec,
+    assemble_lower,
+    assemble_rhs,
+    assemble_symmetric,
+    execute_graph,
+)
+from repro.tiles import TileGrid, random_rhs_dense, random_spd_dense
+
+
+def run(graph, grid, seed=0, width=0):
+    return execute_graph(graph, InitialDataSpec(grid, seed=seed, width=width))
+
+
+class TestPosvGraph:
+    def test_validates(self):
+        g = build_posv_graph(6, 8, SymmetricBlockCyclic(4), RowCyclic1D(6))
+        validate_graph(g)
+
+    def test_rhs_tasks_on_rhs_owner(self):
+        rhs = RowCyclic1D(5)
+        g = build_posv_graph(7, 8, BlockCyclic2D(2, 2), rhs)
+        for t in g.tasks:
+            if t.write is not None and t.write.name == "B":
+                assert t.node == rhs.owner(t.write.i, 0)
+
+    def test_solve_task_counts(self):
+        N = 6
+        g = build_posv_graph(N, 8, BlockCyclic2D(2, 2), RowCyclic1D(4))
+        kinds = kind_counts(g)
+        assert kinds["TRSM_SOLVE"] == N
+        assert kinds["TRSM_SOLVE_T"] == N
+        assert kinds["GEMM_RHS"] == N * (N - 1) // 2
+        assert kinds["GEMM_RHS_T"] == N * (N - 1) // 2
+
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_numerics(self, width):
+        N, b = 6, 8
+        grid = TileGrid(n=N * b, b=b)
+        g = build_posv_graph(N, b, SymmetricBlockCyclic(3), RowCyclic1D(3), width=width)
+        store = run(g, grid, seed=5, width=width)
+        x = assemble_rhs(g, store, grid, width)
+        a = random_spd_dense(N * b, seed=5, b=b)
+        rhs = random_rhs_dense(N * b, width, seed=5, b=b)
+        np.testing.assert_allclose(x, posv_reference(a, rhs), atol=1e-9)
+
+    def test_factor_also_available(self):
+        """POSV's merged graph leaves the Cholesky factor in the A tiles."""
+        N, b = 5, 8
+        grid = TileGrid(n=N * b, b=b)
+        g = build_posv_graph(N, b, BlockCyclic2D(2, 2), RowCyclic1D(4))
+        store = run(g, grid, seed=2, width=b)
+        L = assemble_lower(g, store, grid)
+        ref = scipy.linalg.cholesky(random_spd_dense(N * b, seed=2, b=b), lower=True)
+        np.testing.assert_allclose(L, ref, atol=1e-9)
+
+
+class TestTrtriGraph:
+    @pytest.mark.parametrize("N", [1, 2, 5, 8])
+    def test_task_counts(self, N):
+        g = build_trtri_graph(N, 8, BlockCyclic2D(2, 2))
+        assert kind_counts(g) == {
+            k: v for k, v in expected_trtri_counts(N).items() if v > 0
+        }
+
+    def test_numerics(self):
+        N, b = 7, 8
+        grid = TileGrid(n=N * b, b=b)
+        g = build_trtri_graph(N, b, BlockCyclic2D(2, 3))
+        validate_graph(g)
+        store = run(g, grid, seed=4)
+        w = assemble_lower(g, store, grid)
+        spec = InitialDataSpec(grid, seed=4)
+        l_dense = np.zeros((grid.n, grid.n))
+        for j in range(N):
+            for i in range(j, N):
+                key = [k for k in g.initial if (k.i, k.j) == (i, j)][0]
+                l_dense[grid.row_span(i), grid.row_span(j)] = spec.materialize(
+                    key, "tri"
+                )
+        l_dense = np.tril(l_dense)
+        np.testing.assert_allclose(w, trtri_reference(l_dense), atol=1e-8)
+
+
+class TestLauumGraph:
+    @pytest.mark.parametrize("N", [1, 2, 5, 8])
+    def test_task_counts(self, N):
+        g = build_lauum_graph(N, 8, BlockCyclic2D(2, 2))
+        assert kind_counts(g) == {
+            k: v for k, v in expected_lauum_counts(N).items() if v > 0
+        }
+
+    def test_numerics(self):
+        N, b = 6, 8
+        grid = TileGrid(n=N * b, b=b)
+        g = build_lauum_graph(N, b, SymmetricBlockCyclic(3))
+        validate_graph(g)
+        store = run(g, grid, seed=8)
+        out = assemble_symmetric(g, store, grid)
+        spec = InitialDataSpec(grid, seed=8)
+        l_dense = np.zeros((grid.n, grid.n))
+        for key in g.initial:
+            l_dense[grid.row_span(key.i), grid.row_span(key.j)] = spec.materialize(
+                key, "tri"
+            )
+        l_dense = np.tril(l_dense)
+        np.testing.assert_allclose(out, l_dense.T @ l_dense, atol=1e-8)
+
+
+class TestPotriGraph:
+    def test_numerics_single_distribution(self):
+        N, b = 6, 8
+        grid = TileGrid(n=N * b, b=b)
+        g = build_potri_graph(N, b, SymmetricBlockCyclic(3))
+        validate_graph(g)
+        store = run(g, grid, seed=6)
+        inv = assemble_symmetric(g, store, grid)
+        np.testing.assert_allclose(
+            inv, potri_reference(random_spd_dense(N * b, seed=6, b=b)), atol=1e-8
+        )
+
+    def test_numerics_with_remap(self):
+        """The paper's SBC-remap-2DBC strategy computes the same inverse."""
+        N, b = 6, 8
+        grid = TileGrid(n=N * b, b=b)
+        g = build_potri_graph(
+            N, b, SymmetricBlockCyclic(4), trtri_dist=BlockCyclic2D(3, 2)
+        )
+        validate_graph(g)
+        store = run(g, grid, seed=6)
+        inv = assemble_symmetric(g, store, grid)
+        np.testing.assert_allclose(
+            inv, potri_reference(random_spd_dense(N * b, seed=6, b=b)), atol=1e-8
+        )
+
+    def test_remap_places_trtri_tasks_on_trtri_dist(self):
+        sbc = SymmetricBlockCyclic(4)
+        bc = BlockCyclic2D(3, 2)
+        g = build_potri_graph(8, 8, sbc, trtri_dist=bc)
+        for t in g.tasks:
+            i, j = t.write.i, t.write.j
+            if t.kind in ("TRTRI", "TRSM_RINV", "TRSM_LINV", "GEMM_INV"):
+                assert t.node == bc.owner(i, j)
+            elif t.kind in ("POTRF", "TRSM", "SYRK", "GEMM", "LAUUM", "SYRK_T",
+                            "GEMM_T", "TRMM"):
+                assert t.node == sbc.owner(i, j)
+
+
+class TestRemapPhase:
+    def test_moves_only_differing_tiles(self):
+        g = TaskGraph(b=8)
+        bld = GraphBuilder(g)
+        src = BlockCyclic2D(2, 2)
+        dst = BlockCyclic2D(2, 2)
+        N = 6
+        for j in range(N):
+            for i in range(j, N):
+                bld.declare("A", i, j, src.owner(i, j), "spd")
+        assert remap_phase(bld, N, dst, iteration=0) == 0
+        assert len(g.tasks) == 0
+
+    def test_remap_to_different_distribution(self):
+        g = TaskGraph(b=8)
+        bld = GraphBuilder(g)
+        src = BlockCyclic2D(2, 2)
+        dst = SymmetricBlockCyclic(3)
+        N = 6
+        for j in range(N):
+            for i in range(j, N):
+                bld.declare("A", i, j, src.owner(i, j), "spd")
+        moved = remap_phase(bld, N, dst, iteration=0)
+        assert moved == len(g.tasks) > 0
+        for t in g.tasks:
+            assert t.kind == "REMAP"
+            assert t.node == dst.owner(t.write.i, t.write.j)
+            assert t.flops == 0.0

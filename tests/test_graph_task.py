@@ -1,0 +1,92 @@
+"""Tests for the task/data-version core."""
+
+import pytest
+
+from repro.graph import DataKey, GraphBuilder, TaskGraph
+
+
+@pytest.fixture
+def graph():
+    return TaskGraph(b=16)
+
+
+class TestTaskGraph:
+    def test_initial_declaration(self, graph):
+        k = graph.add_initial(DataKey("A", 0, 0, 0), home=2, descriptor="spd")
+        assert graph.source_of(k) == 2
+        assert graph.initial[k] == (2, "spd")
+
+    def test_duplicate_initial_rejected(self, graph):
+        k = DataKey("A", 0, 0, 0)
+        graph.add_initial(k, 0, "spd")
+        with pytest.raises(ValueError):
+            graph.add_initial(k, 1, "spd")
+
+    def test_task_reading_undeclared_data_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_task("POTRF", 0, (0,), (DataKey("A", 0, 0, 0),), None, 1.0, 0)
+
+    def test_double_producer_rejected(self, graph):
+        k0 = graph.add_initial(DataKey("A", 0, 0, 0), 0, "spd")
+        k1 = DataKey("A", 0, 0, 1)
+        graph.add_task("POTRF", 0, (0,), (k0,), k1, 1.0, 0)
+        with pytest.raises(ValueError):
+            graph.add_task("POTRF", 0, (0,), (k0,), k1, 1.0, 0)
+
+    def test_source_of_produced(self, graph):
+        k0 = graph.add_initial(DataKey("A", 0, 0, 0), 3, "spd")
+        k1 = DataKey("A", 0, 0, 1)
+        graph.add_task("POTRF", 5, (0,), (k0,), k1, 1.0, 0)
+        assert graph.source_of(k1) == 5
+
+    def test_source_of_unknown_raises(self, graph):
+        with pytest.raises(KeyError):
+            graph.source_of(DataKey("Z", 9, 9, 9))
+
+    def test_dependency_edges(self, graph):
+        k0 = graph.add_initial(DataKey("A", 0, 0, 0), 0, "spd")
+        k1 = DataKey("A", 0, 0, 1)
+        t1 = graph.add_task("POTRF", 0, (0,), (k0,), k1, 1.0, 0)
+        k2 = DataKey("A", 1, 0, 1)
+        graph.add_initial(DataKey("A", 1, 0, 0), 0, "spd")
+        t2 = graph.add_task("TRSM", 0, (1, 0), (DataKey("A", 1, 0, 0), k1), k2, 1.0, 0)
+        assert list(graph.dependency_edges()) == [(t1.id, t2.id)]
+
+    def test_data_bytes_square_vs_rhs(self):
+        g = TaskGraph(b=16, width=4)
+        assert g.data_bytes(DataKey("A", 0, 0, 0)) == 16 * 16 * 8
+        assert g.data_bytes(DataKey("B", 0, 0, 0)) == 16 * 4 * 8
+
+    def test_total_flops(self, graph):
+        k0 = graph.add_initial(DataKey("A", 0, 0, 0), 0, "spd")
+        graph.add_task("POTRF", 0, (0,), (k0,), DataKey("A", 0, 0, 1), 10.0, 0)
+        graph.add_task("FOO", 0, (0,), (), None, 5.0, 0)
+        assert graph.total_flops() == 15.0
+
+
+class TestGraphBuilder:
+    def test_version_bumping(self, graph):
+        bld = GraphBuilder(graph)
+        bld.declare("A", 0, 0, home=1, descriptor="spd")
+        assert bld.current("A", 0, 0) == DataKey("A", 0, 0, 0)
+        nxt = bld.bump("A", 0, 0)
+        assert nxt.ver == 1
+        assert bld.current("A", 0, 0).ver == 1
+
+    def test_parts_are_independent_streams(self, graph):
+        bld = GraphBuilder(graph)
+        bld.declare("A", 0, 0, home=0, descriptor="spd", part=0)
+        bld.declare("A", 0, 0, home=1, descriptor="zero", part=1)
+        bld.bump("A", 0, 0, part=1)
+        assert bld.current("A", 0, 0, part=0).ver == 0
+        assert bld.current("A", 0, 0, part=1).ver == 1
+
+    def test_exists(self, graph):
+        bld = GraphBuilder(graph)
+        assert not bld.exists("A", 2, 1)
+        bld.declare("A", 2, 1, home=0, descriptor="spd")
+        assert bld.exists("A", 2, 1)
+
+    def test_current_of_undeclared_raises(self, graph):
+        with pytest.raises(KeyError):
+            GraphBuilder(graph).current("A", 0, 0)

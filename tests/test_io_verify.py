@@ -1,0 +1,83 @@
+"""Tests for tiled-matrix persistence and the self-verification harness."""
+
+import numpy as np
+import pytest
+
+from repro.tiles import (
+    SymmetricTiledMatrix,
+    TiledMatrix,
+    TileGrid,
+    load_tiled,
+    random_spd_tiled,
+    save_tiled,
+)
+from repro import verify
+
+
+class TestTiledIO:
+    def test_roundtrip_general(self, tmp_path, rng):
+        a = rng.standard_normal((48, 48))
+        m = TiledMatrix.from_dense(a, b=16)
+        path = tmp_path / "m.npz"
+        save_tiled(path, m)
+        back = load_tiled(path)
+        assert isinstance(back, TiledMatrix) and not back.symmetric
+        np.testing.assert_array_equal(back.to_dense(), a)
+
+    def test_roundtrip_symmetric(self, tmp_path):
+        m = random_spd_tiled(TileGrid(n=64, b=16), seed=3)
+        path = tmp_path / "spd.npz"
+        save_tiled(path, m)
+        back = load_tiled(path)
+        assert isinstance(back, SymmetricTiledMatrix)
+        np.testing.assert_array_equal(back.to_dense(), m.to_dense())
+
+    def test_geometry_preserved(self, tmp_path):
+        m = random_spd_tiled(TileGrid(n=48, b=16), seed=0)
+        path = tmp_path / "g.npz"
+        save_tiled(path, m)
+        back = load_tiled(path)
+        assert back.grid.n == 48 and back.grid.b == 16
+
+    def test_partial_matrix(self, tmp_path):
+        """Matrices with missing tiles (e.g. a panel checkpoint) roundtrip."""
+        m = TiledMatrix(TileGrid(n=32, b=16))
+        m[1, 0] = np.ones((16, 16))
+        path = tmp_path / "partial.npz"
+        save_tiled(path, m)
+        back = load_tiled(path)
+        assert (1, 0) in back and (0, 0) not in back
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, x=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro"):
+            load_tiled(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(path, __meta__=np.array([99, 16, 16, 0], dtype=np.int64))
+        with pytest.raises(ValueError, match="version"):
+            load_tiled(path)
+
+
+class TestVerifyHarness:
+    def test_all_checks_pass(self, capsys):
+        assert verify.run_checks(verbose=False)
+
+    def test_main_exit_code(self, capsys):
+        assert verify.main() == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+
+    def test_check_registry_names(self):
+        names = [name for name, _fn in verify.CHECKS]
+        assert len(names) == len(set(names)) >= 5
+
+    def test_failure_detected(self, monkeypatch, capsys):
+        def boom():
+            raise AssertionError("injected")
+
+        monkeypatch.setattr(verify, "CHECKS", [("boom", boom)])
+        assert not verify.run_checks(verbose=False)
+        assert verify.main() == 1

@@ -1,0 +1,126 @@
+"""Tests for the tile kernels against straightforward dense algebra."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.kernels import blas
+
+
+@pytest.fixture
+def spd_tile(rng):
+    g = rng.standard_normal((16, 16))
+    return g @ g.T + 16 * np.eye(16)
+
+
+@pytest.fixture
+def lower_tile(rng):
+    return np.tril(rng.standard_normal((16, 16))) + 4 * np.eye(16)
+
+
+class TestFactorizationKernels:
+    def test_potrf(self, spd_tile):
+        l = blas.potrf(spd_tile)
+        np.testing.assert_allclose(l @ l.T, spd_tile, atol=1e-10)
+        assert np.allclose(l, np.tril(l))
+
+    def test_trsm_right_solve(self, rng, lower_tile):
+        a = rng.standard_normal((16, 16))
+        x = blas.trsm(a, lower_tile)
+        np.testing.assert_allclose(x @ lower_tile.T, a, atol=1e-10)
+
+    def test_syrk(self, rng, spd_tile):
+        a = rng.standard_normal((16, 16))
+        np.testing.assert_allclose(blas.syrk(spd_tile, a), spd_tile - a @ a.T)
+
+    def test_gemm(self, rng):
+        c, a, b = (rng.standard_normal((16, 16)) for _ in range(3))
+        np.testing.assert_allclose(blas.gemm(c, a, b), c - a @ b.T)
+
+    def test_potrf_trsm_reconstruct_block(self, rng):
+        """A 2x2 tile Cholesky assembled from the kernels matches scipy."""
+        n, b = 32, 16
+        g = rng.standard_normal((n, n))
+        a = g @ g.T + n * np.eye(n)
+        l00 = blas.potrf(a[:b, :b])
+        l10 = blas.trsm(a[b:, :b], l00)
+        l11 = blas.potrf(blas.syrk(a[b:, b:], l10))
+        l = np.block([[l00, np.zeros((b, b))], [l10, l11]])
+        np.testing.assert_allclose(l, scipy.linalg.cholesky(a, lower=True), atol=1e-8)
+
+
+class TestSolveKernels:
+    def test_trsm_solve(self, rng, lower_tile):
+        b = rng.standard_normal((16, 4))
+        y = blas.trsm_solve(b, lower_tile)
+        np.testing.assert_allclose(lower_tile @ y, b, atol=1e-10)
+
+    def test_trsm_solve_t(self, rng, lower_tile):
+        b = rng.standard_normal((16, 4))
+        y = blas.trsm_solve_t(b, lower_tile)
+        np.testing.assert_allclose(lower_tile.T @ y, b, atol=1e-10)
+
+    def test_gemm_t(self, rng):
+        c = rng.standard_normal((16, 4))
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 4))
+        np.testing.assert_allclose(blas.gemm_t(c, a, b), c - a.T @ b)
+
+
+class TestInversionKernels:
+    def test_trtri(self, lower_tile):
+        inv = blas.trtri(lower_tile)
+        np.testing.assert_allclose(inv @ lower_tile, np.eye(16), atol=1e-10)
+        assert np.allclose(inv, np.tril(inv))
+
+    def test_trtri_ignores_upper_garbage(self, rng, lower_tile):
+        noisy = lower_tile + np.triu(rng.standard_normal((16, 16)), 1)
+        np.testing.assert_allclose(blas.trtri(noisy), blas.trtri(lower_tile))
+
+    def test_trsm_right_inv(self, rng, lower_tile):
+        a = rng.standard_normal((16, 16))
+        out = blas.trsm_right_inv(a, lower_tile)
+        np.testing.assert_allclose(out, -a @ np.linalg.inv(lower_tile), atol=1e-9)
+
+    def test_trsm_left_inv(self, rng, lower_tile):
+        a = rng.standard_normal((16, 16))
+        out = blas.trsm_left_inv(a, lower_tile)
+        np.testing.assert_allclose(out, np.linalg.inv(lower_tile) @ a, atol=1e-9)
+
+    def test_gemm_inv(self, rng):
+        c, a, b = (rng.standard_normal((16, 16)) for _ in range(3))
+        np.testing.assert_allclose(blas.gemm_inv(c, a, b), c + a @ b)
+
+    def test_two_tile_trtri_composition(self, rng):
+        """The TRTRI kernel sequence inverts a 2x2 block triangle."""
+        b = 8
+        l = np.tril(rng.standard_normal((2 * b, 2 * b))) + 4 * np.eye(2 * b)
+        a = {"00": l[:b, :b].copy(), "10": l[b:, :b].copy(), "11": l[b:, b:].copy()}
+        # k=0: panel scale then diagonal inversion.
+        a["10"] = blas.trsm_right_inv(a["10"], a["00"])
+        a["00"] = blas.trtri(a["00"])
+        # k=1: row scale with L11 (left), then invert the diagonal tile.
+        a["10"] = blas.trsm_left_inv(a["10"], a["11"])
+        a["11"] = blas.trtri(a["11"])
+        inv = np.block([[a["00"], np.zeros((b, b))], [a["10"], a["11"]]])
+        np.testing.assert_allclose(inv @ l, np.eye(2 * b), atol=1e-9)
+
+
+class TestLauumKernels:
+    def test_lauum_diag(self, lower_tile):
+        out = blas.lauum(lower_tile)
+        low = np.tril(lower_tile)
+        np.testing.assert_allclose(out, low.T @ low)
+
+    def test_trmm(self, rng, lower_tile):
+        b = rng.standard_normal((16, 16))
+        np.testing.assert_allclose(blas.trmm(b, lower_tile), np.tril(lower_tile).T @ b)
+
+    def test_syrk_t(self, rng):
+        c = rng.standard_normal((16, 16))
+        a = rng.standard_normal((16, 16))
+        np.testing.assert_allclose(blas.syrk_t(c, a), c + a.T @ a)
+
+    def test_gemm_acc_t(self, rng):
+        c, a, b = (rng.standard_normal((16, 16)) for _ in range(3))
+        np.testing.assert_allclose(blas.gemm_acc_t(c, a, b), c + a.T @ b)

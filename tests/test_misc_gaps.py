@@ -1,0 +1,131 @@
+"""Gap-filling tests: error paths, small helpers, aggregation mechanics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    count_communications,
+    max_arithmetic_intensity_cholesky,
+    max_arithmetic_intensity_lu,
+    measured_cholesky_intensity,
+    memory_per_node_2d,
+)
+from repro.comm.intensity import (
+    cholesky_2dbc_first_iteration_intensity,
+    cholesky_sbc_first_iteration_intensity,
+    lu_2dbc_first_iteration_intensity,
+)
+from repro.config import NetworkSpec
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic, balance_report
+from repro.graph import build_cholesky_graph
+from repro.runtime.simulator import NetworkSim, Transfer
+
+
+class TestIntensityHelpers:
+    def test_first_iteration_relations(self):
+        """§III-E: SBC == LU level; 2DBC-Cholesky a sqrt(2) below."""
+        M = 1e6
+        assert cholesky_sbc_first_iteration_intensity(M) == pytest.approx(
+            lu_2dbc_first_iteration_intensity(M)
+        )
+        assert lu_2dbc_first_iteration_intensity(M) / (
+            cholesky_2dbc_first_iteration_intensity(M)
+        ) == pytest.approx(math.sqrt(2))
+
+    def test_upper_bounds_relation(self):
+        """The true Cholesky optimum is sqrt(2) above LU's bound [13]."""
+        M = 4e5
+        assert max_arithmetic_intensity_cholesky(M) == pytest.approx(
+            math.sqrt(2) * max_arithmetic_intensity_lu(M)
+        )
+
+    def test_invalid_memory_rejected(self):
+        for fn in (
+            cholesky_sbc_first_iteration_intensity,
+            cholesky_2dbc_first_iteration_intensity,
+            lu_2dbc_first_iteration_intensity,
+            max_arithmetic_intensity_lu,
+            max_arithmetic_intensity_cholesky,
+        ):
+            with pytest.raises(ValueError):
+                fn(0)
+
+    def test_memory_per_node_invalid(self):
+        with pytest.raises(ValueError):
+            memory_per_node_2d(100, 0)
+
+    def test_measured_intensity_single_node_rejected(self):
+        with pytest.raises(ValueError):
+            measured_cholesky_intensity(BlockCyclic2D(1, 1), 8, 8)
+
+
+class TestAggregationMechanics:
+    def spec(self):
+        return NetworkSpec(bandwidth=1e9, latency=0.1)
+
+    def test_piggyback_merges_queued_message(self):
+        net = NetworkSim(self.spec(), 3, quantum=10**9, aggregate=True)
+        net.submit(Transfer("head", 0, 1, 10**6, 1.0), now=0.0)  # in flight
+        net.submit(Transfer("a", 0, 2, 10**6, 1.0), now=0.0)  # queued
+        net.submit(Transfer("b", 0, 2, 10**6, 5.0), now=0.0)  # merges into a
+        assert net.total_messages == 2
+        assert net.total_bytes == 3 * 10**6
+        # The merged blob carries both keys and the max priority.
+        queued = net._queues[0][0][2]
+        assert set(queued.keys) == {"a", "b"}
+        assert queued.priority == 5.0
+        assert queued.nbytes == 2 * 10**6
+
+    def test_no_merge_into_started_message(self):
+        net = NetworkSim(self.spec(), 2, quantum=10**9, aggregate=True)
+        net.submit(Transfer("head", 0, 1, 10**6, 1.0), now=0.0)  # started
+        net.submit(Transfer("late", 0, 1, 10**6, 1.0), now=0.0)
+        assert net.total_messages == 2
+
+    def test_aggregation_off_by_default(self):
+        net = NetworkSim(self.spec(), 3, quantum=10**9)
+        net.submit(Transfer("head", 0, 1, 10**6, 1.0), now=0.0)
+        net.submit(Transfer("a", 0, 2, 10**6, 1.0), now=0.0)
+        net.submit(Transfer("b", 0, 2, 10**6, 1.0), now=0.0)
+        assert net.total_messages == 3
+
+
+class TestMiscStructures:
+    def test_balance_report_str(self):
+        rep = balance_report(SymmetricBlockCyclic(4), 16)
+        assert "P=6" in str(rep)
+
+    def test_graph_consumers_map(self):
+        g = build_cholesky_graph(4, 8, BlockCyclic2D(2, 2))
+        consumers = g.consumers()
+        # Every read appears under its key.
+        total_reads = sum(len(t.reads) for t in g.tasks)
+        assert sum(len(v) for v in consumers.values()) == total_reads
+
+    def test_commstats_str(self):
+        g = build_cholesky_graph(6, 8, SymmetricBlockCyclic(3))
+        s = str(count_communications(g))
+        assert "GB" in s and "messages" in s
+
+    def test_nodes_used(self):
+        g = build_cholesky_graph(6, 8, BlockCyclic2D(2, 3))
+        assert g.nodes_used() == 6
+
+
+class TestSimReportSerialization:
+    def test_as_dict_roundtrips_through_json(self):
+        import json
+
+        from repro.config import laptop
+        from repro.runtime import simulate
+
+        g = build_cholesky_graph(6, 32, SymmetricBlockCyclic(3))
+        rep = simulate(g, laptop(nodes=3, cores=2))
+        blob = json.dumps(rep.as_dict())
+        back = json.loads(blob)
+        assert back["num_tasks"] == len(g.tasks)
+        assert back["comm_bytes"] == rep.comm_bytes
+        assert back["gflops_per_node"] == pytest.approx(rep.gflops_per_node)
+        assert set(back["time_by_kind"]) == {"POTRF", "TRSM", "SYRK", "GEMM"}

@@ -1,0 +1,141 @@
+"""Tests for the out-of-core memory model and Béreux volume counting."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import bereux_volume
+from repro.ooc import (
+    TileCache,
+    block_left_looking_volume,
+    choose_block_size,
+    panel_left_looking_volume,
+    simulate_tiled_right_looking,
+)
+
+
+class TestTileCache:
+    def test_load_counts_once_when_resident(self):
+        c = TileCache(100)
+        assert c.load("a", 10) is True
+        assert c.load("a", 10) is False
+        assert c.stats.loaded == 10
+
+    def test_lru_eviction(self):
+        c = TileCache(20)
+        c.load("a", 10)
+        c.load("b", 10)
+        c.load("a", 1)  # refresh a
+        c.load("c", 10)  # evicts b (LRU)
+        assert "b" not in c and "a" in c
+
+    def test_dirty_eviction_counts_store(self):
+        c = TileCache(10)
+        c.load("a", 10)
+        c.touch_dirty("a")
+        c.load("b", 10)
+        assert c.stats.stored == 10
+
+    def test_pinned_tiles_not_evicted(self):
+        c = TileCache(20)
+        c.load("a", 10, pin=True)
+        c.load("b", 10)
+        c.load("c", 10)
+        assert "a" in c and "b" not in c
+
+    def test_all_pinned_raises(self):
+        c = TileCache(20)
+        c.load("a", 10, pin=True)
+        c.load("b", 10, pin=True)
+        with pytest.raises(MemoryError):
+            c.load("c", 10)
+
+    def test_oversized_tile_rejected(self):
+        with pytest.raises(MemoryError):
+            TileCache(5).load("a", 10)
+
+    def test_create_is_dirty_without_load(self):
+        c = TileCache(20)
+        c.create("a", 10)
+        assert c.stats.loaded == 0
+        c.flush()
+        assert c.stats.stored == 10
+
+    def test_flush_clears(self):
+        c = TileCache(20)
+        c.load("a", 10)
+        c.flush()
+        assert c.used == 0 and "a" not in c
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TileCache(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(st.tuples(st.integers(0, 6), st.booleans()), max_size=40))
+    def test_capacity_invariant(self, ops):
+        """Used memory never exceeds capacity, whatever the access trace."""
+        c = TileCache(30)
+        for key, dirty in ops:
+            c.load(key, 10)
+            if dirty:
+                c.touch_dirty(key)
+            assert c.used <= 30
+
+
+class TestChooseBlockSize:
+    def test_fits_memory(self):
+        for M in (100, 1000, 40000):
+            q = choose_block_size(M)
+            assert q * q + 2 * q <= M
+
+    def test_scales_like_sqrt(self):
+        assert choose_block_size(1_000_000) == pytest.approx(1000, rel=0.01)
+
+
+class TestBereuxVolumes:
+    def test_block_volume_approaches_bound(self):
+        """Leading term n^3/(3 sqrt(M)) as n/sqrt(M) grows (§II: Béreux)."""
+        M = 10_000
+        ratios = []
+        for n in (2000, 8000, 32000):
+            v = block_left_looking_volume(n, M)
+            ratios.append(v / bereux_volume(n, M))
+        # Converges towards 1 from above.
+        assert ratios[0] > ratios[1] > ratios[2]
+        assert ratios[2] < 1.2
+
+    def test_panel_version_is_asymptotically_worse(self):
+        M = 10_000
+        n = 8000
+        assert panel_left_looking_volume(n, M) > 5 * block_left_looking_volume(n, M)
+
+    def test_block_volume_monotone_in_memory(self):
+        n = 4000
+        assert block_left_looking_volume(n, 40_000) < block_left_looking_volume(n, 10_000)
+
+    def test_panel_requires_fitting_panel(self):
+        with pytest.raises(ValueError):
+            panel_left_looking_volume(1000, 500, w=10)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            block_left_looking_volume(0, 100)
+
+    def test_cache_simulation_worse_than_blocked(self):
+        """A naive LRU right-looking port transfers far more than Béreux's
+        blocked schedule at equal memory."""
+        N, b = 24, 20
+        M = 6 * b * b  # room for six tiles
+        naive = simulate_tiled_right_looking(N, b, M)
+        blocked = block_left_looking_volume(N * b, M)
+        assert naive > blocked
+
+    def test_cache_simulation_with_huge_memory_is_compulsory_only(self):
+        N, b = 8, 10
+        M = N * N * b * b * 2  # everything fits
+        total = simulate_tiled_right_looking(N, b, M)
+        tiles = N * (N + 1) // 2
+        # Each lower tile loaded once + dirty tiles stored once.
+        assert total == 2 * tiles * b * b

@@ -1,0 +1,177 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These sweep randomized configurations through whole pipelines: graph
+builders stay structurally valid, every runtime computes the same numbers,
+the simulator conserves work and traffic, and the distributions keep their
+invariants under arbitrary sizes.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import cholesky_message_count, count_communications
+from repro.config import KernelModel, MachineSpec, NetworkSpec
+from repro.distributions import (
+    BlockCyclic2D,
+    RowCyclic1D,
+    SymmetricBlockCyclic,
+    TwoDotFiveD,
+)
+from repro.graph import (
+    build_cholesky_graph,
+    build_cholesky_graph_25d,
+    build_posv_graph,
+    expected_cholesky_counts,
+    kind_counts,
+    validate_graph,
+)
+from repro.runtime import InitialDataSpec, execute_graph, simulate
+from repro.runtime.local import final_versions
+from repro.tiles import TileGrid
+
+
+def dist_strategy():
+    """Random small distributions of every family."""
+    bc = st.tuples(st.integers(1, 4), st.integers(1, 4)).map(
+        lambda pq: BlockCyclic2D(*pq)
+    )
+    sbc = st.integers(3, 7).map(SymmetricBlockCyclic)
+    sbc_basic = st.sampled_from([4, 6, 8]).map(
+        lambda r: SymmetricBlockCyclic(r, variant="basic")
+    )
+    return st.one_of(bc, sbc, sbc_basic)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dist=dist_strategy(), N=st.integers(1, 12))
+def test_cholesky_builder_always_valid(dist, N):
+    g = build_cholesky_graph(N, 8, dist)
+    validate_graph(g)
+    assert kind_counts(g) == {
+        k: v for k, v in expected_cholesky_counts(N).items() if v > 0
+    }
+    for t in g.tasks:
+        assert 0 <= t.node < dist.num_nodes
+
+
+@settings(max_examples=25, deadline=None)
+@given(dist=dist_strategy(), N=st.integers(1, 10), c=st.integers(1, 3))
+def test_25d_builder_always_valid(dist, N, c):
+    d25 = TwoDotFiveD(dist, c)
+    g = build_cholesky_graph_25d(N, 8, d25)
+    validate_graph(g)
+    for t in g.tasks:
+        assert 0 <= t.node < d25.num_nodes
+
+
+@settings(max_examples=15, deadline=None)
+@given(dist=dist_strategy(), N=st.integers(2, 7), seed=st.integers(0, 100))
+def test_runtimes_agree_numerically(dist, N, seed):
+    """Sequential and threaded execution produce identical final tiles."""
+    b = 8
+    g = build_cholesky_graph(N, b, dist)
+    grid = TileGrid(n=N * b, b=b)
+    s1 = execute_graph(g, InitialDataSpec(grid, seed=seed))
+    s2 = execute_graph(g, InitialDataSpec(grid, seed=seed), num_threads=4)
+    for key in final_versions(g).values():
+        np.testing.assert_allclose(s1[key], s2[key], atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(dist=dist_strategy(), N=st.integers(1, 12))
+def test_simulator_conservation(dist, N):
+    """Traffic equals the exact counter; busy time equals summed durations."""
+    b = 32
+    g = build_cholesky_graph(N, b, dist)
+    m = MachineSpec(
+        nodes=dist.num_nodes,
+        cores=2,
+        network=NetworkSpec(bandwidth=1e9, latency=1e-5),
+        kernel=KernelModel(peak_flops=1e9),
+    )
+    rep = simulate(g, m)
+    assert rep.comm_bytes == count_communications(g).total_bytes
+    expected_busy = sum(m.kernel.duration(t.flops, b) for t in g.tasks)
+    assert sum(rep.busy_time) == pytest.approx(expected_busy, rel=1e-9)
+    assert rep.makespan >= max(
+        (m.kernel.duration(t.flops, b) for t in g.tasks), default=0.0
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    dist=dist_strategy(),
+    N=st.integers(1, 12),
+    mode=st.sampled_from(["direct", "tree"]),
+    aggregate=st.booleans(),
+)
+def test_simulator_bytes_invariant_under_comm_options(dist, N, mode, aggregate):
+    """Broadcast trees and aggregation never change the bytes moved."""
+    g = build_cholesky_graph(N, 32, dist)
+    m = MachineSpec(nodes=dist.num_nodes, cores=2,
+                    network=NetworkSpec(bandwidth=1e9, latency=1e-5))
+    rep = simulate(g, m, broadcast=mode, aggregate=aggregate)
+    assert rep.comm_bytes == count_communications(g).total_bytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(dist=dist_strategy(), N=st.integers(1, 14), width=st.integers(1, 3))
+def test_posv_builder_always_valid(dist, N, width):
+    g = build_posv_graph(N, 8, dist, RowCyclic1D(dist.num_nodes), width=width)
+    validate_graph(g)
+
+
+@settings(max_examples=30, deadline=None)
+@given(N=st.integers(1, 40), r=st.integers(3, 8))
+def test_sbc_volume_bound_holds_universally(N, r):
+    """Theorem 1's bound is a true upper bound at every size."""
+    d = SymmetricBlockCyclic(r)
+    assert cholesky_message_count(d, N) <= N * (N + 1) // 2 * (r - 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(N=st.integers(1, 40), p=st.integers(1, 6), q=st.integers(1, 6))
+def test_bc_volume_bound_holds_universally(N, p, q):
+    d = BlockCyclic2D(p, q)
+    assert cholesky_message_count(d, N) <= N * (N + 1) // 2 * (p + q - 2)
+
+
+@settings(max_examples=10, deadline=None)
+@given(N=st.integers(2, 10), seed=st.integers(0, 50))
+def test_simulation_is_deterministic(N, seed):
+    """Two simulations of the same graph agree to the last event."""
+    rng = np.random.default_rng(seed)
+    dist = SymmetricBlockCyclic(int(rng.integers(3, 6)))
+    g = build_cholesky_graph(N, 32, dist)
+    m = MachineSpec(nodes=dist.num_nodes, cores=2)
+    r1 = simulate(g, m)
+    r2 = simulate(g, m)
+    assert r1.makespan == r2.makespan
+    assert r1.comm_messages == r2.comm_messages
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    nb=st.integers(2, 6),
+    q=st.integers(4, 12),
+    ragged=st.integers(0, 3),
+    seed=st.integers(0, 20),
+)
+def test_ooc_execution_matches_analytic_traffic(nb, q, ragged, seed):
+    """The executed out-of-core Cholesky always moves exactly the elements
+    the analytic Béreux counter predicts, for any block geometry."""
+    import scipy.linalg
+
+    from repro.ooc import block_left_looking_volume, execute_block_left_looking
+    from repro.tiles import random_spd_dense
+
+    n = nb * q - min(ragged, q - 1)  # possibly ragged last block
+    a = random_spd_dense(n, seed=seed, b=max(2, n // 2))
+    res = execute_block_left_looking(a, M=3 * q * q, q=q)
+    assert res.total_transfers == block_left_looking_volume(n, 3 * q * q, q=q)
+    np.testing.assert_allclose(
+        res.factor, scipy.linalg.cholesky(a, lower=True), atol=1e-8
+    )

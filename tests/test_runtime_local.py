@@ -1,0 +1,126 @@
+"""Tests for numeric execution: dispatch, sequential and threaded runs."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.graph import DataKey, build_cholesky_graph
+from repro.runtime import (
+    InitialDataSpec,
+    KERNEL_DISPATCH,
+    assemble_lower,
+    execute_graph,
+    final_versions,
+)
+from repro.runtime.execution import apply_task
+from repro.tiles import TileGrid, random_spd_dense
+
+
+class TestInitialDataSpec:
+    def test_spd_tile(self):
+        grid = TileGrid(n=32, b=16)
+        spec = InitialDataSpec(grid, seed=0)
+        t = spec.materialize(DataKey("A", 1, 0, 0), "spd")
+        assert t.shape == (16, 16)
+
+    def test_zero_tile(self):
+        grid = TileGrid(n=32, b=16)
+        spec = InitialDataSpec(grid, seed=0)
+        assert not spec.materialize(DataKey("A", 1, 1, 0, 1), "zero").any()
+
+    def test_rhs_requires_width(self):
+        spec = InitialDataSpec(TileGrid(n=32, b=16), seed=0)
+        with pytest.raises(ValueError):
+            spec.materialize(DataKey("B", 0, 0, 0), "rhs")
+
+    def test_rhs_tile(self):
+        spec = InitialDataSpec(TileGrid(n=32, b=16), seed=0, width=4)
+        assert spec.materialize(DataKey("B", 1, 0, 0), "rhs").shape == (16, 4)
+
+    def test_tri_tile_well_conditioned(self):
+        spec = InitialDataSpec(TileGrid(n=64, b=16), seed=0)
+        d = spec.materialize(DataKey("A", 2, 2, 0), "tri")
+        assert np.abs(np.diag(d) - 1.0).max() < 0.5
+
+    def test_unknown_descriptor(self):
+        spec = InitialDataSpec(TileGrid(n=32, b=16), seed=0)
+        with pytest.raises(ValueError):
+            spec.materialize(DataKey("A", 0, 0, 0), "wat")
+
+
+class TestDispatch:
+    def test_all_graph_kinds_have_kernels(self):
+        from repro.kernels.flops import KERNEL_FLOPS
+
+        assert set(KERNEL_FLOPS) == set(KERNEL_DISPATCH)
+
+    def test_unknown_kind_raises(self):
+        class Fake:
+            kind = "NOPE"
+
+        with pytest.raises(ValueError):
+            apply_task(Fake(), [])
+
+    def test_reduce_sums_all_inputs(self):
+        fn = KERNEL_DISPATCH["REDUCE"]
+        a, b, c = np.ones((2, 2)), 2 * np.ones((2, 2)), 3 * np.ones((2, 2))
+        np.testing.assert_array_equal(fn(a, b, c), 6 * np.ones((2, 2)))
+        # inputs must not be mutated
+        np.testing.assert_array_equal(a, np.ones((2, 2)))
+
+    def test_remap_copies(self):
+        fn = KERNEL_DISPATCH["REMAP"]
+        a = np.ones((2, 2))
+        out = fn(a)
+        out[0, 0] = 5
+        assert a[0, 0] == 1
+
+
+class TestFinalVersions:
+    def test_last_write_wins(self):
+        g = build_cholesky_graph(5, 8, BlockCyclic2D(2, 2))
+        finals = final_versions(g)
+        assert len(finals) == 15
+        for (name, i, j), key in finals.items():
+            assert name == "A"
+            # Final version of every tile is produced by TRSM or POTRF.
+            assert g.tasks[g.producer[key]].kind in ("TRSM", "POTRF")
+
+    def test_initial_only_tile(self):
+        from repro.graph import GraphBuilder, TaskGraph
+
+        g = TaskGraph(b=8)
+        bld = GraphBuilder(g)
+        bld.declare("A", 0, 0, 0, "spd")
+        finals = final_versions(g)
+        assert finals[("A", 0, 0)].ver == 0
+
+
+class TestExecution:
+    @pytest.mark.parametrize("threads", [0, 4])
+    def test_cholesky_matches_scipy(self, threads):
+        N, b = 8, 16
+        grid = TileGrid(n=N * b, b=b)
+        g = build_cholesky_graph(N, b, SymmetricBlockCyclic(4))
+        store = execute_graph(g, InitialDataSpec(grid, seed=42), num_threads=threads)
+        L = assemble_lower(g, store, grid)
+        ref = scipy.linalg.cholesky(random_spd_dense(N * b, seed=42, b=b), lower=True)
+        np.testing.assert_allclose(L, ref, atol=1e-9)
+
+    def test_threaded_equals_sequential(self):
+        N, b = 6, 8
+        grid = TileGrid(n=N * b, b=b)
+        g = build_cholesky_graph(N, b, BlockCyclic2D(2, 3))
+        s1 = execute_graph(g, InitialDataSpec(grid, seed=1))
+        s2 = execute_graph(g, InitialDataSpec(grid, seed=1), num_threads=8)
+        assert set(s1) == set(s2)
+        for k in s1:
+            np.testing.assert_allclose(s1[k], s2[k], atol=1e-12)
+
+    def test_store_contains_only_finals(self):
+        N, b = 6, 8
+        grid = TileGrid(n=N * b, b=b)
+        g = build_cholesky_graph(N, b, BlockCyclic2D(2, 2))
+        store = execute_graph(g, InitialDataSpec(grid, seed=1))
+        assert set(store) == set(final_versions(g).values())

@@ -1,0 +1,78 @@
+"""Tests for tiled matrix containers."""
+
+import numpy as np
+import pytest
+
+from repro.tiles import SymmetricTiledMatrix, TiledMatrix, TileGrid
+
+
+class TestTiledMatrix:
+    def test_roundtrip_dense(self, rng):
+        a = rng.standard_normal((48, 48))
+        m = TiledMatrix.from_dense(a, b=16)
+        np.testing.assert_array_equal(m.to_dense(), a)
+
+    def test_roundtrip_ragged(self, rng):
+        a = rng.standard_normal((50, 50))
+        m = TiledMatrix.from_dense(a, b=16)
+        np.testing.assert_array_equal(m.to_dense(), a)
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(ValueError):
+            TiledMatrix.from_dense(rng.standard_normal((4, 5)), b=2)
+
+    def test_set_wrong_shape(self):
+        m = TiledMatrix(TileGrid(n=32, b=16))
+        with pytest.raises(ValueError):
+            m[0, 0] = np.zeros((8, 8))
+
+    def test_tiles_are_copies(self, rng):
+        a = rng.standard_normal((32, 32))
+        m = TiledMatrix.from_dense(a, b=16)
+        m[0, 0][0, 0] = 99.0
+        assert a[0, 0] != 99.0
+
+    def test_copy_is_deep(self, rng):
+        m = TiledMatrix.from_dense(rng.standard_normal((32, 32)), b=16)
+        m2 = m.copy()
+        m2[0, 0][0, 0] = 42.0
+        assert m[0, 0][0, 0] != 42.0
+
+    def test_contains_and_index_check(self):
+        m = TiledMatrix(TileGrid(n=32, b=16))
+        m[1, 0] = np.ones((16, 16))
+        assert (1, 0) in m
+        assert (0, 0) not in m
+        with pytest.raises(IndexError):
+            m[5, 0]
+
+
+class TestSymmetricTiledMatrix:
+    def _sym(self, rng, n=48, b=16):
+        a = rng.standard_normal((n, n))
+        a = (a + a.T) / 2
+        return a, SymmetricTiledMatrix.from_dense(a, b=b)
+
+    def test_roundtrip(self, rng):
+        a, m = self._sym(rng)
+        np.testing.assert_allclose(m.to_dense(), a)
+
+    def test_upper_read_is_transpose(self, rng):
+        a, m = self._sym(rng)
+        np.testing.assert_array_equal(m[0, 2], m[2, 0].T)
+
+    def test_upper_write_rejected(self, rng):
+        _, m = self._sym(rng)
+        with pytest.raises(KeyError):
+            m[0, 1] = np.zeros((16, 16))
+
+    def test_rejects_asymmetric(self, rng):
+        a = rng.standard_normal((32, 32))
+        with pytest.raises(ValueError):
+            SymmetricTiledMatrix.from_dense(a, b=16)
+
+    def test_stores_only_lower_triangle(self, rng):
+        _, m = self._sym(rng)
+        keys = set(m.keys())
+        assert all(i >= j for i, j in keys)
+        assert len(keys) == m.grid.num_lower_tiles

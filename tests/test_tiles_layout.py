@@ -1,0 +1,82 @@
+"""Tests for repro.tiles.layout.TileGrid."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tiles import TileGrid
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = TileGrid(n=100, b=25)
+        assert g.ntiles == 4
+        assert g.is_uniform()
+
+    def test_non_dividing_tile_size(self):
+        g = TileGrid(n=100, b=30)
+        assert g.ntiles == 4
+        assert not g.is_uniform()
+        assert g.tile_rows(3) == 10
+
+    def test_from_ntiles(self):
+        g = TileGrid.from_ntiles(7, 16)
+        assert g.n == 112
+        assert g.ntiles == 7
+        assert g.is_uniform()
+
+    @pytest.mark.parametrize("n,b", [(0, 1), (-5, 2), (4, 0), (4, -1)])
+    def test_invalid_arguments(self, n, b):
+        with pytest.raises(ValueError):
+            TileGrid(n=n, b=b)
+
+
+class TestGeometry:
+    def test_tile_shape_uniform(self):
+        g = TileGrid(n=64, b=16)
+        assert g.tile_shape(1, 2) == (16, 16)
+
+    def test_tile_shape_ragged_edge(self):
+        g = TileGrid(n=50, b=16)
+        assert g.tile_shape(3, 0) == (2, 16)
+        assert g.tile_shape(3, 3) == (2, 2)
+
+    def test_row_span(self):
+        g = TileGrid(n=50, b=16)
+        assert g.row_span(0) == slice(0, 16)
+        assert g.row_span(3) == slice(48, 50)
+
+    def test_index_out_of_range(self):
+        g = TileGrid(n=32, b=16)
+        with pytest.raises(IndexError):
+            g.tile_rows(2)
+        with pytest.raises(IndexError):
+            g.check_tile(0, 5)
+
+
+class TestEnumeration:
+    def test_lower_tiles_count(self):
+        g = TileGrid(n=80, b=16)  # N = 5
+        tiles = list(g.lower_tiles())
+        assert len(tiles) == 15 == g.num_lower_tiles
+        assert all(i >= j for i, j in tiles)
+
+    def test_all_tiles_count(self):
+        g = TileGrid(n=48, b=16)
+        assert len(list(g.all_tiles())) == 9
+
+    def test_storage_bytes(self):
+        g = TileGrid(n=64, b=16)  # N=4, 10 lower tiles of 16*16*8 bytes
+        assert g.storage_bytes == 10 * 16 * 16 * 8
+
+
+@given(n=st.integers(1, 500), b=st.integers(1, 64))
+def test_spans_cover_matrix_exactly(n, b):
+    """Row spans tile the [0, n) range without gaps or overlaps."""
+    g = TileGrid(n=n, b=b)
+    covered = 0
+    for i in range(g.ntiles):
+        s = g.row_span(i)
+        assert s.start == covered
+        assert g.tile_rows(i) == s.stop - s.start > 0
+        covered = s.stop
+    assert covered == n
