@@ -3,11 +3,13 @@
 Same data as Figure 10 but in absolute seconds (the paper truncates at
 n <= 200000 where the differences are visible).  We print the simulated
 makespans for each r of Table I and assert SBC's total time is below the
-matched 2DBC's for every size.
+matched 2DBC's for every size.  The largest SBC run is traced through
+``repro.obs`` and its metrics summary is attached to the output.
 """
 
 from conftest import FULL, print_header, sizes
 
+from repro.comm import count_communications
 from repro.config import bora
 from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
 from repro.graph import build_cholesky_graph
@@ -34,12 +36,25 @@ def sweep():
             ],
             "names": (sbc.name, bc.name),
         }
+    # Trace the largest SBC configuration to attach the observability
+    # metrics (wire bytes per pair, utilization, queue depths) to the
+    # benchmark's output.
+    r, _pq = PAIRS[-1]
+    sbc = SymmetricBlockCyclic(r)
+    g = build_cholesky_graph(NS[-1], B, sbc)
+    rep = simulate(g, bora(sbc.num_nodes), trace=True)
+    assert rep.obs.metrics.counter("net.bytes").total() == (
+        count_communications(g).total_bytes
+    )
+    out["metrics"] = {"r": r, "N": NS[-1], "summary": rep.obs.metrics.summary()}
     return out
 
 
 def test_fig12_runtime(run_once):
     results = run_once(sweep)
     for r, data in results.items():
+        if r == "metrics":
+            continue
         sbc_name, bc_name = data["names"]
         print_header(
             f"Figure 12 panel r={r}: total running time (s)",
@@ -52,3 +67,8 @@ def test_fig12_runtime(run_once):
         # Running time grows with n (the growth is milder than the O(n^3)
         # work because bigger matrices use the nodes better).
         assert data["sbc"][-1] > 1.5 * data["sbc"][0]
+    m = results["metrics"]
+    print_header(
+        f"Figure 12 traced run (SBC r={m['r']}, N={m['N']}): metrics summary",
+        m["summary"],
+    )

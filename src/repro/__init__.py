@@ -12,7 +12,7 @@ Public surface:
 * the high-level helpers in :mod:`repro.api`.
 """
 
-from . import comm, config, distributions, graph, kernels, ooc, runtime, tiles
+from . import comm, config, distributions, graph, kernels, obs, ooc, runtime, tiles
 from .api import (
     cholesky,
     lu,
@@ -40,6 +40,7 @@ __all__ = [
     "distributions",
     "graph",
     "kernels",
+    "obs",
     "ooc",
     "runtime",
     "tiles",

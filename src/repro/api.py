@@ -21,6 +21,7 @@ from .config import MachineSpec, bora
 from .comm.counter import CommStats, count_communications
 from .comm.fast_counter import cholesky_volume_exact
 from .distributions.base import Distribution
+from .obs import Recorder, write_chrome_trace
 from .distributions.row_cyclic import RowCyclic1D
 from .distributions.twod5 import TwoDotFiveD
 from .graph.cholesky import build_cholesky_graph, build_cholesky_graph_25d
@@ -59,13 +60,15 @@ def _grid(n: int, b: int) -> TileGrid:
     return grid
 
 
-def _run(graph, spec: InitialDataSpec, runtime: str, num_threads: int):
+def _run(graph, spec: InitialDataSpec, runtime: str, num_threads: int,
+         recorder: Optional[Recorder] = None):
     if runtime == "local":
-        return execute_graph(graph, spec)
+        return execute_graph(graph, spec, recorder=recorder)
     if runtime == "threads":
-        return execute_graph(graph, spec, num_threads=num_threads or 4)
+        return execute_graph(graph, spec, num_threads=num_threads or 4,
+                             recorder=recorder)
     if runtime == "distributed":
-        return execute_distributed(graph, spec).store
+        return execute_distributed(graph, spec, recorder=recorder).store
     raise ValueError(f"unknown runtime {runtime!r}; use local/threads/distributed")
 
 
@@ -77,18 +80,20 @@ def cholesky(
     runtime: str = "local",
     num_threads: int = 0,
     a: Optional[np.ndarray] = None,
+    recorder: Optional[Recorder] = None,
 ) -> Tuple[np.ndarray, Dict]:
     """Factor an SPD matrix; returns (L, info).
 
     By default a seeded random SPD matrix is generated (and returned in
     ``info["a"]``); pass ``a`` to factor your own dense SPD matrix.
     ``info`` also carries the task count and the exact communication stats
-    of the run under ``dist``.
+    of the run under ``dist``.  Pass a :class:`repro.obs.Recorder` as
+    ``recorder`` to collect wall-clock task events from the runtime.
     """
     grid = _grid(n, b)
     graph = build_cholesky_graph(grid.ntiles, b, dist)
     spec = InitialDataSpec(grid, seed=seed, matrix=a)
-    store = _run(graph, spec, runtime, num_threads)
+    store = _run(graph, spec, runtime, num_threads, recorder)
     L = assemble_lower(graph, store, grid)
     info = {
         "a": np.asarray(a, dtype=np.float64) if a is not None
@@ -110,6 +115,7 @@ def solve(
     num_threads: int = 0,
     a: Optional[np.ndarray] = None,
     rhs: Optional[np.ndarray] = None,
+    recorder: Optional[Recorder] = None,
 ) -> Tuple[np.ndarray, Dict]:
     """POSV: solve A x = B for SPD A; returns (x, info).
 
@@ -124,7 +130,7 @@ def solve(
         rhs_dist = RowCyclic1D(dist.num_nodes)
     graph = build_posv_graph(grid.ntiles, b, dist, rhs_dist, width=width)
     spec = InitialDataSpec(grid, seed=seed, width=width, matrix=a, rhs=rhs)
-    store = _run(graph, spec, runtime, num_threads)
+    store = _run(graph, spec, runtime, num_threads, recorder)
     x = assemble_rhs(graph, store, grid, width)
     info = {
         "a": np.asarray(a, dtype=np.float64) if a is not None
@@ -146,6 +152,7 @@ def inverse(
     runtime: str = "local",
     num_threads: int = 0,
     a: Optional[np.ndarray] = None,
+    recorder: Optional[Recorder] = None,
 ) -> Tuple[np.ndarray, Dict]:
     """POTRI: invert the seeded SPD matrix; returns (A^{-1}, info).
 
@@ -155,7 +162,7 @@ def inverse(
     grid = _grid(n, b)
     graph = build_potri_graph(grid.ntiles, b, dist, trtri_dist=trtri_dist)
     spec = InitialDataSpec(grid, seed=seed, matrix=a)
-    store = _run(graph, spec, runtime, num_threads)
+    store = _run(graph, spec, runtime, num_threads, recorder)
     inv = assemble_symmetric(graph, store, grid)
     info = {
         "a": np.asarray(a, dtype=np.float64) if a is not None
@@ -173,6 +180,7 @@ def lu(
     seed: int = 0,
     runtime: str = "local",
     num_threads: int = 0,
+    recorder: Optional[Recorder] = None,
 ) -> Tuple[np.ndarray, Dict]:
     """LU factorization without pivoting of a seeded diagonally-dominant
     matrix; returns (packed LU, info).  The packed result holds the strict
@@ -181,7 +189,7 @@ def lu(
     grid = _grid(n, b)
     graph = build_lu_graph(grid.ntiles, b, dist)
     spec = InitialDataSpec(grid, seed=seed)
-    store = _run(graph, spec, runtime, num_threads)
+    store = _run(graph, spec, runtime, num_threads, recorder)
     from .runtime.local import final_versions
 
     packed = np.zeros((n, n))
@@ -213,11 +221,21 @@ def simulate_cholesky(
     synchronized: bool = False,
     broadcast: str = "direct",
     aggregate: bool = False,
+    trace: bool = False,
+    trace_path: Optional[str] = None,
+    recorder: Optional[Recorder] = None,
 ) -> SimReport:
     """Simulated POTRF run; pass either a 2D ``dist`` or a ``dist25``.
 
     ``broadcast`` / ``aggregate`` select the simulator's communication
     optimizations (see :func:`repro.runtime.simulator.simulate`).
+
+    Observability (see ``docs/observability.md``): ``trace=True`` records
+    per-task and per-message events, returned on ``SimReport.obs``
+    together with the run's metrics; ``trace_path=`` additionally writes
+    a Perfetto/``chrome://tracing``-loadable JSON there (and implies
+    ``trace``); ``recorder=`` supplies your own
+    :class:`repro.obs.Recorder` to accumulate across runs.
     """
     if (dist is None) == (dist25 is None):
         raise ValueError("pass exactly one of dist / dist25")
@@ -229,10 +247,15 @@ def simulate_cholesky(
         P = dist.num_nodes
     if machine is None:
         machine = bora(P)
-    return simulate(
+    report = simulate(
         graph,
         machine,
         synchronized=synchronized,
         broadcast=broadcast,
         aggregate=aggregate,
+        trace=trace or trace_path is not None,
+        recorder=recorder,
     )
+    if trace_path is not None:
+        write_chrome_trace(report.obs, trace_path)
+    return report

@@ -10,6 +10,7 @@ and downstream studies) and as a small CLI:
     python -m repro.experiments theorem1 --ntiles 240
     python -m repro.experiments scaling --ntiles 72
     python -m repro.experiments breakdown --r 8 --ntiles 60
+    python -m repro.experiments trace --r 8 --ntiles 40 --trace-path run.json
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ __all__ = [
     "theorem1_table",
     "strong_scaling",
     "spine_breakdown",
+    "trace_run",
     "main",
 ]
 
@@ -124,6 +126,24 @@ def spine_breakdown(r: int = 8, ntiles: int = 60, b: int = B_DEFAULT):
     return out
 
 
+def trace_run(r: int = 8, ntiles: int = 40, b: int = B_DEFAULT,
+              trace_path: str = None):
+    """One traced SBC simulation; optionally export a Perfetto JSON.
+
+    Returns the :class:`~repro.runtime.simulator.SimReport` whose ``obs``
+    attribute carries the event trace and metrics registry (see
+    ``docs/observability.md``).
+    """
+    from .obs import write_chrome_trace
+
+    d = SymmetricBlockCyclic(r)
+    rep = simulate(build_cholesky_graph(ntiles, b, d), bora(d.num_nodes),
+                   trace=True)
+    if trace_path:
+        write_chrome_trace(rep.obs, trace_path)
+    return rep
+
+
 def _print_series(series: Dict[str, List[float]], sizes: Sequence[int], b: int,
                   unit: str) -> None:
     names = list(series)
@@ -140,12 +160,15 @@ def main(argv: Sequence[str] = None) -> int:
     )
     parser.add_argument("experiment",
                         choices=["list", "fig8", "fig9", "theorem1", "scaling",
-                                 "breakdown"])
+                                 "breakdown", "trace"])
     parser.add_argument("--sizes", type=int, nargs="+", default=None,
                         help="tile counts N to sweep")
     parser.add_argument("--ntiles", type=int, default=None, help="tile count N")
     parser.add_argument("--b", type=int, default=B_DEFAULT, help="tile size")
     parser.add_argument("--r", type=int, default=8, help="SBC parameter r")
+    parser.add_argument("--trace-path", default=None, metavar="PATH",
+                        help="write a Perfetto/chrome://tracing JSON of the "
+                             "traced run (trace experiment)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -154,6 +177,8 @@ def main(argv: Sequence[str] = None) -> int:
         print("theorem1  counted volumes vs the closed forms")
         print("scaling   strong scaling across P = 15..36")
         print("breakdown realized-critical-path analysis, SBC vs 2DBC")
+        print("trace     traced simulation: metrics summary + optional "
+              "--trace-path Perfetto export")
         return 0
     if args.experiment == "fig8":
         sizes = args.sizes or [25, 50, 100, 200, 400, 600]
@@ -176,6 +201,14 @@ def main(argv: Sequence[str] = None) -> int:
     if args.experiment == "breakdown":
         for name, bd in spine_breakdown(args.r, args.ntiles or 60, args.b).items():
             print(f"{name}: {bd}")
+        return 0
+    if args.experiment == "trace":
+        rep = trace_run(args.r, args.ntiles or 40, args.b, args.trace_path)
+        print(rep)
+        print(rep.obs.metrics.summary())
+        if args.trace_path:
+            print(f"wrote {args.trace_path} — open it at https://ui.perfetto.dev "
+                  "or chrome://tracing")
         return 0
     return 1  # pragma: no cover - argparse guards choices
 

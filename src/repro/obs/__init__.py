@@ -1,0 +1,56 @@
+"""Unified observability layer: event traces, exporters, metrics.
+
+Every runtime in the library — the discrete-event simulator, the numeric
+local executor, the multiprocessing distributed executor, and the
+out-of-core engine — can emit into one :class:`Recorder`:
+
+* **events** (:mod:`repro.obs.events`) — typed task / transfer / io /
+  cache records with a shared time axis;
+* **exporters** (:mod:`repro.obs.export`) — Chrome trace-event JSON
+  (loadable in Perfetto or ``chrome://tracing``, one track per
+  node/worker/NIC) and a compact JSONL schema with round-trip loading;
+* **metrics** (:mod:`repro.obs.metrics`) — counters / gauges /
+  histograms (bytes on the wire per (src, dst), worker utilization,
+  queue depths, cache hit rates) with a ``summary()`` table.
+
+Recording is opt-in: pass a :class:`Recorder`, or use the module-level
+:data:`NULL_RECORDER` whose methods are no-ops, so un-traced hot paths
+pay nothing.  ``python -m repro.obs --selfcheck`` smoke-tests the whole
+layer; see ``docs/observability.md`` for the schema and a worked
+Perfetto walkthrough.
+"""
+
+from .events import (
+    NULL_RECORDER,
+    CacheEvent,
+    IOEvent,
+    NullRecorder,
+    Recorder,
+    TaskEvent,
+    TransferEvent,
+)
+from .export import (
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TaskEvent",
+    "TransferEvent",
+    "IOEvent",
+    "CacheEvent",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

@@ -1,0 +1,110 @@
+"""Command-line smoke tests for the observability layer.
+
+    python -m repro.obs --selfcheck            # trace a run end-to-end
+    python -m repro.obs --check-docs [ROOT]    # dead-link lint over docs
+
+``--selfcheck`` simulates a small traced Cholesky, exports the trace to
+Chrome-JSON and JSONL in a temp directory, reloads the JSONL and
+verifies (1) the reloaded events equal the originals and (2) the traced
+wire bytes equal :func:`repro.comm.count_communications` on the same
+graph — the invariant the test suite also enforces.  Exit status 0 on
+success, 1 on failure; both checks print one summary line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import Recorder, read_jsonl, write_chrome_trace, write_jsonl
+from .doclint import default_doc_paths, find_dead_links
+
+
+def selfcheck(ntiles: int = 10, b: int = 64, r: int = 4) -> int:
+    """Trace, export, reload, verify; returns a process exit code."""
+    from ..comm import count_communications
+    from ..config import laptop
+    from ..distributions import SymmetricBlockCyclic
+    from ..graph import build_cholesky_graph
+    from ..runtime.simulator import simulate
+
+    dist = SymmetricBlockCyclic(r)
+    graph = build_cholesky_graph(ntiles, b, dist)
+    rec = Recorder(source="simulator")
+    report = simulate(graph, laptop(nodes=dist.num_nodes, cores=2), recorder=rec)
+
+    stats = count_communications(graph)
+    traced_bytes = sum(e.nbytes for e in rec.transfer_events)
+    if traced_bytes != stats.total_bytes or report.comm_bytes != stats.total_bytes:
+        print(f"obs selfcheck FAILED: traced bytes {traced_bytes} != "
+              f"counted {stats.total_bytes}")
+        return 1
+    if len(rec.task_events) != len(graph.tasks):
+        print(f"obs selfcheck FAILED: {len(rec.task_events)} task events "
+              f"for {len(graph.tasks)} tasks")
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        chrome = write_chrome_trace(rec, Path(tmp) / "trace.json")
+        with open(chrome) as fh:
+            doc = json.load(fh)
+        if not doc.get("traceEvents"):
+            print("obs selfcheck FAILED: empty Chrome trace")
+            return 1
+        jsonl = write_jsonl(rec, Path(tmp) / "trace.jsonl")
+        back = read_jsonl(jsonl)
+        if (back.task_events != rec.task_events
+                or back.transfer_events != rec.transfer_events):
+            print("obs selfcheck FAILED: JSONL round-trip mismatch")
+            return 1
+    print(f"obs selfcheck OK: {len(rec.task_events)} tasks, "
+          f"{len(rec.transfer_events)} transfers, "
+          f"{traced_bytes / 1e6:.1f} MB wire == counted volume; "
+          f"exports round-trip")
+    return 0
+
+
+def check_docs(root: str = ".") -> int:
+    """Lint README.md + docs/*.md for dead links; exit code 0 when clean."""
+    paths = default_doc_paths(root)
+    if not paths:
+        print(f"doc check: no markdown files under {root!r}")
+        return 1
+    dead = find_dead_links(paths)
+    for link in dead:
+        print(f"{link.file}:{link.lineno}: dead link -> {link.target}")
+    if dead:
+        print(f"doc check FAILED: {len(dead)} dead link(s) in {len(paths)} files")
+        return 1
+    print(f"doc check OK: {len(paths)} files, no dead intra-repo links")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability-layer smoke tests.",
+    )
+    parser.add_argument("--selfcheck", action="store_true",
+                        help="trace a small simulated run and verify exports")
+    parser.add_argument("--check-docs", nargs="?", const=".", default=None,
+                        metavar="ROOT",
+                        help="dead-link lint over ROOT/README.md + ROOT/docs/*.md")
+    args = parser.parse_args(argv)
+    if not args.selfcheck and args.check_docs is None:
+        parser.print_help()
+        return 2
+    code = 0
+    if args.selfcheck:
+        code = max(code, selfcheck())
+    if args.check_docs is not None:
+        code = max(code, check_docs(args.check_docs))
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

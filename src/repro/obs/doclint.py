@@ -1,0 +1,60 @@
+"""Dead-link lint for the repository's markdown documentation.
+
+Checks every inline markdown link ``[text](target)`` whose target is
+*intra-repo* (not ``http(s)://``, ``mailto:`` or a pure ``#anchor``) and
+reports targets that do not exist on disk, resolving relative to the
+file containing the link.  Wired into the test suite
+(``tests/test_docs.py``) and exposed as
+``python -m repro.obs --check-docs``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, List, NamedTuple
+
+__all__ = ["DeadLink", "find_dead_links", "default_doc_paths"]
+
+#: Inline markdown links; deliberately simple (no nested brackets) —
+#: the repository's docs do not use reference-style links.
+_LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+class DeadLink(NamedTuple):
+    """One broken intra-repo link."""
+
+    file: str
+    lineno: int
+    target: str
+
+
+def default_doc_paths(root) -> List[Path]:
+    """The documentation set the repo lints: README.md + docs/*.md."""
+    root = Path(root)
+    out = []
+    readme = root / "README.md"
+    if readme.exists():
+        out.append(readme)
+    out.extend(sorted((root / "docs").glob("*.md")))
+    return out
+
+
+def find_dead_links(paths: Iterable) -> List[DeadLink]:
+    """Scan markdown files; returns every intra-repo link with no target."""
+    dead: List[DeadLink] = []
+    for path in paths:
+        path = Path(path)
+        text = path.read_text()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for m in _LINK_RE.finditer(line):
+                target = m.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                rel = target.split("#", 1)[0]  # drop any anchor
+                if not rel:
+                    continue
+                if not (path.parent / rel).exists():
+                    dead.append(DeadLink(str(path), lineno, target))
+    return dead

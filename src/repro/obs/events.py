@@ -1,0 +1,269 @@
+"""Structured event-trace core shared by every runtime.
+
+Four typed events cover the execution paths of the library:
+
+* :class:`TaskEvent` — one kernel invocation (simulator, local executor,
+  distributed worker);
+* :class:`TransferEvent` — one wire message between nodes (simulator's
+  network model, distributed executor's queue sends);
+* :class:`IOEvent` — one slow-memory load/store of the out-of-core
+  engine;
+* :class:`CacheEvent` — one fast-memory cache decision (hit / miss /
+  eviction writeback).
+
+All times are seconds on the recorder's time axis: simulated time for
+the simulator, wall-clock seconds since the run started for the real
+runtimes.  A :class:`Recorder` collects events *and* feeds the
+derived metrics (:mod:`repro.obs.metrics`) as they arrive, so
+``recorder.metrics`` is consistent with the event lists at any point.
+
+The disabled path is :class:`NullRecorder` (singleton
+:data:`NULL_RECORDER`): ``enabled`` is False and every ``record_*``
+method is a no-op, so instrumented code can either branch on
+``recorder.enabled`` (hot loops) or call unconditionally (cold paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "TaskEvent",
+    "TransferEvent",
+    "IOEvent",
+    "CacheEvent",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+]
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """Timing of one executed task."""
+
+    task_id: int
+    kind: str
+    node: int
+    ready: float  # all inputs present at the node
+    start: float  # worker began executing
+    end: float    # kernel finished
+    flops: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def wait(self) -> float:
+        """Ready-to-start delay (worker contention / barrier holds)."""
+        return self.start - self.ready
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """Timing of one delivered wire message."""
+
+    key: object  # DataKey transferred (head key when aggregated)
+    src: int
+    dst: int
+    nbytes: int
+    submitted: float  # producer finished / transfer requested
+    started: float  # first quantum pushed through the egress port
+    delivered: float  # last quantum landed at the destination
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent waiting for the source's egress port."""
+        return self.started - self.submitted
+
+    @property
+    def wire(self) -> float:
+        """Time in flight (first push to last landing)."""
+        return self.delivered - self.started
+
+    @property
+    def total(self) -> float:
+        """Submission-to-delivery latency."""
+        return self.delivered - self.submitted
+
+
+@dataclass(frozen=True)
+class IOEvent:
+    """One slow-memory transfer of an out-of-core execution."""
+
+    op: str  # "load" | "store"
+    key: object
+    nbytes: int
+    time: float
+
+
+@dataclass(frozen=True)
+class CacheEvent:
+    """One fast-memory cache decision."""
+
+    op: str  # "hit" | "miss" | "evict"
+    key: object
+    nbytes: int
+    time: float
+    dirty: bool = False  # for "evict": whether a writeback was paid
+
+
+class Recorder:
+    """Collects typed events and keeps derived metrics in step.
+
+    ``source`` labels where the trace came from ("simulator", "local",
+    "distributed", "ooc", or anything a caller chooses); exporters carry
+    it into the output.
+    """
+
+    enabled = True
+
+    def __init__(self, source: str = ""):
+        self.source = source
+        self.task_events: List[TaskEvent] = []
+        self.transfer_events: List[TransferEvent] = []
+        self.io_events: List[IOEvent] = []
+        self.cache_events: List[CacheEvent] = []
+        self.metrics = MetricsRegistry()
+
+    # -- recording ----------------------------------------------------------
+
+    def record_task(
+        self,
+        task_id: int,
+        kind: str,
+        node: int,
+        ready: float,
+        start: float,
+        end: float,
+        flops: float = 0.0,
+    ) -> None:
+        self.task_events.append(
+            TaskEvent(task_id, kind, node, ready, start, end, flops)
+        )
+        m = self.metrics
+        m.counter("tasks", "executed tasks per kernel kind").inc(labels=(kind,))
+        m.counter("task.seconds", "busy seconds per kernel kind").inc(
+            end - start, labels=(kind,)
+        )
+        m.histogram("task.wait.seconds",
+                    "ready-to-start delay per task").observe(start - ready)
+
+    def record_transfer(
+        self,
+        key: object,
+        src: int,
+        dst: int,
+        nbytes: int,
+        submitted: float,
+        started: float,
+        delivered: float,
+    ) -> None:
+        self.transfer_events.append(
+            TransferEvent(key, src, dst, nbytes, submitted, started, delivered)
+        )
+        m = self.metrics
+        m.counter("net.bytes", "bytes on the wire per (src, dst)").inc(
+            nbytes, labels=(src, dst)
+        )
+        m.counter("net.messages", "messages per (src, dst)").inc(labels=(src, dst))
+        m.histogram("net.queue.seconds",
+                    "egress-port queueing delay per message").observe(
+            started - submitted
+        )
+
+    def record_io(self, op: str, key: object, nbytes: int, time: float) -> None:
+        if op not in ("load", "store"):
+            raise ValueError(f"unknown io op {op!r}")
+        self.io_events.append(IOEvent(op, key, nbytes, time))
+        self.metrics.counter("io.bytes", "slow-memory traffic per op").inc(
+            nbytes, labels=(op,)
+        )
+
+    def record_cache(
+        self, op: str, key: object, nbytes: int, time: float, dirty: bool = False
+    ) -> None:
+        if op not in ("hit", "miss", "evict"):
+            raise ValueError(f"unknown cache op {op!r}")
+        self.cache_events.append(CacheEvent(op, key, nbytes, time, dirty))
+        self.metrics.counter("cache.ops", "cache decisions per op").inc(labels=(op,))
+        if op == "evict" and dirty:
+            self.metrics.counter(
+                "cache.writeback.bytes", "bytes written back on eviction"
+            ).inc(nbytes)
+
+    # -- derived views ------------------------------------------------------
+
+    def finalize_utilization(self, busy_time, makespan: float,
+                             cores_per_node: int = 1) -> None:
+        """Record per-node busy seconds + utilization gauges from a run."""
+        g_busy = self.metrics.gauge("worker.busy.seconds",
+                                    "compute seconds per node")
+        g_util = self.metrics.gauge("worker.utilization",
+                                    "busy fraction per node")
+        for node, busy in enumerate(busy_time):
+            g_busy.set(busy, labels=(node,))
+            if makespan > 0:
+                g_util.set(busy / (makespan * cores_per_node), labels=(node,))
+
+    def bytes_by_pair(self) -> Dict[Tuple[int, int], int]:
+        """Wire bytes per (src, dst) pair, from the ``net.bytes`` counter."""
+        counter = self.metrics.get("net.bytes")
+        if counter is None:
+            return {}
+        return {k: int(v) for k, v in counter.values.items()}
+
+    def cache_hit_rate(self) -> Optional[float]:
+        """Hits / (hits + misses), or None when no cache events exist."""
+        ops = self.metrics.get("cache.ops")
+        if ops is None:
+            return None
+        hits = ops.value(("hit",))
+        misses = ops.value(("miss",))
+        if hits + misses == 0:
+            return None
+        return hits / (hits + misses)
+
+    def num_events(self) -> int:
+        return (len(self.task_events) + len(self.transfer_events)
+                + len(self.io_events) + len(self.cache_events))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Recorder {self.source or 'unlabelled'}: "
+                f"{len(self.task_events)} tasks, "
+                f"{len(self.transfer_events)} transfers, "
+                f"{len(self.io_events)} io, "
+                f"{len(self.cache_events)} cache>")
+
+
+class NullRecorder(Recorder):
+    """Disabled recorder: ``enabled`` is False, recording is a no-op.
+
+    Shares the :class:`Recorder` interface so call sites need no
+    branching; hot loops should still skip the call via ``enabled``.
+    """
+
+    enabled = False
+
+    def record_task(self, *args, **kwargs) -> None:  # noqa: D102
+        pass
+
+    def record_transfer(self, *args, **kwargs) -> None:  # noqa: D102
+        pass
+
+    def record_io(self, *args, **kwargs) -> None:  # noqa: D102
+        pass
+
+    def record_cache(self, *args, **kwargs) -> None:  # noqa: D102
+        pass
+
+    def finalize_utilization(self, *args, **kwargs) -> None:  # noqa: D102
+        pass
+
+
+#: Shared no-op recorder for un-traced runs.
+NULL_RECORDER = NullRecorder()

@@ -10,7 +10,9 @@ of a simulated out-of-core execution.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, Tuple
+from typing import Hashable, Optional, Tuple
+
+from ..obs import Recorder
 
 __all__ = ["TileCache", "CacheStats"]
 
@@ -33,19 +35,34 @@ class CacheStats:
 
 
 class TileCache:
-    """LRU cache of variably-sized tiles with pinning and dirty tracking."""
+    """LRU cache of variably-sized tiles with pinning and dirty tracking.
 
-    def __init__(self, capacity: int):
+    Pass a :class:`repro.obs.Recorder` to emit one cache event per
+    hit/miss/eviction (the event's ``nbytes`` is the tile's element
+    count times 8, i.e. float64 bytes; its ``time`` is a logical tick —
+    the running count of cache operations).
+    """
+
+    def __init__(self, capacity: int, recorder: Optional[Recorder] = None):
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.used = 0
         self.stats = CacheStats()
+        self._rec = recorder if (recorder is not None and recorder.enabled) else None
+        if self._rec is not None and not self._rec.source:
+            self._rec.source = "ooc"
+        self._tick = 0
         # key -> (size, pinned, dirty); OrderedDict gives LRU order.
         self._entries: "OrderedDict[Hashable, Tuple[int, bool, bool]]" = OrderedDict()
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
+
+    def _record(self, op: str, key: Hashable, size: int, dirty: bool = False) -> None:
+        self._tick += 1
+        if self._rec is not None:
+            self._rec.record_cache(op, key, size * 8, float(self._tick), dirty)
 
     def _evict_for(self, size: int) -> None:
         while self.used + size > self.capacity:
@@ -64,6 +81,7 @@ class TileCache:
             self.used -= sz
             if dirty:
                 self.stats.stored += sz
+            self._record("evict", k, sz, dirty)
 
     def load(self, key: Hashable, size: int, pin: bool = False) -> bool:
         """Ensure a tile is resident; returns True if a transfer happened."""
@@ -72,11 +90,13 @@ class TileCache:
         if key in self._entries:
             sz, _pinned, dirty = self._entries.pop(key)
             self._entries[key] = (sz, pin or _pinned, dirty)
+            self._record("hit", key, sz)
             return False
         self._evict_for(size)
         self._entries[key] = (size, pin, False)
         self.used += size
         self.stats.loaded += size
+        self._record("miss", key, size)
         return True
 
     def create(self, key: Hashable, size: int, pin: bool = False) -> None:

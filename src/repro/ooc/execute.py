@@ -23,6 +23,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 import scipy.linalg
 
+from ..obs import Recorder
 from .bereux import choose_block_size
 
 __all__ = ["OutOfCoreResult", "execute_block_left_looking"]
@@ -43,15 +44,29 @@ class OutOfCoreResult:
 
 
 class _FastMemory:
-    """Strict element-count accounting for the resident working set."""
+    """Strict element-count accounting for the resident working set.
 
-    def __init__(self, capacity: int):
+    With a recorder attached, every load/store emits one io event whose
+    ``nbytes`` is the element count times 8 (float64) and whose ``time``
+    is a logical tick (the running transfer count).
+    """
+
+    def __init__(self, capacity: int, recorder: Optional[Recorder] = None):
         self.capacity = capacity
         self.used = 0
         self.loaded = 0
         self.stored = 0
+        self._rec = recorder if (recorder is not None and recorder.enabled) else None
+        if self._rec is not None and not self._rec.source:
+            self._rec.source = "ooc"
+        self._tick = 0
 
-    def load(self, block: np.ndarray) -> np.ndarray:
+    def _record(self, op: str, key, size: int) -> None:
+        self._tick += 1
+        if self._rec is not None:
+            self._rec.record_io(op, key, size * 8, float(self._tick))
+
+    def load(self, block: np.ndarray, key=None) -> np.ndarray:
         size = block.size
         self.used += size
         if self.used > self.capacity:
@@ -60,23 +75,28 @@ class _FastMemory:
                 f"of {self.capacity}"
             )
         self.loaded += size
+        self._record("load", key, size)
         return block.copy()
 
     def discard(self, block: np.ndarray) -> None:
         self.used -= block.size
 
-    def store(self, block: np.ndarray) -> None:
+    def store(self, block: np.ndarray, key=None) -> None:
         self.stored += block.size
         self.used -= block.size
+        self._record("store", key, size=block.size)
 
 
 def execute_block_left_looking(
-    a: np.ndarray, M: int, q: Optional[int] = None
+    a: np.ndarray, M: int, q: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> OutOfCoreResult:
     """Factor a dense SPD matrix with fast memory of ``M`` elements.
 
     ``q`` defaults to the largest block with 3 q^2 <= M (one target and
     two streaming buffers).  Returns the lower factor and exact traffic.
+    Pass a :class:`repro.obs.Recorder` to log every slow-memory transfer
+    as an io event (keyed by the (I, J) block coordinates).
     """
     a = np.asarray(a, dtype=np.float64)
     n = a.shape[0]
@@ -90,34 +110,34 @@ def execute_block_left_looking(
     nb = -(-n // q)
     # "Slow memory": the factored blocks live here after being stored.
     slow: Dict[Tuple[int, int], np.ndarray] = {}
-    fast = _FastMemory(M)
+    fast = _FastMemory(M, recorder)
 
     def span(I: int) -> slice:
         return slice(I * q, min((I + 1) * q, n))
 
     for J in range(nb):
         for I in range(J, nb):
-            target = fast.load(a[span(I), span(J)])
+            target = fast.load(a[span(I), span(J)], key=(I, J))
             # Stream the two row panels in q-column slices.
             for K in range(J):
-                left = fast.load(slow[(I, K)])
+                left = fast.load(slow[(I, K)], key=(I, K))
                 if I == J:
                     target -= left @ left.T
                 else:
-                    right = fast.load(slow[(J, K)])
+                    right = fast.load(slow[(J, K)], key=(J, K))
                     target -= left @ right.T
                     fast.discard(right)
                 fast.discard(left)
             if I == J:
                 target = scipy.linalg.cholesky(target, lower=True, check_finite=False)
             else:
-                diag = fast.load(slow[(J, J)])
+                diag = fast.load(slow[(J, J)], key=(J, J))
                 target = scipy.linalg.solve_triangular(
                     diag, target.T, lower=True, check_finite=False
                 ).T
                 fast.discard(diag)
             slow[(I, J)] = target
-            fast.store(target)
+            fast.store(target, key=(I, J))
 
     out = np.zeros((n, n))
     for (I, J), block in slow.items():

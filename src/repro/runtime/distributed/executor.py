@@ -16,6 +16,7 @@ communication volume" (Figure 8) can thus be obtained either way.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -23,13 +24,14 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ...graph.task import DataKey, TaskGraph
+from ...obs import Recorder
 from ..execution import KERNEL_DISPATCH, InitialDataSpec
 from ..local import final_versions
 
 __all__ = ["DistributedReport", "execute_distributed"]
 
-#: Wire format of one task: (kind, reads, write)
-_WireTask = Tuple[str, Tuple[DataKey, ...], Optional[DataKey]]
+#: Wire format of one task: (task id, kind, reads, write, flops)
+_WireTask = Tuple[int, str, Tuple[DataKey, ...], Optional[DataKey], float]
 
 
 @dataclass
@@ -40,6 +42,9 @@ class DistributedReport:
     sent_bytes: Dict[int, int]
     sent_messages: Dict[int, int]
     num_nodes: int = 0
+    #: the recorder that collected per-task / per-send events (None on
+    #: un-traced runs); see :mod:`repro.obs`.
+    obs: Optional[Recorder] = None
 
     @property
     def total_bytes(self) -> int:
@@ -61,6 +66,7 @@ def _worker(
     inbox,
     outboxes,
     result_q,
+    trace_base: Optional[float] = None,
 ) -> None:
     try:
         store: Dict[DataKey, np.ndarray] = {}
@@ -68,6 +74,10 @@ def _worker(
         finals_set = set(finals)
         sent_bytes = 0
         sent_messages = 0
+        # When tracing, event tuples shipped back with the result; times
+        # are CLOCK_MONOTONIC seconds relative to the driver's base
+        # (system-wide on Linux, so per-node timelines align).
+        events: Optional[list] = [] if trace_base is not None else None
 
         def publish(key: DataKey, arr: np.ndarray) -> None:
             nonlocal sent_bytes, sent_messages
@@ -76,6 +86,9 @@ def _worker(
                 outboxes[dst].put((key, arr))
                 sent_bytes += arr.nbytes
                 sent_messages += 1
+                if events is not None:
+                    events.append(("xfer", key, node, dst, arr.nbytes,
+                                   time.monotonic() - trace_base))
 
         for key, descriptor in initial:
             publish(key, spec.materialize(key, descriptor))
@@ -86,9 +99,14 @@ def _worker(
                 store[k2] = arr
             return store[key]
 
-        for kind, reads, write in tasks:
+        for tid, kind, reads, write, flops in tasks:
             inputs = [consume(k) for k in reads]
+            if events is not None:
+                start = time.monotonic() - trace_base
             out = KERNEL_DISPATCH[kind](*inputs)
+            if events is not None:
+                events.append(("task", tid, kind, start,
+                               time.monotonic() - trace_base, flops))
             if write is not None:
                 publish(write, out)
             for k in reads:
@@ -97,27 +115,38 @@ def _worker(
                     store.pop(k, None)
 
         result = {k: store[k] for k in finals_set}
-        result_q.put(("ok", node, sent_bytes, sent_messages, result))
+        result_q.put(("ok", node, sent_bytes, sent_messages, result, events))
     except Exception:  # pragma: no cover - surfaced by the driver
-        result_q.put(("error", node, traceback.format_exc(), 0, None))
+        result_q.put(("error", node, traceback.format_exc(), 0, None, None))
 
 
 def execute_distributed(
     graph: TaskGraph,
     spec: InitialDataSpec,
     timeout: float = 300.0,
+    recorder: Optional[Recorder] = None,
 ) -> DistributedReport:
-    """Run ``graph`` across one OS process per node; gather final tiles."""
+    """Run ``graph`` across one OS process per node; gather final tiles.
+
+    Pass a :class:`repro.obs.Recorder` to collect wall-clock task events
+    and per-send transfer events from every worker process (merged into
+    the recorder when the run completes; for sends, the recorded
+    ``submitted == started == delivered`` timestamp is the moment the
+    message entered the destination's queue).
+    """
     num_nodes = graph.nodes_used()
     for key, (home, _d) in graph.initial.items():
         num_nodes = max(num_nodes, home + 1)
+    rec = recorder if (recorder is not None and recorder.enabled) else None
+    if rec is not None and not rec.source:
+        rec.source = "distributed"
 
     # Per-node plans.
     node_tasks: List[List[_WireTask]] = [[] for _ in range(num_nodes)]
     sends: List[Dict[DataKey, List[int]]] = [dict() for _ in range(num_nodes)]
     local_refs: List[Dict[DataKey, int]] = [dict() for _ in range(num_nodes)]
     for t in graph.tasks:
-        node_tasks[t.node].append((t.kind, t.reads, t.write))
+        node_tasks[t.node].append((t.id, t.kind, t.reads, t.write, t.flops))
         for k in t.reads:
             src = graph.source_of(k)
             refs = local_refs[t.node]
@@ -136,6 +165,7 @@ def execute_distributed(
     ctx = mp.get_context("fork")
     inboxes = [ctx.Queue() for _ in range(num_nodes)]
     result_q = ctx.Queue()
+    trace_base = time.monotonic() if rec is not None else None
     procs = []
     for node in range(num_nodes):
         p = ctx.Process(
@@ -151,6 +181,7 @@ def execute_distributed(
                 inboxes[node],
                 inboxes,
                 result_q,
+                trace_base,
             ),
         )
         p.daemon = True
@@ -160,16 +191,19 @@ def execute_distributed(
     store: Dict[DataKey, np.ndarray] = {}
     sent_bytes: Dict[int, int] = {}
     sent_messages: Dict[int, int] = {}
+    all_events: list = []
     error: Optional[str] = None
     try:
         for _ in range(num_nodes):
-            status, node, a, b, result = result_q.get(timeout=timeout)
+            status, node, a, b, result, events = result_q.get(timeout=timeout)
             if status == "error":
                 error = f"node {node} failed:\n{a}"
                 break
             sent_bytes[node] = a
             sent_messages[node] = b
             store.update(result)
+            if events:
+                all_events.extend((node, e) for e in events)
     finally:
         for p in procs:
             p.join(timeout=5.0)
@@ -177,9 +211,22 @@ def execute_distributed(
                 p.terminate()
     if error is not None:
         raise RuntimeError(error)
+    if rec is not None:
+        # Merge worker events on the shared time axis, in time order.
+        def event_time(item):
+            return item[1][-1] if item[1][0] == "xfer" else item[1][4]
+
+        for node, e in sorted(all_events, key=event_time):
+            if e[0] == "task":
+                _tag, tid, kind, start, end, flops = e
+                rec.record_task(tid, kind, node, start, start, end, flops)
+            else:
+                _tag, key, src, dst, nbytes, t = e
+                rec.record_transfer(key, src, dst, nbytes, t, t, t)
     return DistributedReport(
         store=store,
         sent_bytes=sent_bytes,
         sent_messages=sent_messages,
         num_nodes=num_nodes,
+        obs=rec,
     )

@@ -13,12 +13,14 @@ stays proportional to the matrix, not to the task count.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..graph.task import DataKey, TaskGraph
+from ..obs import Recorder
 from ..tiles.layout import TileGrid
 from .execution import InitialDataSpec, apply_task
 
@@ -53,15 +55,23 @@ def execute_graph(
     graph: TaskGraph,
     spec: InitialDataSpec,
     num_threads: int = 0,
+    recorder: Optional[Recorder] = None,
 ) -> Dict[DataKey, np.ndarray]:
     """Run every task; returns the store restricted to final versions.
 
-    ``num_threads`` <= 1 selects the sequential executor.
+    ``num_threads`` <= 1 selects the sequential executor.  Pass a
+    :class:`repro.obs.Recorder` to collect wall-clock task events
+    (seconds since the run started, node = graph placement) plus a
+    ``store.bytes.max`` peak-memory gauge; disabled/None recorders cost
+    nothing.
     """
     keep = set(final_versions(graph).values())
+    rec = recorder if (recorder is not None and recorder.enabled) else None
+    if rec is not None and not rec.source:
+        rec.source = "local"
     if num_threads and num_threads > 1:
-        return _execute_threaded(graph, spec, num_threads, keep)
-    return _execute_sequential(graph, spec, keep)
+        return _execute_threaded(graph, spec, num_threads, keep, rec)
+    return _execute_sequential(graph, spec, keep, rec)
 
 
 def _initial_store(graph: TaskGraph, spec: InitialDataSpec) -> Dict[DataKey, np.ndarray]:
@@ -80,28 +90,48 @@ def _refcounts(graph: TaskGraph) -> Dict[DataKey, int]:
 
 
 def _execute_sequential(
-    graph: TaskGraph, spec: InitialDataSpec, keep: set
+    graph: TaskGraph, spec: InitialDataSpec, keep: set,
+    rec: Optional[Recorder] = None,
 ) -> Dict[DataKey, np.ndarray]:
     store = _initial_store(graph, spec)
     refs = _refcounts(graph)
+    if rec is not None:
+        t0 = time.perf_counter()
+        live = sum(v.nbytes for v in store.values())
+        peak = rec.metrics.gauge("store.bytes.max", "peak resident tile bytes")
+        peak.set_max(live)
     for t in graph.tasks:
         inputs = [store[k] for k in t.reads]
+        if rec is not None:
+            start = time.perf_counter() - t0
         out = apply_task(t, inputs)
+        if rec is not None:
+            end = time.perf_counter() - t0
+            rec.record_task(t.id, t.kind, t.node, start, start, end, t.flops)
         if t.write is not None:
             store[t.write] = out
+            if rec is not None:
+                live += out.nbytes
         for k in t.reads:
             refs[k] -= 1
             if refs[k] == 0 and k not in keep:
+                if rec is not None:
+                    live -= store[k].nbytes
                 del store[k]
+        if rec is not None:
+            peak.set_max(live)
     return {k: v for k, v in store.items() if k in keep}
 
 
 def _execute_threaded(
-    graph: TaskGraph, spec: InitialDataSpec, num_threads: int, keep: set
+    graph: TaskGraph, spec: InitialDataSpec, num_threads: int, keep: set,
+    rec: Optional[Recorder] = None,
 ) -> Dict[DataKey, np.ndarray]:
     store = _initial_store(graph, spec)
     refs = _refcounts(graph)
     lock = threading.Lock()
+    t0 = time.perf_counter()
+    ready_time: Dict[int, float] = {}
 
     # Dependency bookkeeping: indegree = number of reads with a producer.
     indeg = [0] * len(graph.tasks)
@@ -117,8 +147,14 @@ def _execute_threaded(
         t = graph.tasks[tid]
         with lock:
             inputs = [store[k] for k in t.reads]
+        if rec is not None:
+            start = time.perf_counter() - t0
         out = apply_task(t, inputs)
         with lock:
+            if rec is not None:
+                end = time.perf_counter() - t0
+                rec.record_task(t.id, t.kind, t.node,
+                                ready_time.get(tid, start), start, end, t.flops)
             if t.write is not None:
                 store[t.write] = out
             for k in t.reads:
@@ -127,10 +163,17 @@ def _execute_threaded(
                     del store[k]
         return tid
 
+    def submit(pool, pending, tid: int) -> None:
+        if rec is not None:
+            ready_time[tid] = time.perf_counter() - t0
+        pending.add(pool.submit(run_one, tid))
+
     ready = [t.id for t in graph.tasks if indeg[t.id] == 0]
     done_count = 0
     with ThreadPoolExecutor(max_workers=num_threads) as pool:
-        pending = {pool.submit(run_one, tid) for tid in ready}
+        pending: set = set()
+        for tid in ready:
+            submit(pool, pending, tid)
         while pending:
             finished, pending = wait(pending, return_when=FIRST_COMPLETED)
             for fut in finished:
@@ -139,7 +182,7 @@ def _execute_threaded(
                 for c in consumers[tid]:
                     indeg[c] -= 1
                     if indeg[c] == 0:
-                        pending.add(pool.submit(run_one, c))
+                        submit(pool, pending, c)
     if done_count != len(graph.tasks):
         raise RuntimeError(
             f"executed {done_count}/{len(graph.tasks)} tasks: dependency cycle?"

@@ -28,41 +28,16 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ...config import MachineSpec
 from ...graph.priorities import set_critical_path_priorities
 from ...graph.task import DataKey, Task, TaskGraph
+from ...obs import Recorder, TaskEvent, TransferEvent
 from .network import NetworkSim, Transfer
 
 __all__ = ["SimReport", "TaskTrace", "TransferTrace", "simulate"]
 
-
-@dataclass
-class TaskTrace:
-    """Timing of one executed task (only recorded when tracing is on)."""
-
-    task_id: int
-    ready: float  # all inputs present at the node
-    start: float  # worker began executing
-    end: float    # kernel finished
-
-
-@dataclass
-class TransferTrace:
-    """Timing of one delivered message (only recorded when tracing is on)."""
-
-    key: object  # DataKey transferred
-    src: int
-    dst: int
-    submitted: float  # producer finished / transfer requested
-    started: float  # first quantum pushed through the egress port
-    delivered: float  # last quantum landed at the destination
-
-    @property
-    def queue_wait(self) -> float:
-        """Time spent waiting for the source's egress port."""
-        return self.started - self.submitted
-
-    @property
-    def total(self) -> float:
-        """Submission-to-delivery latency."""
-        return self.delivered - self.submitted
+#: Backwards-compatible names: the simulator's per-task / per-message
+#: trace records are now the shared observability events of
+#: :mod:`repro.obs.events` (same field names, plus kind/node/nbytes).
+TaskTrace = TaskEvent
+TransferTrace = TransferEvent
 
 
 @dataclass
@@ -78,8 +53,11 @@ class SimReport:
     time_by_kind: Dict[str, float] = field(default_factory=dict)
     num_tasks: int = 0
     cores_per_node: int = 1
-    trace: Optional[List["TaskTrace"]] = None
-    transfers: Optional[List["TransferTrace"]] = None
+    trace: Optional[List[TaskEvent]] = None
+    transfers: Optional[List[TransferEvent]] = None
+    #: the recorder that collected the trace (None on un-traced runs);
+    #: carries the metrics registry and feeds the repro.obs exporters.
+    obs: Optional[Recorder] = None
 
     @property
     def gflops_per_node(self) -> float:
@@ -146,8 +124,14 @@ def simulate(
     trace: bool = False,
     broadcast: str = "direct",
     aggregate: bool = False,
+    recorder: Optional[Recorder] = None,
 ) -> SimReport:
     """Simulate ``graph`` on ``machine``; see module docstring for the model.
+
+    ``trace=True`` records per-task and per-message events; pass your own
+    :class:`repro.obs.Recorder` as ``recorder`` to also collect metrics
+    across several runs or to export the trace (``repro.obs.export``).
+    The recorder is returned on ``SimReport.obs``.
 
     ``aggregate`` coalesces queued messages sharing a (source,
     destination) pair into one wire message — same bytes, fewer messages.
@@ -237,8 +221,13 @@ def simulate(
         seq += 1
         heapq.heappush(events, (time, seq, kind, payload))
 
-    traces: List[TaskTrace] = []
-    transfer_traces: List[TransferTrace] = []
+    if recorder is not None and recorder.enabled:
+        rec = recorder
+        trace = True
+    else:
+        # A NullRecorder counts as "tracing disabled": zero-cost no-op.
+        rec = Recorder(source="simulator") if trace and recorder is None else None
+        trace = rec is not None
     ready_time = [0.0] * n_tasks if trace else None
     first_chunk_start: Dict[Tuple[DataKey, int], float] = {}
 
@@ -247,7 +236,8 @@ def simulate(
         busy_time[task.node] += dur
         time_by_kind[task.kind] += dur
         if trace:
-            traces.append(TaskTrace(task.id, ready_time[task.id], time, time + dur))
+            rec.record_task(task.id, task.kind, task.node,
+                            ready_time[task.id], time, time + dur, task.flops)
         push_event(time + dur, "task", task)
 
     def enqueue_ready(task: Task, time: float) -> None:
@@ -263,6 +253,10 @@ def simulate(
             start_task(task, time)
         else:
             st.push(task)
+            if trace:
+                rec.metrics.gauge(
+                    "queue.depth.max", "peak ready-queue depth per node"
+                ).set_max(len(st.ready), labels=(task.node,))
 
     def data_arrived_local(key: DataKey, time: float) -> None:
         for tid in local_consumers.get(key, ()):
@@ -374,15 +368,14 @@ def simulate(
         else:  # transfer delivered at the destination
             tr = payload
             if trace:
-                transfer_traces.append(
-                    TransferTrace(
-                        key=tr.key,
-                        src=tr.src,
-                        dst=tr.dst,
-                        submitted=tr.submitted,
-                        started=first_chunk_start.get((tr.key, tr.dst), tr.submitted),
-                        delivered=tr.end,
-                    )
+                rec.record_transfer(
+                    key=tr.key,
+                    src=tr.src,
+                    dst=tr.dst,
+                    nbytes=tr.nbytes,
+                    submitted=tr.submitted,
+                    started=first_chunk_start.get((tr.key, tr.dst), tr.submitted),
+                    delivered=tr.end,
                 )
             for key in tr.keys:
                 data_arrived_remote(key, tr.dst, tr.end)
@@ -401,6 +394,9 @@ def simulate(
             f"({sum(len(v) for v in iter_blocked.values())} blocked on barriers)"
         )
 
+    if trace:
+        rec.finalize_utilization(busy_time, now, machine.cores)
+        rec.metrics.gauge("makespan.seconds", "simulated makespan").set(now)
     return SimReport(
         makespan=now,
         total_flops=graph.total_flops(),
@@ -411,6 +407,7 @@ def simulate(
         time_by_kind=dict(time_by_kind),
         num_tasks=n_tasks,
         cores_per_node=machine.cores,
-        trace=traces if trace else None,
-        transfers=transfer_traces if trace else None,
+        trace=rec.task_events if trace else None,
+        transfers=rec.transfer_events if trace else None,
+        obs=rec if trace else None,
     )

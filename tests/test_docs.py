@@ -1,0 +1,40 @@
+"""Dead-link lint over the repo's markdown documentation."""
+
+from pathlib import Path
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.doclint import DeadLink, default_doc_paths, find_dead_links
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_doc_corpus_is_nonempty():
+    paths = default_doc_paths(ROOT)
+    names = {p.name for p in paths}
+    assert "README.md" in names
+    assert "observability.md" in names
+
+
+def test_no_dead_links_in_docs():
+    dead = find_dead_links(default_doc_paths(ROOT))
+    assert dead == [], "dead markdown links:\n" + "\n".join(
+        f"  {d.file}:{d.lineno}: {d.target}" for d in dead
+    )
+
+
+def test_detects_a_dead_link(tmp_path):
+    md = tmp_path / "page.md"
+    md.write_text(
+        "ok [web](https://example.com) and [anchor](#sec)\n"
+        "bad [missing](./nope.md)\n"
+        "ok [self](page.md#top)\n"
+    )
+    dead = find_dead_links([md])
+    assert len(dead) == 1
+    assert isinstance(dead[0], DeadLink)
+    assert dead[0].lineno == 2 and dead[0].target == "./nope.md"
+
+
+def test_check_docs_cli_passes_on_repo(capsys):
+    assert obs_main(["--check-docs", str(ROOT)]) == 0
+    assert "doc check OK" in capsys.readouterr().out
