@@ -1,0 +1,115 @@
+"""Perf-regression trajectory for the compiled simulator core.
+
+Sweeps POTRF on the paper's P = 36 extended-SBC layout (r = 9) over
+growing tile counts and records, per N: direct graph-compile time,
+communication-plan build time, event-loop wall time, and the process
+peak RSS — the numbers that tell future PRs whether the hot path
+regressed.  Everything is also registered in a
+:class:`repro.obs.MetricsRegistry` and, when ``REPRO_BENCH_OUT`` is set,
+dumped as a JSON trajectory (the checked-in ``BENCH_engine.json`` at the
+repo root holds the reference run; regenerate it with
+``REPRO_FULL=1 REPRO_BENCH_OUT=BENCH_engine.json pytest
+benchmarks/bench_engine_scale.py``).
+
+The acceptance point of the array-engine PR is the last full-mode row:
+N = 400 (10.7M tasks) must simulate in under 60 s wall.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import time
+
+from conftest import print_header, sizes
+
+from repro.config import bora
+from repro.distributions import SymmetricBlockCyclic
+from repro.graph import compile_cholesky
+from repro.obs import MetricsRegistry
+from repro.runtime.simulator import simulate_compiled
+
+B = 512
+R = 9  # extended SBC on P = 36 nodes, the paper's largest square layout
+NS = sizes(small=[18, 36, 54], full=[100, 200, 400])
+
+
+def _peak_rss_mb() -> float:
+    # ru_maxrss is KiB on Linux; the high-water mark is process-wide and
+    # monotonic, so per-N values are cumulative peaks (Ns run ascending).
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def trajectory(ns):
+    dist = SymmetricBlockCyclic(R)
+    machine = bora(nodes=dist.num_nodes)
+    metrics = MetricsRegistry()
+    rows = []
+    for N in ns:
+        t0 = time.perf_counter()
+        cg = compile_cholesky(N, B, dist)
+        t1 = time.perf_counter()
+        cg.comm_plan()
+        t2 = time.perf_counter()
+        rep = simulate_compiled(cg, machine)
+        t3 = time.perf_counter()
+        row = {
+            "N": N,
+            "n": N * B,
+            "n_tasks": cg.n_tasks,
+            "build_seconds": round(t1 - t0, 3),
+            "plan_seconds": round(t2 - t1, 3),
+            "sim_seconds": round(t3 - t2, 3),
+            "peak_rss_mb": round(_peak_rss_mb(), 1),
+            "makespan_seconds": rep.makespan,
+            "comm_messages": rep.comm_messages,
+            "comm_bytes": rep.comm_bytes,
+        }
+        rows.append(row)
+        for key in ("build_seconds", "plan_seconds", "sim_seconds",
+                    "peak_rss_mb"):
+            metrics.gauge(f"bench.engine.{key}",
+                          "engine-scale trajectory").set(row[key], labels=(N,))
+    return rows, metrics
+
+
+def test_engine_scale(run_once):
+    rows, metrics = run_once(trajectory, NS)
+    print_header(
+        f"Compiled-engine scaling, POTRF on SBC-extended(r={R}), b={B}",
+        f"{'N':>5} {'tasks':>10} {'build(s)':>9} {'plan(s)':>9} "
+        f"{'sim(s)':>9} {'peakRSS(MB)':>12}",
+    )
+    for r in rows:
+        print(f"{r['N']:>5} {r['n_tasks']:>10} {r['build_seconds']:>9.2f} "
+              f"{r['plan_seconds']:>9.2f} {r['sim_seconds']:>9.2f} "
+              f"{r['peak_rss_mb']:>12.1f}")
+
+    # Structural sanity: work grows ~N^3, so per-task sim cost must stay
+    # roughly flat (the array engine's whole point).  Allow generous
+    # headroom for noisy shared boxes.
+    for r in rows:
+        assert r["n_tasks"] > 0 and r["sim_seconds"] >= 0.0
+        per_task_us = 1e6 * r["sim_seconds"] / r["n_tasks"]
+        assert per_task_us < 60.0, f"sim cost {per_task_us:.1f}us/task at N={r['N']}"
+    # The acceptance bound of the array-engine PR, checked in full mode.
+    if NS[-1] == 400:
+        assert rows[-1]["sim_seconds"] < 60.0
+
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        doc = {
+            "bench": "engine_scale",
+            "config": {"b": B, "r": R, "distribution": f"SBC-extended(r={R})",
+                       "machine": "bora", "nodes": SymmetricBlockCyclic(R).num_nodes},
+            "host": {"python": platform.python_version(),
+                     "machine": platform.machine()},
+            "trajectory": rows,
+            "metrics": metrics.as_dict(),
+        }
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out}")

@@ -11,9 +11,11 @@ work, using the structure of Algorithm 1:
   (rows ``j+1 .. N-1``).
 
 Each produced tile is therefore sent to ``popcount(owners-of-consumers
-minus its own owner)``.  Owner sets are represented as 64-bit node masks
-(the paper never exceeds P = 36) and segment unions become prefix/suffix
-bitwise ORs.  Equality with the generic graph counter is property-tested.
+minus its own owner)``.  Owner sets are represented as node bitmasks —
+one uint64 *word* per 64 nodes, so platforms of any size work (the paper
+never exceeds P = 36, but 2.5D sweeps at large ``r * c`` routinely pass
+64) — and segment unions become prefix/suffix bitwise ORs.  Equality
+with the generic graph counter is property-tested.
 """
 
 from __future__ import annotations
@@ -33,36 +35,59 @@ __all__ = [
 _POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.int64)
 
 
-def _popcount64(arr: np.ndarray) -> np.ndarray:
-    """Per-element population count of a uint64 array."""
-    b = arr.view(np.uint8).reshape(arr.shape + (8,))
+def _popcount(arr: np.ndarray) -> np.ndarray:
+    """Per-mask population count; masks live on the trailing word axis."""
+    b = arr.view(np.uint8).reshape(arr.shape[:-1] + (arr.shape[-1] * 8,))
     return _POP8[b].sum(axis=-1)
+
+
+def _num_words(owners: np.ndarray) -> int:
+    """Mask words needed for this owner map (one uint64 per 64 nodes)."""
+    if owners.size and owners.min() < 0:
+        raise ValueError("owner map contains negative node ids")
+    top = int(owners.max()) if owners.size else 0
+    return top // 64 + 1
+
+
+def _masks(owners: np.ndarray, words: int) -> np.ndarray:
+    """Per-entry one-hot bitmasks, shape ``owners.shape + (words,)``."""
+    out = np.zeros(owners.shape + (words,), dtype=np.uint64)
+    word = owners // 64
+    bit = (np.uint64(1) << (owners % 64).astype(np.uint64)).astype(np.uint64)
+    np.put_along_axis(out, word[..., None], bit[..., None], axis=-1)
+    return out
+
+
+def _suffix_or(masks: np.ndarray, axis: int) -> np.ndarray:
+    """``out[t] = OR of masks[t:]`` along ``axis``, with a zero row appended.
+
+    The result has one extra entry along ``axis`` (the empty suffix).
+    """
+    flipped = np.flip(masks, axis=axis)
+    acc = np.flip(np.bitwise_or.accumulate(flipped, axis=axis), axis=axis)
+    pad_shape = list(masks.shape)
+    pad_shape[axis] = 1
+    zero = np.zeros(pad_shape, dtype=np.uint64)
+    return np.concatenate([acc, zero], axis=axis)
 
 
 def _destination_masks(owners: np.ndarray) -> np.ndarray:
     """Per-tile destination bitmasks for POTRF under owner map ``owners``.
 
-    Returns an (N, N) uint64 array D where D[j, i] (j > i) has bit ``n``
+    Returns an (N, N, W) uint64 array D where D[j, i] (j > i) has bit ``n``
     set iff node ``n`` receives the TRSM result (j, i), and D[i, i] the
     receivers of the POTRF result (the producing node's bit is cleared).
     """
     N = owners.shape[0]
-    if owners.min() < 0:
-        raise ValueError("owner map contains negative node ids")
-    if owners.max() >= 64:
-        raise ValueError(
-            "fast counter supports at most 64 nodes; use the generic "
-            "graph counter for larger platforms"
-        )
-    masks = (np.uint64(1) << owners.astype(np.uint64)).astype(np.uint64)
-    dests = np.zeros((N, N), dtype=np.uint64)
+    W = _num_words(owners)
+    masks = _masks(owners, W)
+    dests = np.zeros((N, N, W), dtype=np.uint64)
 
     # Column suffix ORs: colsuf[t, j] = OR of masks[t:, j]  (colsuf[N, j] = 0).
-    colsuf = np.zeros((N + 1, N), dtype=np.uint64)
-    colsuf[:N] = np.bitwise_or.accumulate(masks[::-1], axis=0)[::-1]
+    colsuf = _suffix_or(masks, axis=0)
 
     # POTRF results: diagonal tile (i, i) feeds the TRSMs of column i.
-    diag_masks = (np.uint64(1) << np.diag(owners).astype(np.uint64)).astype(np.uint64)
+    diag_masks = masks[np.arange(N), np.arange(N)]
     trsm_sets = colsuf[np.arange(1, N + 1), np.arange(N)]  # owners of rows > i in col i
     dests[np.arange(N), np.arange(N)] = trsm_sets & ~diag_masks
 
@@ -70,8 +95,7 @@ def _destination_masks(owners: np.ndarray) -> np.ndarray:
     for j in range(1, N):
         row = masks[j, :j]
         # rowsuf[t] = OR of row[t:]; consumers in row j are columns i+1..j-1.
-        rowsuf = np.zeros(j + 1, dtype=np.uint64)
-        rowsuf[:j] = np.bitwise_or.accumulate(row[::-1])[::-1]
+        rowsuf = _suffix_or(row, axis=0)
         row_sets = rowsuf[1 : j + 1]  # index i -> OR of masks[j, i+1..j-1]
         col_const = colsuf[j + 1, j] | masks[j, j]  # SYRK (j,j) + column below
         combined = row_sets | col_const
@@ -81,7 +105,7 @@ def _destination_masks(owners: np.ndarray) -> np.ndarray:
 
 def _transfer_counts(owners: np.ndarray) -> np.ndarray:
     """Per-tile transfer counts for POTRF under owner map ``owners``."""
-    return _popcount64(_destination_masks(owners))
+    return _popcount(_destination_masks(owners))
 
 
 def cholesky_message_count(dist: Distribution, N: int) -> int:
@@ -98,17 +122,25 @@ def cholesky_node_traffic(dist: Distribution, N: int):
     """
     owners = dist.owner_map(N)
     dests = _destination_masks(owners)
-    counts = _popcount64(dests)
+    counts = _popcount(dests)
     P = dist.num_nodes
     sent = np.zeros(P, dtype=np.int64)
-    recv = np.zeros(P, dtype=np.int64)
     tril = np.tril_indices(N)
     tile_owners = owners[tril]
     tile_counts = counts[tril]
-    tile_dests = dests[tril]
+    tile_dests = dests[tril]  # (T, W) masks of the lower-triangle tiles
     np.add.at(sent, tile_owners, tile_counts)
-    for n in range(P):
-        recv[n] = int(((tile_dests >> np.uint64(n)) & np.uint64(1)).sum())
+    # One popcount-by-node pass: unpack every mask into per-node bit
+    # columns and sum over tiles (little-endian bit order matches bit n
+    # of word n // 64 == node n).
+    bits = np.unpackbits(
+        tile_dests.view(np.uint8), axis=-1, bitorder="little"
+    )
+    recv = bits.sum(axis=0, dtype=np.int64)[:P]
+    assert sent.sum() == recv.sum(), (
+        f"per-node message accounting out of balance: "
+        f"sent {int(sent.sum())} != received {int(recv.sum())}"
+    )
     return sent, recv
 
 
@@ -117,17 +149,6 @@ def cholesky_volume_exact(
 ) -> int:
     """Exact POTRF communication volume in bytes (matches the graph counter)."""
     return cholesky_message_count(dist, N) * b * b * element_size
-
-
-def _masks(owners: np.ndarray) -> np.ndarray:
-    if owners.min() < 0:
-        raise ValueError("owner map contains negative node ids")
-    if owners.max() >= 64:
-        raise ValueError(
-            "fast counter supports at most 64 nodes; use the generic "
-            "graph counter for larger platforms"
-        )
-    return (np.uint64(1) << owners.astype(np.uint64)).astype(np.uint64)
 
 
 def lu_message_count(dist: Distribution, N: int) -> int:
@@ -140,28 +161,27 @@ def lu_message_count(dist: Distribution, N: int) -> int:
     already communication-optimal for it (§III-E).
     """
     owners = dist.owner_map(N)
-    masks = _masks(owners)
+    W = _num_words(owners)
+    masks = _masks(owners, W)
     total = 0
 
     # Suffix ORs along rows and columns.
-    rowsuf = np.zeros((N, N + 1), dtype=np.uint64)
-    rowsuf[:, :N] = np.bitwise_or.accumulate(masks[:, ::-1], axis=1)[:, ::-1]
-    colsuf = np.zeros((N + 1, N), dtype=np.uint64)
-    colsuf[:N] = np.bitwise_or.accumulate(masks[::-1], axis=0)[::-1]
+    rowsuf = _suffix_or(masks, axis=1)
+    colsuf = _suffix_or(masks, axis=0)
 
     diag_idx = np.arange(N)
     # GETRF (i, i) -> both panels of step i.
     panels = rowsuf[diag_idx, diag_idx + 1] | colsuf[diag_idx + 1, diag_idx]
-    total += int(_popcount64(panels & ~masks[diag_idx, diag_idx]).sum())
+    total += int(_popcount(panels & ~masks[diag_idx, diag_idx]).sum())
     # L-panel tiles (j, i), j > i -> row j, columns i+1..N-1.
     for i in range(N):
         col = masks[i + 1 :, i]
         sets = rowsuf[np.arange(i + 1, N), i + 1]
-        total += int(_popcount64(sets & ~col).sum())
+        total += int(_popcount(sets & ~col).sum())
         # U-panel tiles (i, k), k > i -> column k, rows i+1..N-1.
         row = masks[i, i + 1 :]
         sets = colsuf[i + 1, np.arange(i + 1, N)]
-        total += int(_popcount64(sets & ~row).sum())
+        total += int(_popcount(sets & ~row).sum())
     return total
 
 

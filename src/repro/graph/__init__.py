@@ -16,6 +16,14 @@ from .inversion import (
     trtri_phase,
 )
 from .lu import build_lu_graph, build_lu_graph_25d
+from .compiled import (
+    CommPlan,
+    CompiledGraph,
+    compile_cholesky,
+    compile_graph,
+    compile_lu,
+    compiled_critical_path_priorities,
+)
 from .redistribution import remap_phase
 from .priorities import (
     KIND_RANK,
@@ -50,6 +58,12 @@ __all__ = [
     "build_potri_graph",
     "build_lu_graph",
     "build_lu_graph_25d",
+    "CommPlan",
+    "CompiledGraph",
+    "compile_graph",
+    "compile_cholesky",
+    "compile_lu",
+    "compiled_critical_path_priorities",
     "trtri_phase",
     "lauum_phase",
     "remap_phase",

@@ -1,0 +1,683 @@
+"""Array-based lowering of task graphs (the simulator's fast data plane).
+
+The object representation (:class:`repro.graph.task.Task`, dict-of-list
+dependency maps) is convenient to build and validate but tops out around
+N = 100 tiles: the paper's headline runs reach N = 600 (~36M tasks), where
+per-task Python objects dominate both memory and event-dispatch time.
+This module lowers a graph into a :class:`CompiledGraph` of flat numpy
+columns — task kind/node/flops/iteration/priority, CSR read adjacency,
+per-version producer and byte-size tables — plus a :class:`CommPlan` of
+precomputed communication structures (missing-input counts, local-consumer
+and remote-needer lists, per-version remote destination lists in
+first-need order) that the fast engine
+(:func:`repro.runtime.simulator.fast_engine.simulate_compiled`) walks with
+integer ids only.
+
+Two entry points:
+
+* :func:`compile_graph` lowers any existing :class:`TaskGraph` — the
+  reference path, property-tested to drive the fast engine to *exactly*
+  the object engine's makespan/bytes/messages;
+* :func:`compile_cholesky` / :func:`compile_lu` generate the arrays of
+  the 2D Cholesky/LU graphs directly from the distribution, never
+  materializing a ``Task`` — O(N) vectorized batches instead of O(N^3)
+  Python object constructions, which is what makes paper-scale N
+  tractable.  They produce bit-identical arrays to lowering the
+  object-built graph (also property-tested).
+
+Priorities use the same bottom-level recurrence as
+:func:`repro.graph.priorities.set_critical_path_priorities`; the direct
+compilers carry ``level_ranges`` (contiguous batches of mutually
+independent tasks) so the reverse sweep runs as ~3N vectorized
+segment-max reductions instead of an O(tasks) Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distributions.base import Distribution
+from ..kernels.flops import kernel_flops
+from .task import DataKey, TaskGraph
+
+__all__ = [
+    "CompiledGraph",
+    "CommPlan",
+    "compile_graph",
+    "compile_cholesky",
+    "compile_lu",
+    "compiled_critical_path_priorities",
+]
+
+#: Canonical kind -> code table shared by the generic lowering and the
+#: direct compilers, so both produce identical ``kind_codes`` arrays.
+#: Unknown kinds are appended dynamically by :func:`compile_graph`.
+CANONICAL_KINDS = (
+    "POTRF", "TRSM", "SYRK", "GEMM",
+    "GETRF", "TRSM_L", "TRSM_U", "GEMM_LU",
+    "REDUCE", "REMAP",
+    "TRSM_SOLVE", "TRSM_SOLVE_T", "GEMM_RHS", "GEMM_RHS_T",
+    "TRTRI", "TRSM_RINV", "TRSM_LINV", "GEMM_INV",
+    "TRMM", "LAUUM", "SYRK_T", "GEMM_T",
+)
+
+
+@dataclass
+class CommPlan:
+    """Precomputed communication bookkeeping for one compiled graph.
+
+    All consumer lists are in task-id order and all destination lists in
+    first-need order — the exact orders the object engine discovers them
+    in, which is what makes the two engines tie-break identically.
+    """
+
+    #: per-task count of inputs not initially present at the task's node
+    missing: np.ndarray
+    #: CSR over data ids: consumer tasks co-located with the producer
+    lc_ptr: np.ndarray
+    lc_ids: np.ndarray
+    #: remote (data, destination) pairs, one row per eventual wire message
+    #: (before any broadcast-tree re-routing): grouped by data id in
+    #: first-need order of the destinations.
+    pair_data: np.ndarray
+    pair_dst: np.ndarray
+    #: per-pair [start, start + count) slice into ``rn_ids``: the consumer
+    #: tasks waiting at that destination, in task-id order
+    pair_rn_start: np.ndarray
+    pair_rn_count: np.ndarray
+    rn_ids: np.ndarray
+    #: per data id, the [start, end) slice of its pairs (empty when the
+    #: version never leaves its producer)
+    kd_ptr: np.ndarray
+    #: (data id, home node) of misplaced initial versions, in the order
+    #: the object engine kicks their eager transfers off at t = 0
+    initial_sources: Tuple[Tuple[int, int], ...]
+
+
+@dataclass
+class CompiledGraph:
+    """A task graph lowered to flat arrays (see module docstring)."""
+
+    b: int
+    width: int
+    element_size: int
+    kind_names: List[str]
+    kind_codes: np.ndarray  # int16 per task
+    node: np.ndarray  # int32 per task
+    flops: np.ndarray  # float64 per task
+    iteration: np.ndarray  # int32 per task
+    priority: np.ndarray  # float64 per task (0 until assigned)
+    write_id: np.ndarray  # int32 per task, -1 when the task writes nothing
+    read_ptr: np.ndarray  # int64, len n_tasks + 1
+    read_ids: np.ndarray  # int32 data ids
+    n_init: int  # versions that pre-exist the computation (ids 0..n_init-1)
+    data_producer: np.ndarray  # int32 producing task id, -1 for initial data
+    data_source_node: np.ndarray  # int32 producer's node / initial home
+    data_nbytes: np.ndarray  # int64 per data id
+    #: DataKey per data id — kept by :func:`compile_graph` for tracing;
+    #: the direct compilers skip it (keys are synthesized on demand).
+    data_keys: Optional[List[DataKey]] = None
+    #: contiguous [lo, hi) task-id batches, in forward topological order,
+    #: whose tasks are mutually independent (enables the vectorized
+    #: priority sweep); None -> generic Python sweep.
+    level_ranges: Optional[List[Tuple[int, int]]] = None
+    _plan: Optional[CommPlan] = field(default=None, repr=False)
+    _cons_csr: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False
+    )
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.kind_codes)
+
+    @property
+    def n_data(self) -> int:
+        return len(self.data_producer)
+
+    def nodes_used(self) -> int:
+        return int(self.node.max()) + 1 if self.n_tasks else 0
+
+    def total_flops(self) -> float:
+        return float(self.flops.sum())
+
+    def comm_plan(self) -> CommPlan:
+        """The precomputed communication structures (built once, cached)."""
+        if self._plan is None:
+            self._plan = _build_comm_plan(self)
+        return self._plan
+
+    def consumers_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR over *tasks*: ids of tasks reading each task's output,
+        in task-id order (the priority sweep's adjacency).  Built once
+        and cached (the arrays are treated as read-only)."""
+        if self._cons_csr is not None:
+            return self._cons_csr
+        producer = self.data_producer[self.read_ids]
+        has = producer >= 0
+        prod = producer[has]
+        cons = np.repeat(
+            np.arange(self.n_tasks, dtype=np.int32),
+            np.diff(self.read_ptr),
+        )[has]
+        order = np.argsort(prod, kind="stable")
+        ptr = np.zeros(self.n_tasks + 1, dtype=np.int64)
+        np.cumsum(np.bincount(prod, minlength=self.n_tasks), out=ptr[1:])
+        self._cons_csr = (ptr, cons[order])
+        return self._cons_csr
+
+
+def _build_comm_plan(cg: CompiledGraph) -> CommPlan:
+    n_tasks, n_data = cg.n_tasks, cg.n_data
+    edge_cons = np.repeat(
+        np.arange(n_tasks, dtype=np.int32), np.diff(cg.read_ptr)
+    )
+    edge_data = cg.read_ids
+    src = cg.data_source_node[edge_data]
+    dst = cg.node[edge_cons]
+    produced = cg.data_producer[edge_data] >= 0
+    remote = src != dst
+
+    missing = np.bincount(
+        edge_cons[produced | remote], minlength=n_tasks
+    ).astype(np.int32)
+
+    # Local consumers of produced versions, grouped by data id.
+    lmask = produced & ~remote
+    ldata = edge_data[lmask]
+    lorder = np.argsort(ldata, kind="stable")
+    lc_ptr = np.zeros(n_data + 1, dtype=np.int64)
+    np.cumsum(np.bincount(ldata, minlength=n_data), out=lc_ptr[1:])
+    lc_ids = edge_cons[lmask][lorder]
+
+    # Remote needers, grouped by (data, destination) pair.
+    rdata = edge_data[remote].astype(np.int64)
+    rdst = dst[remote]
+    rcons = edge_cons[remote]
+    num_nodes = int(cg.node.max()) + 1 if n_tasks else 1
+    pair_key = rdata * num_nodes + rdst
+    porder = np.argsort(pair_key, kind="stable")
+    sorted_pairs = pair_key[porder]
+    # Group boundaries on the already-sorted keys (np.unique would sort
+    # again — measurable at tens of millions of edges).
+    if len(sorted_pairs):
+        head = np.empty(len(sorted_pairs), dtype=bool)
+        head[0] = True
+        np.not_equal(sorted_pairs[1:], sorted_pairs[:-1], out=head[1:])
+        starts = np.flatnonzero(head)
+        uniq = sorted_pairs[starts]
+        counts = np.diff(np.append(starts, len(sorted_pairs)))
+    else:
+        uniq = sorted_pairs
+        starts = np.empty(0, dtype=np.int64)
+        counts = starts
+    # rn_ids holds all remote-needer tasks grouped by pair (task order
+    # within each group, since the argsort is stable).
+    rn_ids = rcons[porder]
+    # First edge (in task order) of each pair: the stable sort puts each
+    # group's smallest original index first, which drives first-need order.
+    first_edge = porder[starts] if len(uniq) else starts
+    pdata = (uniq // num_nodes).astype(np.int64)
+    # Within each data id, order destinations by first need (pairs of one
+    # data id stay contiguous): sort by (data, first_edge).
+    kd_order = np.lexsort((first_edge, pdata))
+    pair_data = pdata[kd_order]
+    pair_dst = (uniq % num_nodes).astype(np.int32)[kd_order]
+    pair_rn_start = starts[kd_order].astype(np.int64)
+    pair_rn_count = counts[kd_order].astype(np.int64)
+
+    kd_ptr = np.zeros(n_data + 1, dtype=np.int64)
+    np.cumsum(np.bincount(pair_data, minlength=n_data), out=kd_ptr[1:])
+
+    # Misplaced initial versions, ordered by their first remote read.
+    init_mask = cg.data_producer[pair_data] < 0
+    if init_mask.any():
+        idata = pair_data[init_mask]
+        ifirst = first_edge[kd_order][init_mask]
+        seen_first = np.full(n_data, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(seen_first, idata, ifirst)
+        init_ids = np.unique(idata)
+        init_ids = init_ids[np.argsort(seen_first[init_ids], kind="stable")]
+        initial_sources = tuple(
+            (int(d), int(cg.data_source_node[d])) for d in init_ids
+        )
+    else:
+        initial_sources = ()
+
+    return CommPlan(
+        missing=missing,
+        lc_ptr=lc_ptr,
+        lc_ids=lc_ids,
+        pair_data=pair_data,
+        pair_dst=pair_dst,
+        pair_rn_start=pair_rn_start,
+        pair_rn_count=pair_rn_count,
+        rn_ids=rn_ids,
+        kd_ptr=kd_ptr,
+        initial_sources=initial_sources,
+    )
+
+
+def compiled_critical_path_priorities(
+    cg: CompiledGraph, durations: np.ndarray
+) -> np.ndarray:
+    """Bottom-level priorities, bit-identical to the object-path sweep.
+
+    ``priority[t] = durations[t] + max(priority of consumers, default 0)``
+    — the recurrence of
+    :func:`repro.graph.priorities.set_critical_path_priorities`.  With
+    ``level_ranges`` available the reverse sweep is a handful of
+    ``maximum.reduceat`` calls per level; otherwise it falls back to a
+    Python loop over the (topologically ordered) task list.
+    """
+    n = cg.n_tasks
+    cons_ptr, cons_ids = cg.consumers_csr()
+    bottom = np.zeros(n, dtype=np.float64)
+    if cg.level_ranges is not None:
+        for lo, hi in reversed(cg.level_ranges):
+            flat_lo, flat_hi = cons_ptr[lo], cons_ptr[hi]
+            vals = bottom[cons_ids[flat_lo:flat_hi]]
+            starts = (cons_ptr[lo:hi] - flat_lo).astype(np.int64)
+            deg = np.diff(cons_ptr[lo : hi + 1])
+            if len(vals):
+                red = np.maximum.reduceat(
+                    vals, np.minimum(starts, len(vals) - 1)
+                )
+                succ = np.where(deg > 0, red, 0.0)
+            else:
+                succ = np.zeros(hi - lo, dtype=np.float64)
+            bottom[lo:hi] = durations[lo:hi] + succ
+        return bottom
+    # Generic reverse sweep (tasks are topologically ordered by id).
+    ptr = cons_ptr.tolist()
+    ids = cons_ids.tolist()
+    dur = durations.tolist()
+    out = bottom.tolist()
+    for t in range(n - 1, -1, -1):
+        succ = 0.0
+        for c in ids[ptr[t] : ptr[t + 1]]:
+            v = out[c]
+            if v > succ:
+                succ = v
+        out[t] = dur[t] + succ
+    return np.asarray(out, dtype=np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Generic lowering of an object graph
+# ---------------------------------------------------------------------------
+
+
+def compile_graph(graph: TaskGraph) -> CompiledGraph:
+    """Lower an object :class:`TaskGraph` into a :class:`CompiledGraph`.
+
+    Data ids number the initial versions first (declaration order), then
+    one id per writing task in task order — the same numbering the direct
+    compilers use, so ``compile_graph(build_cholesky_graph(...))`` equals
+    ``compile_cholesky(...)`` array for array.
+    """
+    kind_names = list(CANONICAL_KINDS)
+    kind_code: Dict[str, int] = {k: i for i, k in enumerate(kind_names)}
+
+    data_id: Dict[DataKey, int] = {}
+    data_keys: List[DataKey] = []
+    homes: List[int] = []
+    for key, (home, _desc) in graph.initial.items():
+        data_id[key] = len(data_keys)
+        data_keys.append(key)
+        homes.append(home)
+    n_init = len(data_keys)
+
+    n = len(graph.tasks)
+    kinds = np.empty(n, dtype=np.int16)
+    node = np.empty(n, dtype=np.int32)
+    flops = np.empty(n, dtype=np.float64)
+    iteration = np.empty(n, dtype=np.int32)
+    priority = np.empty(n, dtype=np.float64)
+    write_id = np.full(n, -1, dtype=np.int32)
+    read_counts = np.empty(n, dtype=np.int64)
+    reads_flat: List[int] = []
+
+    producer: List[int] = [-1] * n_init
+    source_node: List[int] = list(homes)
+
+    for t in graph.tasks:
+        code = kind_code.get(t.kind)
+        if code is None:
+            code = len(kind_names)
+            kind_code[t.kind] = code
+            kind_names.append(t.kind)
+        kinds[t.id] = code
+        node[t.id] = t.node
+        flops[t.id] = t.flops
+        iteration[t.id] = t.iteration
+        priority[t.id] = t.priority
+        read_counts[t.id] = len(t.reads)
+        for k in t.reads:
+            reads_flat.append(data_id[k])
+        if t.write is not None:
+            d = len(data_keys)
+            data_id[t.write] = d
+            data_keys.append(t.write)
+            producer.append(t.id)
+            source_node.append(t.node)
+            write_id[t.id] = d
+
+    read_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(read_counts, out=read_ptr[1:])
+    nbytes = np.asarray(
+        [graph.data_bytes(k) for k in data_keys], dtype=np.int64
+    )
+    return CompiledGraph(
+        b=graph.b,
+        width=graph.width,
+        element_size=graph.element_size,
+        kind_names=kind_names,
+        kind_codes=kinds,
+        node=node,
+        flops=flops,
+        iteration=iteration,
+        priority=priority,
+        write_id=write_id,
+        read_ptr=read_ptr,
+        read_ids=np.asarray(reads_flat, dtype=np.int32),
+        n_init=n_init,
+        data_producer=np.asarray(producer, dtype=np.int32),
+        data_source_node=np.asarray(source_node, dtype=np.int32),
+        data_nbytes=nbytes,
+        data_keys=data_keys,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Direct compilers: Cholesky and LU without object materialization
+# ---------------------------------------------------------------------------
+
+
+def _concat(parts: Sequence[np.ndarray], dtype) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate([np.asarray(p, dtype=dtype) for p in parts])
+
+
+def compile_cholesky(N: int, b: int, dist: Distribution) -> CompiledGraph:
+    """Arrays of ``build_cholesky_graph(N, b, dist)``, built directly.
+
+    Emits the exact task/version numbering of
+    :func:`repro.graph.cholesky.cholesky_phase` — POTRF, the TRSM panel,
+    then per-column SYRK + GEMMs, iteration by iteration — using O(N)
+    vectorized batches.  Version bookkeeping exploits the closed form of
+    Algorithm 1: the update of iteration ``i`` reads version ``i`` of
+    every trailing tile and writes version ``i + 1``.
+    """
+    if N < 1:
+        raise ValueError(f"need at least one tile, got N={N}")
+    owners = dist.owner_map(N).astype(np.int32)
+
+    # Initial versions: declare order is column-major over the lower
+    # triangle (j outer, i from j to N-1): id(i, j) = off[j] + i - j.
+    n_init = N * (N + 1) // 2
+    jj = np.arange(N, dtype=np.int64)
+    col_off = jj * N - jj * (jj - 1) // 2
+
+    def tri_id(i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return col_off[j] + i - j
+
+    # Current version id of every lower-triangle tile (packed tri index).
+    cur = np.arange(n_init, dtype=np.int64)
+
+    POTRF, TRSM, SYRK, GEMM = (
+        CANONICAL_KINDS.index("POTRF"),
+        CANONICAL_KINDS.index("TRSM"),
+        CANONICAL_KINDS.index("SYRK"),
+        CANONICAL_KINDS.index("GEMM"),
+    )
+    f_potrf = kernel_flops("POTRF", b)
+    f_trsm = kernel_flops("TRSM", b)
+    f_syrk = kernel_flops("SYRK", b)
+    f_gemm = kernel_flops("GEMM", b)
+
+    kinds_p: List[np.ndarray] = []
+    node_p: List[np.ndarray] = []
+    flops_p: List[np.ndarray] = []
+    iter_p: List[np.ndarray] = []
+    nread_p: List[np.ndarray] = []
+    reads_p: List[np.ndarray] = []
+    levels: List[Tuple[int, int]] = []
+
+    tid = 0
+    tril_owner = owners  # owner(i, j) for i >= j is owners[i, j] directly
+    for i in range(N):
+        m = N - i  # trailing block size including the pivot column
+        rows = np.arange(i + 1, N, dtype=np.int64)
+
+        # POTRF(i, i): reads the current diagonal version.
+        diag_tile = tri_id(np.int64(i), np.int64(i))
+        kinds_p.append(np.full(1, POTRF))
+        node_p.append(owners[i, i][None])
+        flops_p.append(np.full(1, f_potrf))
+        iter_p.append(np.full(1, i))
+        nread_p.append(np.full(1, 1))
+        reads_p.append(cur[diag_tile][None])
+        diag_ver = n_init + tid
+        cur[diag_tile] = diag_ver
+        levels.append((tid, tid + 1))
+        tid += 1
+
+        if m == 1:
+            continue
+
+        # TRSM panel: tiles (j, i), j = i+1..N-1, reads (prev, diag).
+        panel_tiles = tri_id(rows, np.int64(i))
+        kinds_p.append(np.full(m - 1, TRSM))
+        node_p.append(tril_owner[rows, i])
+        flops_p.append(np.full(m - 1, f_trsm))
+        iter_p.append(np.full(m - 1, i))
+        nread_p.append(np.full(m - 1, 2))
+        trsm_reads = np.empty(2 * (m - 1), dtype=np.int64)
+        trsm_reads[0::2] = cur[panel_tiles]
+        trsm_reads[1::2] = diag_ver
+        reads_p.append(trsm_reads)
+        trsm_out0 = n_init + tid  # output id of TRSM(i+1, i)
+        cur[panel_tiles] = trsm_out0 + np.arange(m - 1)
+        levels.append((tid, tid + m - 1))
+        tid += m - 1
+
+        # Trailing update: per column k (ascending), SYRK(k, k) then
+        # GEMM(j, k) for j = k+1..N-1 — column-major enumeration of the
+        # trailing lower triangle.
+        kk = np.repeat(rows, (N - rows).astype(np.int64))
+        up_j = np.concatenate(
+            [np.arange(k, N, dtype=np.int64) for k in rows]
+        )
+        n_up = len(kk)
+        is_syrk = up_j == kk
+        up_tiles = tri_id(up_j, kk)
+        a_ki = trsm_out0 + (kk - i - 1)  # TRSM output of column tile (k, i)
+        a_ji = trsm_out0 + (up_j - i - 1)
+        kinds_p.append(np.where(is_syrk, SYRK, GEMM))
+        node_p.append(tril_owner[up_j, kk])
+        flops_p.append(np.where(is_syrk, f_syrk, f_gemm))
+        iter_p.append(np.full(n_up, i))
+        nread = np.where(is_syrk, 2, 3)
+        nread_p.append(nread)
+        starts = np.zeros(n_up, dtype=np.int64)
+        np.cumsum(nread[:-1], out=starts[1:])
+        up_reads = np.empty(int(nread.sum()), dtype=np.int64)
+        # SYRK reads (prev, a_ki); GEMM reads (prev, a_ji, a_ki).
+        up_reads[starts] = cur[up_tiles]
+        up_reads[starts + 1] = np.where(is_syrk, a_ki, a_ji)
+        up_reads[starts[~is_syrk] + 2] = a_ki[~is_syrk]
+        reads_p.append(up_reads)
+        cur[up_tiles] = n_init + tid + np.arange(n_up)
+        levels.append((tid, tid + n_up))
+        tid += n_up
+
+    n_tasks = tid
+    read_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+    np.cumsum(_concat(nread_p, np.int64), out=read_ptr[1:])
+    node = _concat(node_p, np.int32)
+    data_producer = np.concatenate(
+        [np.full(n_init, -1, dtype=np.int32),
+         np.arange(n_tasks, dtype=np.int32)]
+    )
+    # Initial homes: owner of tile (i, j) in declare order.
+    init_i = np.concatenate([np.arange(j, N) for j in range(N)])
+    init_j = np.repeat(np.arange(N), N - np.arange(N))
+    init_home = owners[init_i, init_j].astype(np.int32)
+    data_source_node = np.concatenate([init_home, node])
+
+    return CompiledGraph(
+        b=b,
+        width=0,
+        element_size=8,
+        kind_names=list(CANONICAL_KINDS),
+        kind_codes=_concat(kinds_p, np.int16),
+        node=node,
+        flops=_concat(flops_p, np.float64),
+        iteration=_concat(iter_p, np.int32),
+        priority=np.zeros(n_tasks, dtype=np.float64),
+        write_id=(n_init + np.arange(n_tasks)).astype(np.int32),
+        read_ptr=read_ptr,
+        read_ids=_concat(reads_p, np.int32),
+        n_init=n_init,
+        data_producer=data_producer,
+        data_source_node=data_source_node,
+        data_nbytes=np.full(n_init + n_tasks, b * b * 8, dtype=np.int64),
+        data_keys=None,
+        level_ranges=levels,
+    )
+
+
+def compile_lu(N: int, b: int, dist: Distribution) -> CompiledGraph:
+    """Arrays of ``build_lu_graph(N, b, dist)``, built directly.
+
+    Same scheme as :func:`compile_cholesky` on the full (nonsymmetric)
+    tile grid: GETRF, the L panel (column), the U panel (row), then the
+    trailing GEMM_LU block in row-major order, iteration by iteration.
+    """
+    if N < 1:
+        raise ValueError(f"need at least one tile, got N={N}")
+    owners = dist.owner_map(N).astype(np.int32)
+
+    n_init = N * N  # declare order: i outer, j inner -> id = i * N + j
+    cur = np.arange(n_init, dtype=np.int64)
+
+    GETRF = CANONICAL_KINDS.index("GETRF")
+    TRSM_L = CANONICAL_KINDS.index("TRSM_L")
+    TRSM_U = CANONICAL_KINDS.index("TRSM_U")
+    GEMM_LU = CANONICAL_KINDS.index("GEMM_LU")
+    f_getrf = kernel_flops("GETRF", b)
+    f_trsm = kernel_flops("TRSM_L", b)
+    f_gemm = kernel_flops("GEMM_LU", b)
+
+    kinds_p: List[np.ndarray] = []
+    node_p: List[np.ndarray] = []
+    flops_p: List[np.ndarray] = []
+    iter_p: List[np.ndarray] = []
+    nread_p: List[np.ndarray] = []
+    reads_p: List[np.ndarray] = []
+    levels: List[Tuple[int, int]] = []
+
+    tid = 0
+    for i in range(N):
+        m = N - i
+        rows = np.arange(i + 1, N, dtype=np.int64)
+
+        diag_tile = i * N + i
+        kinds_p.append(np.full(1, GETRF))
+        node_p.append(owners[i, i][None])
+        flops_p.append(np.full(1, f_getrf))
+        iter_p.append(np.full(1, i))
+        nread_p.append(np.full(1, 1))
+        reads_p.append(cur[diag_tile][None])
+        diag_ver = n_init + tid
+        cur[diag_tile] = diag_ver
+        levels.append((tid, tid + 1))
+        tid += 1
+
+        if m == 1:
+            continue
+
+        # L panel: tiles (j, i), reads (prev, diag).
+        l_tiles = rows * N + i
+        kinds_p.append(np.full(m - 1, TRSM_L))
+        node_p.append(owners[rows, i])
+        flops_p.append(np.full(m - 1, f_trsm))
+        iter_p.append(np.full(m - 1, i))
+        nread_p.append(np.full(m - 1, 2))
+        l_reads = np.empty(2 * (m - 1), dtype=np.int64)
+        l_reads[0::2] = cur[l_tiles]
+        l_reads[1::2] = diag_ver
+        reads_p.append(l_reads)
+        l_out0 = n_init + tid
+        cur[l_tiles] = l_out0 + np.arange(m - 1)
+        levels.append((tid, tid + m - 1))
+        tid += m - 1
+
+        # U panel: tiles (i, k), reads (prev, diag).
+        u_tiles = i * N + rows
+        kinds_p.append(np.full(m - 1, TRSM_U))
+        node_p.append(owners[i, rows])
+        flops_p.append(np.full(m - 1, f_trsm))
+        iter_p.append(np.full(m - 1, i))
+        nread_p.append(np.full(m - 1, 2))
+        u_reads = np.empty(2 * (m - 1), dtype=np.int64)
+        u_reads[0::2] = cur[u_tiles]
+        u_reads[1::2] = diag_ver
+        reads_p.append(u_reads)
+        u_out0 = n_init + tid
+        cur[u_tiles] = u_out0 + np.arange(m - 1)
+        levels.append((tid, tid + m - 1))
+        tid += m - 1
+
+        # Trailing block, row-major: (j, k) for j then k ascending;
+        # reads (prev, a_ji, a_ik).
+        up_j = np.repeat(rows, m - 1)
+        up_k = np.tile(rows, m - 1)
+        n_up = len(up_j)
+        up_tiles = up_j * N + up_k
+        kinds_p.append(np.full(n_up, GEMM_LU))
+        node_p.append(owners[up_j, up_k])
+        flops_p.append(np.full(n_up, f_gemm))
+        iter_p.append(np.full(n_up, i))
+        nread_p.append(np.full(n_up, 3))
+        up_reads = np.empty(3 * n_up, dtype=np.int64)
+        up_reads[0::3] = cur[up_tiles]
+        up_reads[1::3] = l_out0 + (up_j - i - 1)
+        up_reads[2::3] = u_out0 + (up_k - i - 1)
+        reads_p.append(up_reads)
+        cur[up_tiles] = n_init + tid + np.arange(n_up)
+        levels.append((tid, tid + n_up))
+        tid += n_up
+
+    n_tasks = tid
+    read_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+    np.cumsum(_concat(nread_p, np.int64), out=read_ptr[1:])
+    node = _concat(node_p, np.int32)
+    init_home = owners.reshape(-1).astype(np.int32)
+    return CompiledGraph(
+        b=b,
+        width=0,
+        element_size=8,
+        kind_names=list(CANONICAL_KINDS),
+        kind_codes=_concat(kinds_p, np.int16),
+        node=node,
+        flops=_concat(flops_p, np.float64),
+        iteration=_concat(iter_p, np.int32),
+        priority=np.zeros(n_tasks, dtype=np.float64),
+        write_id=(n_init + np.arange(n_tasks)).astype(np.int32),
+        read_ptr=read_ptr,
+        read_ids=_concat(reads_p, np.int32),
+        n_init=n_init,
+        data_producer=np.concatenate(
+            [np.full(n_init, -1, dtype=np.int32),
+             np.arange(n_tasks, dtype=np.int32)]
+        ),
+        data_source_node=np.concatenate([init_home, node]),
+        data_nbytes=np.full(n_init + n_tasks, b * b * 8, dtype=np.int64),
+        data_keys=None,
+        level_ranges=levels,
+    )

@@ -1,6 +1,7 @@
 """Discrete-event cluster simulator (StarPU-like runtime timing model)."""
 
 from .engine import SimReport, TaskTrace, TransferTrace, simulate
+from .fast_engine import simulate_compiled
 from .network import Chunk, NetworkSim, Transfer
 from .analysis import (
     CriticalPathBreakdown,
@@ -11,6 +12,7 @@ from .analysis import (
 
 __all__ = [
     "simulate",
+    "simulate_compiled",
     "SimReport",
     "TaskTrace",
     "TransferTrace",

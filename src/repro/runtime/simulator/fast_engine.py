@@ -1,0 +1,724 @@
+"""Array-plane discrete-event engine over a :class:`CompiledGraph`.
+
+This is the same simulation as :func:`repro.runtime.simulator.engine
+.simulate` — same network model (the :class:`NetworkSim` instance is
+shared code), same scheduling policy, same event ordering — but the event
+loop walks integer task/data ids over the flat arrays produced by
+:mod:`repro.graph.compiled` instead of ``Task`` objects and dict-of-list
+dependency maps.  Every bookkeeping structure is lowered to a compact
+Python-native form chosen for constant-time, allocation-free access in
+the loop:
+
+* per-task node / kind columns become ``bytes`` (values are small, so
+  indexing yields interned ints and the working set stays cache-sized);
+* the missing-input counters live in one ``bytearray``;
+* the common ``write_id[t] == n_init + t`` layout of the direct compilers
+  is detected and replaced by arithmetic, skipping a 10M-entry table;
+* CSR adjacency is sliced from pre-lowered Python lists.
+
+The transcription is deliberately statement-by-statement faithful to the
+object engine, including the order in which events are pushed (the heap
+tie-breaker is the push sequence number): the property suite asserts
+*exact* equality of makespan, bytes and messages between the two engines
+across distributions, broadcast modes and aggregation settings.  The
+object engine remains the reference implementation — prefer it for small
+graphs, custom ``duration_fn`` callables and exploratory changes; see
+``docs/network-model.md`` ("Scaling limits").
+"""
+
+from __future__ import annotations
+
+import gc
+from heapq import heappop, heappush
+from collections import defaultdict, deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...config import MachineSpec
+from ...graph.compiled import CompiledGraph, compiled_critical_path_priorities
+from ...obs import Recorder
+from .engine import SimReport
+from .network import NetworkSim, Transfer
+
+__all__ = ["simulate_compiled"]
+
+
+def simulate_compiled(
+    cg: CompiledGraph,
+    machine: MachineSpec,
+    synchronized: bool = False,
+    durations: Optional[np.ndarray] = None,
+    auto_priorities: bool = True,
+    trace: bool = False,
+    broadcast: str = "direct",
+    aggregate: bool = False,
+    recorder: Optional[Recorder] = None,
+) -> SimReport:
+    """Simulate a compiled graph on ``machine``.
+
+    Accepts the same options as the object engine's ``simulate`` except
+    that custom task durations are passed as a per-task array
+    (``durations``) rather than a callable.  Returns the same
+    :class:`SimReport`.
+    """
+    if broadcast not in ("direct", "tree"):
+        raise ValueError(f"unknown broadcast mode {broadcast!r}")
+    n_tasks = cg.n_tasks
+    if n_tasks == 0:
+        raise ValueError("cannot simulate an empty graph")
+    if cg.nodes_used() > machine.nodes:
+        raise ValueError(
+            f"graph uses {cg.nodes_used()} nodes but machine has {machine.nodes}"
+        )
+    num_nodes = machine.nodes
+    if durations is None:
+        kernel = machine.kernel
+        durations = kernel.overhead + cg.flops / kernel.rate(cg.b)
+    if auto_priorities and not cg.priority.any():
+        cg.priority[:] = compiled_critical_path_priorities(cg, durations)
+
+    plan = cg.comm_plan()
+
+    # --- lowered per-run state ---------------------------------------------
+    # ``bytes``/``bytearray`` columns index ~as fast as lists but without a
+    # pointer per entry: at N = 400 the task columns alone would otherwise
+    # be ~90 MB of pointers each, and the loop's working set falls out of
+    # cache (see module docstring).
+    if num_nodes <= 256:
+        node_l = cg.node.astype(np.uint8).tobytes()
+    else:
+        node_l = cg.node.tolist()
+    if len(cg.kind_names) <= 256:
+        kind_l = cg.kind_codes.astype(np.uint8).tobytes()
+    else:
+        kind_l = cg.kind_codes.tolist()
+    n_init = cg.n_init
+    # The direct compilers emit write_id[t] == n_init + t; detect it and
+    # use arithmetic instead of a 10M-entry table.
+    write_dense = bool(
+        np.array_equal(
+            cg.write_id,
+            np.arange(n_init, n_init + n_tasks, dtype=np.int64),
+        )
+    )
+    write_l = None if write_dense else cg.write_id.tolist()
+    dur_l = durations.tolist()
+    # Ready-queue keys are -priority; pre-negate once.
+    negprio_l = np.negative(cg.priority).tolist()
+    mi = plan.missing
+    if mi.size == 0 or int(mi.max()) < 256:
+        missing = bytearray(mi.astype(np.uint8).tobytes())
+    else:
+        missing = mi.tolist()
+    lc_ptr = plan.lc_ptr.tolist()
+    # kd_ptr is consulted per *message* (rare), but "does this data have
+    # remote destinations at all" per *task* (hot): a bytes bitmap answers
+    # the hot question in one index with no boxed-int churn.
+    kd_ptr = plan.kd_ptr
+    has_remote = (np.diff(kd_ptr) != 0).astype(np.uint8).tobytes()
+    pair_dst = plan.pair_dst.tolist()
+    rn_start = plan.pair_rn_start.tolist()
+    rn_count = plan.pair_rn_count.tolist()
+    nbytes_a = cg.data_nbytes
+    # Local-consumer ids are sliced per completed task (many, tiny
+    # slices): pre-lower to a Python list once and cache it across runs.
+    lc_ids = getattr(cg, "_lc_ids_list", None)
+    if lc_ids is None:
+        lc_ids = plan.lc_ids.tolist()
+        cg._lc_ids_list = lc_ids
+    # Remote-needer slices are large (one per message, all the waiting
+    # consumers of one tile on one node), so deliveries decrement their
+    # counters in bulk with numpy over a view of the ``missing`` buffer.
+    # Valid only when every slice is strictly increasing (no task listed
+    # twice — a duplicate would be decremented once, not twice, by fancy
+    # indexing); otherwise fall back to the scalar loop.
+    rn_arr = plan.rn_ids
+    rn_vec = getattr(cg, "_rn_monotonic", None)
+    if rn_vec is None:
+        rn_vec = True
+        if len(rn_arr) > 1:
+            delta = np.diff(rn_arr)
+            cross = np.sort(plan.pair_rn_start)
+            cross = cross[(cross > 0) & (cross <= len(delta))] - 1
+            within = np.ones(len(delta), dtype=bool)
+            within[cross] = False
+            rn_vec = bool(np.all(delta[within] > 0))
+        cg._rn_monotonic = rn_vec
+    rn_vec = rn_vec and isinstance(missing, bytearray)
+    mi_view = np.frombuffer(missing, dtype=np.uint8) if rn_vec else None
+
+    # Per-pair transfer priority: max over the waiting tasks, exactly the
+    # max() the object engine evaluates at request time.
+    n_pairs = len(pair_dst)
+    if n_pairs:
+        starts = plan.pair_rn_start
+        order = np.argsort(starts, kind="stable")
+        red = np.maximum.reduceat(cg.priority[rn_arr], starts[order])
+        pair_prio_arr = np.empty(n_pairs, dtype=np.float64)
+        pair_prio_arr[order] = red
+        pair_prio = pair_prio_arr.tolist()
+    else:
+        pair_prio = []
+    # data id * num_nodes + destination -> pair index (int keys hash and
+    # compare faster than tuples); shared across runs on the same machine
+    # size (read-only).
+    cached = getattr(cg, "_pair_index", None)
+    if cached is not None and cached[0] == num_nodes:
+        pair_index: Dict[int, int] = cached[1]
+    else:
+        keys = (plan.pair_data.astype(np.int64) * num_nodes
+                + plan.pair_dst).tolist()
+        pair_index = dict(zip(keys, range(n_pairs)))
+        cg._pair_index = (num_nodes, pair_index)
+
+    # --- synchronized-mode bookkeeping -------------------------------------
+    if synchronized:
+        iters, inverse = np.unique(cg.iteration, return_inverse=True)
+        ipos = inverse.tolist()
+        iter_remaining = np.bincount(inverse, minlength=len(iters)).tolist()
+        n_iters = len(iters)
+    else:
+        ipos = None
+        iter_remaining = []
+        n_iters = 0
+    iter_blocked: Dict[int, List[int]] = defaultdict(list)
+    released_idx = 0
+
+    free = [machine.cores] * num_nodes
+    # Per-node ready queue as a bucket queue: a FIFO deque per distinct
+    # -priority plus a small heap of the distinct -priorities present.
+    # Pop order (highest priority, FIFO within ties) is identical to the
+    # object engine's (-priority, seq) heap, but push/pop cost no
+    # log-depth tuple comparisons — the queues hold millions of entries
+    # at paper scale.
+    buckets: List[dict] = [{} for _ in range(num_nodes)]
+    pheap: List[list] = [[] for _ in range(num_nodes)]
+    qlen = [0] * num_nodes  # queue depth, only tracked for the trace gauge
+    net = NetworkSim(machine.network, num_nodes, aggregate=aggregate)
+    # The per-quantum server is transcribed inline in the event loop (the
+    # single hottest network path); bind its state once.
+    net_queues = net._queues
+    net_ingress = net._ingress_free
+    net_egress_busy = net._egress_busy
+    net_busy = net.busy_time
+    net_quantum = net.quantum
+    net_bw = net._bandwidth
+    net_lat = net._latency
+
+    # --- event loop ---------------------------------------------------------
+    # Events are (time, seq, kind, payload): kind 0 = task completion
+    # (payload: task id), 1 = egress freed (payload: Chunk), 2 = delivery
+    # (payload: Transfer) — the object engine's "task"/"sent"/"xfer".
+    events: list = []
+    seq = 0
+    now = 0.0
+
+    if recorder is not None and recorder.enabled:
+        rec = recorder
+        trace = True
+    else:
+        rec = Recorder(source="simulator") if trace and recorder is None else None
+        trace = rec is not None
+    ready_time = [0.0] * n_tasks if trace else None
+    first_chunk_start: Dict[Tuple[int, int], float] = {}
+    data_keys = cg.data_keys
+    kind_names = cg.kind_names
+
+    def enqueue_ready(t: int, time: float) -> None:
+        nonlocal seq
+        if trace:
+            ready_time[t] = time
+        if synchronized and ipos[t] > released_idx:
+            iter_blocked[ipos[t]].append(t)
+            return
+        n = node_l[t]
+        if free[n] > 0:
+            free[n] -= 1
+            dur = dur_l[t]
+            if trace:
+                rec.record_task(t, kind_names[kind_l[t]], n,
+                                ready_time[t], time, time + dur, cg.flops[t])
+            seq += 1
+            heappush(events, (time + dur, seq, 0, t))
+        else:
+            np_ = negprio_l[t]
+            bq = buckets[n]
+            b = bq.get(np_)
+            if b is None:
+                bq[np_] = deque((t,))
+                heappush(pheap[n], np_)
+            else:
+                b.append(t)
+            if trace:
+                qlen[n] += 1
+                rec.metrics.gauge(
+                    "queue.depth.max", "peak ready-queue depth per node"
+                ).set_max(qlen[n], labels=(n,))
+
+    def launch(chunk) -> None:
+        nonlocal seq
+        tr = chunk.transfer
+        if trace and (tr.key, tr.dst) not in first_chunk_start:
+            first_chunk_start[(tr.key, tr.dst)] = chunk.egress_done
+        seq += 1
+        heappush(events, (chunk.egress_done, seq, 1, tr.src))
+        if chunk.final:
+            seq += 1
+            heappush(events, (chunk.delivery, seq, 2, tr))
+
+    def _send(d: int, src: int, dst: int, prio: float, time: float) -> None:
+        started = net.submit(
+            Transfer(d, src, dst, int(nbytes_a[d]), prio), time
+        )
+        if started is not None:
+            launch(started)
+
+    # Forwarding plans for tree broadcasts: (data id, node) -> child nodes.
+    tree_children: Dict[Tuple[int, int], List[int]] = {}
+    _forward_prios: Dict[Tuple[int, int], float] = {}
+
+    def request_transfers(d: int, src: int, time: float) -> None:
+        p0 = int(kd_ptr[d])
+        p1 = int(kd_ptr[d + 1])
+        if p0 == p1:
+            return
+        if broadcast == "direct" or p1 - p0 == 1:
+            for p in range(p0, p1):
+                _send(d, src, pair_dst[p], pair_prio[p], time)
+            return
+        # Binomial tree: urgent destinations closest to the root; node at
+        # index i is served by the node at index i - 2^floor(log2 i).
+        dsts = pair_dst[p0:p1]
+        prios = {dsts[k]: pair_prio[p0 + k] for k in range(p1 - p0)}
+        order = sorted(dsts, key=lambda x: -prios[x])
+        ring = [src] + order
+        children: Dict[int, List[int]] = defaultdict(list)
+        for i in range(1, len(ring)):
+            parent = i - (1 << (i.bit_length() - 1))
+            children[parent].append(i)
+        subtree_prio = [0.0] * len(ring)
+        for i in range(len(ring) - 1, 0, -1):
+            subtree_prio[i] = max(
+                [prios[ring[i]]] + [subtree_prio[c] for c in children.get(i, ())]
+            )
+        for i in range(1, len(ring)):
+            kids = children.get(i)
+            if kids:
+                tree_children[(d, ring[i])] = [ring[c] for c in kids]
+        for c in children[0]:
+            _send(d, src, ring[c], subtree_prio[c], time)
+        for i in range(1, len(ring)):
+            for c in children.get(i, ()):
+                _forward_prios[(d, ring[c])] = subtree_prio[c]
+
+    def release_iterations(time: float) -> None:
+        nonlocal released_idx
+        while (
+            released_idx + 1 < n_iters
+            and iter_remaining[released_idx] == 0
+        ):
+            released_idx += 1
+            for t in iter_blocked.pop(released_idx, []):
+                if missing[t] == 0:
+                    enqueue_ready(t, time)
+
+    # Kick off: source tasks (ascending id, like the object engine's scan)
+    # and transfers of misplaced initial data.
+    for t in np.flatnonzero(mi == 0).tolist():
+        enqueue_ready(t, 0.0)
+    for d, home in plan.initial_sources:
+        request_transfers(d, home, 0.0)
+
+    delivered_pairs = set()
+
+    # The loop allocates only acyclic temporaries (event tuples, chunks),
+    # reclaimed by refcounting; with tens of millions of live ints in the
+    # lowered lists, letting the cyclic collector run full passes here
+    # costs more than the whole event loop.  The two ``enqueue_ready``
+    # call sites below are inlined copies of the function above — the
+    # call itself (and the closure-cell reloads it forces) is measurable
+    # at ten million calls.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        if trace or synchronized:
+            while events:
+                now, _evseq, kind, payload = heappop(events)
+                if kind == 0:  # task completion
+                    t = payload
+                    n = node_l[t]
+                    ph = pheap[n]
+                    if ph:
+                        np0 = ph[0]
+                        bq = buckets[n]
+                        b2 = bq[np0]
+                        t2 = b2.popleft()
+                        if not b2:
+                            heappop(ph)
+                            del bq[np0]
+                        if trace:
+                            qlen[n] -= 1
+                        dur = dur_l[t2]
+                        if trace:
+                            rec.record_task(t2, kind_names[kind_l[t2]], n,
+                                            ready_time[t2], now, now + dur,
+                                            cg.flops[t2])
+                        seq += 1
+                        heappush(events, (now + dur, seq, 0, t2))
+                    else:
+                        free[n] += 1
+                    d = t + n_init if write_dense else write_l[t]
+                    if d >= 0:
+                        a = lc_ptr[d]
+                        b = lc_ptr[d + 1]
+                        if a != b:
+                            # most tiles have exactly one local consumer;
+                            # skip the slice allocation for that case
+                            for tid in ((lc_ids[a],) if b - a == 1
+                                        else lc_ids[a:b]):
+                                m = missing[tid] - 1
+                                missing[tid] = m
+                                if m == 0:  # inlined enqueue_ready(tid, now)
+                                    if trace:
+                                        ready_time[tid] = now
+                                    if synchronized and ipos[tid] > released_idx:
+                                        iter_blocked[ipos[tid]].append(tid)
+                                        continue
+                                    n2 = node_l[tid]
+                                    if free[n2] > 0:
+                                        free[n2] -= 1
+                                        dur = dur_l[tid]
+                                        if trace:
+                                            rec.record_task(
+                                                tid, kind_names[kind_l[tid]], n2,
+                                                now, now, now + dur, cg.flops[tid])
+                                        seq += 1
+                                        heappush(events, (now + dur, seq, 0, tid))
+                                    else:
+                                        np_ = negprio_l[tid]
+                                        bq = buckets[n2]
+                                        b3 = bq.get(np_)
+                                        if b3 is None:
+                                            bq[np_] = deque((tid,))
+                                            heappush(pheap[n2], np_)
+                                        else:
+                                            b3.append(tid)
+                                        if trace:
+                                            qlen[n2] += 1
+                                            rec.metrics.gauge(
+                                                "queue.depth.max",
+                                                "peak ready-queue depth per node",
+                                            ).set_max(qlen[n2], labels=(n2,))
+                        if has_remote[d]:
+                            request_transfers(d, n, now)
+                    if synchronized:
+                        iter_remaining[ipos[t]] -= 1
+                        release_iterations(now)
+                elif kind == 1:  # source egress channel freed
+                    # Statement-by-statement transcription of
+                    # ``NetworkSim._serve`` + ``launch``: the per-quantum path
+                    # runs millions of times and the call/Chunk overhead is
+                    # measurable.  Covered by the engine-equality suite.
+                    src_n = payload
+                    queue = net_queues[src_n]
+                    while queue:
+                        negprio, _s, tr = heappop(queue)
+                        if negprio == -tr.priority:
+                            break
+                    else:
+                        net_egress_busy[src_n] = False
+                        continue
+                    remaining = tr.remaining
+                    size = net_quantum if net_quantum < remaining else remaining
+                    remaining -= size
+                    tr.remaining = remaining
+                    wire = size / net_bw
+                    occupancy = wire if tr.started else wire + net_lat
+                    tr.started = True
+                    egress_done = now + occupancy
+                    dst = tr.dst
+                    ingress = net_ingress[dst] + wire
+                    delivery = egress_done if egress_done > ingress else ingress
+                    net_ingress[dst] = delivery
+                    net_busy[src_n] += occupancy
+                    if remaining:
+                        s2 = net._seq + 1
+                        net._seq = s2
+                        heappush(queue, (-tr.priority, s2, tr))
+                    else:
+                        tr.end = delivery
+                    if trace and (tr.key, dst) not in first_chunk_start:
+                        first_chunk_start[(tr.key, dst)] = egress_done
+                    seq += 1
+                    heappush(events, (egress_done, seq, 1, src_n))
+                    if not remaining:
+                        seq += 1
+                        heappush(events, (delivery, seq, 2, tr))
+                else:  # transfer delivered at the destination
+                    tr = payload
+                    if trace:
+                        rec.record_transfer(
+                            key=data_keys[tr.key] if data_keys is not None else tr.key,
+                            src=tr.src,
+                            dst=tr.dst,
+                            nbytes=tr.nbytes,
+                            submitted=tr.submitted,
+                            started=first_chunk_start.get(
+                                (tr.key, tr.dst), tr.submitted
+                            ),
+                            delivered=tr.end,
+                        )
+                    dst = tr.dst
+                    end = tr.end
+                    for d in tr.keys:
+                        p = pair_index[d * num_nodes + dst]
+                        if p not in delivered_pairs:
+                            delivered_pairs.add(p)
+                            s0 = rn_start[p]
+                            s1 = s0 + rn_count[p]
+                            if rn_vec:
+                                ids = rn_arr[s0:s1]
+                                vals = mi_view[ids]
+                                vals -= 1
+                                mi_view[ids] = vals
+                                newly = ids[vals == 0]
+                                ready_iter = newly.tolist() if len(newly) else ()
+                            else:
+                                ready_iter = []
+                                for tid in rn_arr[s0:s1].tolist():
+                                    m = missing[tid] - 1
+                                    missing[tid] = m
+                                    if m == 0:
+                                        ready_iter.append(tid)
+                            # Enqueueing after all decrements is equivalent to
+                            # the object engine's interleaved order: enqueues
+                            # never read the counters, and the relative order
+                            # of the newly-ready tasks is the slice order.
+                            for tid in ready_iter:
+                                # inlined enqueue_ready(tid, end)
+                                if trace:
+                                    ready_time[tid] = end
+                                if synchronized and ipos[tid] > released_idx:
+                                    iter_blocked[ipos[tid]].append(tid)
+                                    continue
+                                n2 = node_l[tid]
+                                if free[n2] > 0:
+                                    free[n2] -= 1
+                                    dur = dur_l[tid]
+                                    if trace:
+                                        rec.record_task(
+                                            tid, kind_names[kind_l[tid]], n2,
+                                            end, end, end + dur, cg.flops[tid])
+                                    seq += 1
+                                    heappush(events, (end + dur, seq, 0, tid))
+                                else:
+                                    np_ = negprio_l[tid]
+                                    bq = buckets[n2]
+                                    b3 = bq.get(np_)
+                                    if b3 is None:
+                                        bq[np_] = deque((tid,))
+                                        heappush(pheap[n2], np_)
+                                    else:
+                                        b3.append(tid)
+                                    if trace:
+                                        qlen[n2] += 1
+                                        rec.metrics.gauge(
+                                            "queue.depth.max",
+                                            "peak ready-queue depth per node",
+                                        ).set_max(qlen[n2], labels=(n2,))
+                        for child in tree_children.pop((d, dst), ()):
+                            _send(
+                                d,
+                                dst,
+                                child,
+                                _forward_prios.pop((d, child), tr.priority),
+                                end,
+                            )
+        else:
+            # Lean variant of the loop above for the common untraced,
+            # unsynchronized case: identical statements minus the trace
+            # and barrier branches (the equality suite runs both paths).
+            _hpush = heappush
+            _hpop = heappop
+            is_tree = broadcast == "tree"
+            while events:
+                now, _evseq, kind, payload = _hpop(events)
+                if kind == 0:  # task completion
+                    t = payload
+                    n = node_l[t]
+                    ph = pheap[n]
+                    if ph:
+                        np0 = ph[0]
+                        bq = buckets[n]
+                        b2 = bq[np0]
+                        t2 = b2.popleft()
+                        if not b2:
+                            _hpop(ph)
+                            del bq[np0]
+                        seq += 1
+                        _hpush(events, (now + dur_l[t2], seq, 0, t2))
+                    else:
+                        free[n] += 1
+                    d = t + n_init if write_dense else write_l[t]
+                    if d >= 0:
+                        a = lc_ptr[d]
+                        b = lc_ptr[d + 1]
+                        if a != b:
+                            for tid in ((lc_ids[a],) if b - a == 1
+                                        else lc_ids[a:b]):
+                                m = missing[tid] - 1
+                                missing[tid] = m
+                                if m == 0:  # enqueue_ready(tid, now)
+                                    n2 = node_l[tid]
+                                    if free[n2] > 0:
+                                        free[n2] -= 1
+                                        seq += 1
+                                        _hpush(events,
+                                               (now + dur_l[tid], seq, 0, tid))
+                                    else:
+                                        np_ = negprio_l[tid]
+                                        bq = buckets[n2]
+                                        b3 = bq.get(np_)
+                                        if b3 is None:
+                                            bq[np_] = deque((tid,))
+                                            _hpush(pheap[n2], np_)
+                                        else:
+                                            b3.append(tid)
+                        if has_remote[d]:
+                            request_transfers(d, n, now)
+                elif kind == 1:  # source egress channel freed
+                    src_n = payload
+                    queue = net_queues[src_n]
+                    while queue:
+                        negprio, _s, tr = _hpop(queue)
+                        if negprio == -tr.priority:
+                            break
+                    else:
+                        net_egress_busy[src_n] = False
+                        continue
+                    remaining = tr.remaining
+                    size = (net_quantum if net_quantum < remaining
+                            else remaining)
+                    remaining -= size
+                    tr.remaining = remaining
+                    wire = size / net_bw
+                    occupancy = wire if tr.started else wire + net_lat
+                    tr.started = True
+                    egress_done = now + occupancy
+                    dst = tr.dst
+                    ingress = net_ingress[dst] + wire
+                    delivery = (egress_done if egress_done > ingress
+                                else ingress)
+                    net_ingress[dst] = delivery
+                    net_busy[src_n] += occupancy
+                    if remaining:
+                        s2 = net._seq + 1
+                        net._seq = s2
+                        _hpush(queue, (-tr.priority, s2, tr))
+                    else:
+                        tr.end = delivery
+                    seq += 1
+                    _hpush(events, (egress_done, seq, 1, src_n))
+                    if not remaining:
+                        seq += 1
+                        _hpush(events, (delivery, seq, 2, tr))
+                else:  # transfer delivered at the destination
+                    tr = payload
+                    dst = tr.dst
+                    end = tr.end
+                    for d in tr.keys:
+                        p = pair_index[d * num_nodes + dst]
+                        if p not in delivered_pairs:
+                            delivered_pairs.add(p)
+                            s0 = rn_start[p]
+                            s1 = s0 + rn_count[p]
+                            if rn_vec:
+                                ids = rn_arr[s0:s1]
+                                vals = mi_view[ids]
+                                vals -= 1
+                                mi_view[ids] = vals
+                                newly = ids[vals == 0]
+                                ready_iter = (newly.tolist() if len(newly)
+                                              else ())
+                            else:
+                                ready_iter = []
+                                for tid in rn_arr[s0:s1].tolist():
+                                    m = missing[tid] - 1
+                                    missing[tid] = m
+                                    if m == 0:
+                                        ready_iter.append(tid)
+                            for tid in ready_iter:  # enqueue_ready(tid, end)
+                                n2 = node_l[tid]
+                                if free[n2] > 0:
+                                    free[n2] -= 1
+                                    seq += 1
+                                    _hpush(events,
+                                           (end + dur_l[tid], seq, 0, tid))
+                                else:
+                                    np_ = negprio_l[tid]
+                                    bq = buckets[n2]
+                                    b3 = bq.get(np_)
+                                    if b3 is None:
+                                        bq[np_] = deque((tid,))
+                                        _hpush(pheap[n2], np_)
+                                    else:
+                                        b3.append(tid)
+                        if is_tree:
+                            for child in tree_children.pop((d, dst), ()):
+                                _send(
+                                    d,
+                                    dst,
+                                    child,
+                                    _forward_prios.pop((d, child), tr.priority),
+                                    end,
+                                )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    queued = sum(len(q) for bq in buckets for q in bq.values())
+    blocked = sum(len(v) for v in iter_blocked.values())
+    if isinstance(missing, bytearray):
+        unready = int(np.count_nonzero(np.frombuffer(missing, dtype=np.uint8)))
+    else:
+        unready = sum(1 for m in missing if m)
+    done = n_tasks - queued - blocked - unready
+    if done != n_tasks:
+        raise RuntimeError(
+            f"simulation deadlock: executed {done}/{n_tasks} tasks "
+            f"({blocked} blocked on barriers)"
+        )
+
+    # Every task ran exactly once, so per-node and per-kind busy time are
+    # plain weighted bincounts over the task table.  Summation order
+    # differs from the object engine's event-order accumulation, so these
+    # match it to float rounding (makespan/bytes/messages stay exact).
+    busy_time = np.bincount(
+        cg.node, weights=durations, minlength=num_nodes
+    ).tolist()
+    counts = np.bincount(cg.kind_codes, minlength=len(kind_names))
+    kt = np.bincount(cg.kind_codes, weights=durations,
+                     minlength=len(kind_names))
+    time_by_kind = {
+        kind_names[c]: float(kt[c])
+        for c in range(len(kind_names))
+        if counts[c]
+    }
+    if trace:
+        rec.finalize_utilization(busy_time, now, machine.cores)
+        rec.metrics.gauge("makespan.seconds", "simulated makespan").set(now)
+    return SimReport(
+        makespan=now,
+        total_flops=cg.total_flops(),
+        num_nodes=machine.nodes,
+        comm_bytes=int(net.total_bytes),
+        comm_messages=int(net.total_messages),
+        busy_time=busy_time,
+        time_by_kind=time_by_kind,
+        num_tasks=n_tasks,
+        cores_per_node=machine.cores,
+        trace=rec.task_events if trace else None,
+        transfers=rec.transfer_events if trace else None,
+        obs=rec if trace else None,
+    )

@@ -23,6 +23,7 @@ last quantum lands.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import List, NamedTuple, Optional
 
 from ...config import NetworkSpec
@@ -71,6 +72,10 @@ class NetworkSim:
         self.spec = spec
         self.num_nodes = num_nodes
         self.quantum = quantum
+        # Hot-path aliases: _serve runs once per quantum (millions of times
+        # at paper scale); avoid the dataclass attribute chain.
+        self._bandwidth = spec.bandwidth
+        self._latency = spec.latency
         #: Coalesce queued messages sharing (source, destination) into one
         #: wire message (single latency): the aggregation optimization the
         #: paper notes Chameleon does not implement (§V-C).  Bytes moved
@@ -87,8 +92,8 @@ class NetworkSim:
 
     def _push(self, transfer: Transfer) -> None:
         self._seq += 1
-        heapq.heappush(self._queues[transfer.src],
-                       (-transfer.priority, self._seq, transfer))
+        heappush(self._queues[transfer.src],
+                 (-transfer.priority, self._seq, transfer))
 
     def submit(self, transfer: Transfer, now: float) -> Optional[Chunk]:
         """Queue a transfer; returns its first chunk if the port is idle."""
@@ -108,7 +113,12 @@ class NetworkSim:
                     queued.keys.append(transfer.key)
                     queued.nbytes += transfer.nbytes
                     queued.remaining += transfer.nbytes
-                    queued.priority = max(queued.priority, transfer.priority)
+                    if transfer.priority > queued.priority:
+                        # The old heap entry keeps its stale (lower) key;
+                        # re-push at the raised priority and let _serve
+                        # skip the stale entry when it surfaces.
+                        queued.priority = transfer.priority
+                        self._push(queued)
                     return None
         self.total_messages += 1
         self._push(transfer)
@@ -122,25 +132,37 @@ class NetworkSim:
 
     def _serve(self, src: int, now: float) -> Optional[Chunk]:
         queue = self._queues[src]
-        if not queue:
+        while queue:
+            negprio, _, tr = heappop(queue)
+            if negprio == -tr.priority:
+                break
+            # Stale entry: the transfer's priority was raised after this
+            # entry was pushed (aggregation piggy-backing) and a fresh
+            # entry with the correct key exists further up the heap.
+        else:
             self._egress_busy[src] = False
             return None
-        _, _, tr = heapq.heappop(queue)
-        size = min(self.quantum, tr.remaining)
-        tr.remaining -= size
-        wire = size / self.spec.bandwidth
-        occupancy = wire + (self.spec.latency if not tr.started else 0.0)
+        remaining = tr.remaining
+        quantum = self.quantum
+        size = quantum if quantum < remaining else remaining
+        remaining -= size
+        tr.remaining = remaining
+        wire = size / self._bandwidth
+        occupancy = wire if tr.started else wire + self._latency
         tr.started = True
         egress_done = now + occupancy
-        delivery = max(egress_done, self._ingress_free[tr.dst] + wire)
-        self._ingress_free[tr.dst] = delivery
+        dst = tr.dst
+        ingress = self._ingress_free[dst] + wire
+        delivery = egress_done if egress_done > ingress else ingress
+        self._ingress_free[dst] = delivery
         self._egress_busy[src] = True
         self.busy_time[src] += occupancy
-        final = tr.remaining == 0
-        if final:
-            tr.end = delivery
-        else:
+        if remaining:
             # Equal-priority messages round-robin: continuation quanta go
             # to the back of their priority class.
-            self._push(tr)
-        return Chunk(tr, egress_done, delivery, final)
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(queue, (-tr.priority, seq, tr))
+            return Chunk(tr, egress_done, delivery, False)
+        tr.end = delivery
+        return Chunk(tr, egress_done, delivery, True)

@@ -70,9 +70,20 @@ class TestFastCounter:
     def test_zero_for_single_node(self):
         assert cholesky_message_count(BlockCyclic2D(1, 1), 10) == 0
 
-    def test_rejects_too_many_nodes(self):
-        with pytest.raises(ValueError):
-            cholesky_message_count(BlockCyclic2D(8, 9), 10)
+    @pytest.mark.parametrize("dist", [BlockCyclic2D(8, 9), BlockCyclic2D(10, 13)],
+                             ids=lambda d: d.name)
+    def test_more_than_64_nodes_supported(self, dist):
+        """Multi-word masks: platforms past 64 nodes count exactly."""
+        N = 12
+        g = build_cholesky_graph(N, 16, dist)
+        assert cholesky_message_count(dist, N) == count_communications(g).num_messages
+
+    def test_node_traffic_beyond_64_nodes(self):
+        from repro.comm import cholesky_node_traffic
+
+        dist = BlockCyclic2D(9, 8)  # P = 72 spans two mask words
+        sent, recv = cholesky_node_traffic(dist, 14)
+        assert sent.sum() == recv.sum() == cholesky_message_count(dist, 14)
 
     def test_element_size_scaling(self):
         d = SymmetricBlockCyclic(4)

@@ -1,0 +1,233 @@
+"""Property tests for the compiled graph representation and fast engine.
+
+The array-based engine (:func:`repro.runtime.simulator.simulate_compiled`)
+is a transcription of the object engine, so the bar is *exact* equality
+of makespan, transferred bytes and message count — not approximate
+agreement — across distributions, broadcast modes, aggregation and
+synchronized execution.  Per-node busy time and the per-kind split are
+summed vectorized (different float-addition order), so those two match to
+rounding only.
+"""
+
+from math import isclose
+
+import numpy as np
+import pytest
+
+from repro.comm import count_communications
+from repro.config import laptop
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic, TwoDotFiveD
+from repro.graph import (
+    build_cholesky_graph,
+    build_cholesky_graph_25d,
+    build_lu_graph,
+    build_lu_graph_25d,
+    build_posv_graph,
+    compile_cholesky,
+    compile_graph,
+    compile_lu,
+    compiled_critical_path_priorities,
+)
+from repro.distributions import RowCyclic1D
+from repro.runtime.simulator import simulate, simulate_compiled
+
+
+def assert_reports_equal(ref, fast):
+    """Exact on the headline numbers, rounding-tolerant on the sums."""
+    assert fast.makespan == ref.makespan
+    assert fast.comm_bytes == ref.comm_bytes
+    assert fast.comm_messages == ref.comm_messages
+    assert fast.num_tasks == ref.num_tasks
+    assert len(fast.busy_time) == len(ref.busy_time)
+    for a, b in zip(ref.busy_time, fast.busy_time):
+        assert isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+    assert fast.time_by_kind.keys() == ref.time_by_kind.keys()
+    for k in ref.time_by_kind:
+        assert isclose(ref.time_by_kind[k], fast.time_by_kind[k],
+                       rel_tol=1e-9, abs_tol=1e-12)
+
+
+DISTS = [
+    SymmetricBlockCyclic(4),
+    BlockCyclic2D(3, 3),
+    BlockCyclic2D(2, 3),
+]
+
+
+class TestEngineEquality:
+    """simulate_compiled == simulate, bit for bit where it matters."""
+
+    @pytest.mark.parametrize("dist", DISTS, ids=lambda d: d.name)
+    @pytest.mark.parametrize("broadcast", ["direct", "tree"])
+    @pytest.mark.parametrize("aggregate", [False, True])
+    def test_cholesky_matches_object_engine(self, dist, broadcast, aggregate):
+        g = build_cholesky_graph(12, 32, dist)
+        cg = compile_graph(g)
+        m = laptop(nodes=dist.num_nodes, cores=2)
+        ref = simulate(g, m, broadcast=broadcast, aggregate=aggregate)
+        fast = simulate_compiled(cg, m, broadcast=broadcast,
+                                 aggregate=aggregate)
+        assert_reports_equal(ref, fast)
+        assert fast.comm_bytes == count_communications(g).total_bytes
+
+    @pytest.mark.parametrize("broadcast", ["direct", "tree"])
+    @pytest.mark.parametrize("aggregate", [False, True])
+    def test_25d_matches_object_engine(self, broadcast, aggregate):
+        d25 = TwoDotFiveD(BlockCyclic2D(2, 2), 2)
+        g = build_cholesky_graph_25d(10, 32, d25)
+        cg = compile_graph(g)
+        m = laptop(nodes=8, cores=2)
+        ref = simulate(g, m, broadcast=broadcast, aggregate=aggregate)
+        fast = simulate_compiled(cg, m, broadcast=broadcast,
+                                 aggregate=aggregate)
+        assert_reports_equal(ref, fast)
+
+    @pytest.mark.parametrize("sync", [False, True])
+    def test_synchronized_mode_matches(self, sync):
+        """Covers both loop variants (the barrier path is the general one)."""
+        g = build_cholesky_graph(10, 32, SymmetricBlockCyclic(4))
+        cg = compile_graph(g)
+        m = laptop(nodes=6, cores=2)
+        ref = simulate(g, m, synchronized=sync)
+        fast = simulate_compiled(cg, m, synchronized=sync)
+        assert_reports_equal(ref, fast)
+
+    def test_lu_matches_object_engine(self):
+        g = build_lu_graph(10, 32, BlockCyclic2D(3, 2))
+        cg = compile_graph(g)
+        m = laptop(nodes=6, cores=2)
+        assert_reports_equal(simulate(g, m), simulate_compiled(cg, m))
+
+    def test_graph_with_initial_transfers(self):
+        """POSV reads misplaced RHS tiles: the initial-sources path."""
+        g = build_posv_graph(8, 32, SymmetricBlockCyclic(4), RowCyclic1D(6))
+        cg = compile_graph(g)
+        m = laptop(nodes=6, cores=2)
+        assert_reports_equal(simulate(g, m), simulate_compiled(cg, m))
+
+    def test_single_tile_graph(self):
+        g = build_cholesky_graph(1, 32, BlockCyclic2D(1, 1))
+        cg = compile_graph(g)
+        m = laptop(nodes=1, cores=2)
+        assert_reports_equal(simulate(g, m), simulate_compiled(cg, m))
+
+
+class TestDirectCompilers:
+    """compile_cholesky/compile_lu skip Task objects but must produce the
+    same arrays as lowering the object graph."""
+
+    @pytest.mark.parametrize("N", [1, 2, 9])
+    @pytest.mark.parametrize("dist", DISTS, ids=lambda d: d.name)
+    def test_cholesky_identical_to_generic_lowering(self, N, dist):
+        direct = compile_cholesky(N, 32, dist)
+        generic = compile_graph(build_cholesky_graph(N, 32, dist))
+        self._assert_same_arrays(direct, generic)
+
+    @pytest.mark.parametrize("N", [1, 2, 8])
+    def test_lu_identical_to_generic_lowering(self, N):
+        dist = BlockCyclic2D(2, 3)
+        direct = compile_lu(N, 32, dist)
+        generic = compile_graph(build_lu_graph(N, 32, dist))
+        self._assert_same_arrays(direct, generic)
+
+    @staticmethod
+    def _assert_same_arrays(direct, generic):
+        assert direct.kind_names == generic.kind_names
+        assert direct.n_init == generic.n_init
+        for field in ("kind_codes", "node", "flops", "iteration", "write_id",
+                      "read_ptr", "read_ids", "data_producer",
+                      "data_source_node", "data_nbytes"):
+            np.testing.assert_array_equal(
+                getattr(direct, field), getattr(generic, field), err_msg=field
+            )
+
+    def test_direct_compiler_simulates_identically(self):
+        dist = SymmetricBlockCyclic(4)
+        m = laptop(nodes=dist.num_nodes, cores=2)
+        ref = simulate(build_cholesky_graph(10, 32, dist), m)
+        fast = simulate_compiled(compile_cholesky(10, 32, dist), m)
+        assert_reports_equal(ref, fast)
+
+    def test_25d_lu_graph_compiles_and_runs(self):
+        d25 = TwoDotFiveD(BlockCyclic2D(2, 2), 2)
+        g = build_lu_graph_25d(8, 32, d25)
+        cg = compile_graph(g)
+        m = laptop(nodes=8, cores=2)
+        assert_reports_equal(simulate(g, m), simulate_compiled(cg, m))
+
+
+class TestCompiledPriorities:
+    def test_matches_auto_priorities_of_object_engine(self):
+        """Critical-path priorities computed on arrays equal the object
+        sweep, hence the engines schedule identically (asserted above);
+        here check the values directly."""
+        from repro.graph import set_critical_path_priorities
+
+        dist = SymmetricBlockCyclic(4)
+        g = build_cholesky_graph(10, 32, dist)
+        cg = compile_graph(g)
+        m = laptop(nodes=dist.num_nodes, cores=2)
+        durations = m.kernel.overhead + cg.flops / m.kernel.rate(cg.b)
+        pri = compiled_critical_path_priorities(cg, durations)
+        # object sweep with the same per-task durations
+        dur_by_task = {t: durations[i] for i, t in enumerate(g.tasks)}
+        set_critical_path_priorities(g, dur_by_task.__getitem__)
+        obj = np.array([t.priority for t in g.tasks])
+        np.testing.assert_allclose(pri, obj, rtol=1e-12)
+
+    def test_levels_path_equals_generic_sweep(self):
+        """The vectorized reduceat sweep (level_ranges) must equal the
+        Python reverse sweep used for generic graphs."""
+        dist = BlockCyclic2D(2, 2)
+        direct = compile_cholesky(8, 32, dist)
+        generic = compile_graph(build_cholesky_graph(8, 32, dist))
+        assert direct.level_ranges is not None
+        assert generic.level_ranges is None
+        m = laptop(nodes=4, cores=2)
+        durations = m.kernel.overhead + direct.flops / m.kernel.rate(32)
+        np.testing.assert_allclose(
+            compiled_critical_path_priorities(direct, durations),
+            compiled_critical_path_priorities(generic, durations),
+            rtol=1e-12,
+        )
+
+
+class TestFastEngineApi:
+    def test_trace_mode_records_everything(self):
+        dist = SymmetricBlockCyclic(4)
+        cg = compile_cholesky(10, 32, dist)
+        m = laptop(nodes=dist.num_nodes, cores=2)
+        rep = simulate_compiled(cg, m, trace=True)
+        assert rep.trace is not None and len(rep.trace) == cg.n_tasks
+        assert rep.transfers is not None
+        assert len(rep.transfers) == rep.comm_messages
+        assert rep.obs is not None
+
+    def test_custom_durations_array(self):
+        cg = compile_cholesky(6, 32, BlockCyclic2D(2, 2))
+        m = laptop(nodes=4, cores=2)
+        unit = np.ones(cg.n_tasks)
+        rep = simulate_compiled(cg, m, durations=unit)
+        assert rep.makespan >= unit.sum() / (4 * 2)
+
+    def test_rejects_unknown_broadcast(self):
+        cg = compile_cholesky(4, 32, BlockCyclic2D(2, 2))
+        with pytest.raises(ValueError):
+            simulate_compiled(cg, laptop(nodes=4, cores=2), broadcast="gossip")
+
+    def test_rejects_machine_too_small(self):
+        cg = compile_cholesky(6, 32, BlockCyclic2D(2, 2))
+        with pytest.raises(ValueError):
+            simulate_compiled(cg, laptop(nodes=2, cores=2))
+
+    def test_results_stable_across_repeat_runs(self):
+        """Per-graph caches (consumer lists, pair index) must not change
+        results when the same compiled graph is simulated again."""
+        cg = compile_cholesky(10, 32, SymmetricBlockCyclic(4))
+        m = laptop(nodes=6, cores=2)
+        r1 = simulate_compiled(cg, m)
+        r2 = simulate_compiled(cg, m)
+        assert r1.makespan == r2.makespan
+        assert r1.comm_bytes == r2.comm_bytes
+        assert r1.comm_messages == r2.comm_messages
+        assert r1.busy_time == r2.busy_time

@@ -126,6 +126,46 @@ class TestNetworkSim:
         net.submit(Transfer("a", 0, 1, 123, 1.0), now=0.0)
         assert net.total_bytes == 123 and net.total_messages == 1
 
+    def test_aggregation_piggyback_raises_priority_in_heap(self):
+        """Regression: an urgent tile coalesced into a queued bulk message
+        must pull that message ahead of other pending traffic, not leave
+        the heap entry at its stale (lower) priority."""
+        net = NetworkSim(self.spec(), 4, quantum=10**9, aggregate=True)
+        c1 = net.submit(Transfer("head", 0, 3, 10**6, 5.0), now=0.0)
+        net.submit(Transfer("bulk", 0, 1, 10**6, 1.0), now=0.0)
+        net.submit(Transfer("mid", 0, 2, 10**6, 3.0), now=0.0)
+        # Urgent tile to the same destination as "bulk": piggy-backs and
+        # raises the queued message's priority above "mid".
+        net.submit(Transfer("urgent", 0, 1, 10**6, 9.0), now=0.0)
+        served = []
+        t = c1.egress_done
+        while True:
+            ch = net.egress_freed(0, t)
+            if ch is None:
+                break
+            served.append(ch.transfer.keys[0])
+            t = ch.egress_done
+        assert served == ["bulk", "mid"], served
+        # The aggregated message carried both tiles and was counted once.
+        assert net.total_messages == 3
+
+    def test_aggregation_equal_priority_does_not_duplicate(self):
+        """Piggy-backing at non-raising priority must not re-push (the
+        message would otherwise be served twice)."""
+        net = NetworkSim(self.spec(), 3, quantum=10**9, aggregate=True)
+        c1 = net.submit(Transfer("head", 0, 2, 10**6, 5.0), now=0.0)
+        net.submit(Transfer("bulk", 0, 1, 10**6, 2.0), now=0.0)
+        net.submit(Transfer("same", 0, 1, 10**6, 2.0), now=0.0)
+        served = []
+        t = c1.egress_done
+        while True:
+            ch = net.egress_freed(0, t)
+            if ch is None:
+                break
+            served.append(tuple(ch.transfer.keys))
+            t = ch.egress_done
+        assert served == [("bulk", "same")]
+
 
 class TestSimulate:
     def small_machine(self, P):
