@@ -1,0 +1,126 @@
+"""Fault-sensitivity sweep: SBC vs 2DBC makespan inflation under faults.
+
+The paper's headline is that the symmetric block-cyclic distribution
+moves fewer bytes than 2D block-cyclic; this bench asks how that
+advantage holds up when the platform misbehaves.  It sweeps a straggler
+slowdown factor crossed with a transient message-loss rate (seeded
+:class:`repro.runtime.faults.FaultPlan`, so every cell is deterministic
+and reproducible) over both distributions on the same node count, and
+reports each cell's makespan inflation relative to its own fault-free
+baseline plus the retransmitted-message overhead.
+
+Run with ``REPRO_BENCH_OUT=resilience.json`` to dump the rows as JSON;
+``REPRO_FULL=1`` sweeps a paper-scale tile count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+
+from conftest import print_header, sizes
+
+from repro.config import bora
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.graph import compile_cholesky
+from repro.runtime.faults import FaultPlan, SlowdownWindow
+from repro.runtime.simulator import simulate_compiled
+
+B = 512
+N = sizes(small=[20], full=[96])[0]
+SLOWDOWNS = [1.0, 2.0, 4.0]
+LOSS_RATES = [0.0, 0.02, 0.1]
+SEED = 2024
+
+#: Same node count for both layouts: SBC r=8 occupies 8*7/2 + 8/2 = 28
+#: nodes in the paper's symmetric scheme; 2DBC gets the 4 x 7 grid.
+SBC_R = 8
+BC_GRID = (4, 7)
+
+
+def _plan(slowdown: float, loss: float) -> FaultPlan | None:
+    if slowdown == 1.0 and loss == 0.0:
+        return None
+    slowdowns = ()
+    if slowdown > 1.0:
+        # One persistent straggler: node 0 owns the top-left panel work
+        # in both layouts, so the hit lands on the critical path.
+        slowdowns = (SlowdownWindow(node=0, factor=slowdown),)
+    return FaultPlan(seed=SEED, slowdowns=slowdowns, loss_rate=loss)
+
+
+def sweep():
+    sbc = SymmetricBlockCyclic(SBC_R)
+    bc = BlockCyclic2D(*BC_GRID)
+    assert sbc.num_nodes == bc.num_nodes, "layouts must use equal node counts"
+    machine = bora(nodes=sbc.num_nodes)
+    rows = []
+    for dist in (sbc, bc):
+        cg = compile_cholesky(N, B, dist)
+        clean = simulate_compiled(cg, machine)
+        for slowdown in SLOWDOWNS:
+            for loss in LOSS_RATES:
+                plan = _plan(slowdown, loss)
+                rep = (clean if plan is None
+                       else simulate_compiled(cg, machine, faults=plan))
+                rows.append({
+                    "dist": dist.name,
+                    "nodes": dist.num_nodes,
+                    "N": N,
+                    "slowdown": slowdown,
+                    "loss_rate": loss,
+                    "makespan_seconds": rep.makespan,
+                    "inflation": rep.makespan / clean.makespan,
+                    "comm_bytes": rep.comm_bytes,
+                    "comm_messages": rep.comm_messages,
+                    "retransmit_messages":
+                        rep.comm_messages - clean.comm_messages,
+                })
+    return rows
+
+
+def test_resilience_sweep(run_once):
+    rows = run_once(sweep)
+    print_header(
+        f"Makespan inflation under faults, POTRF N={N}, b={B}, "
+        f"P={SymmetricBlockCyclic(SBC_R).num_nodes}",
+        f"{'dist':>22} {'slow':>5} {'loss':>5} {'inflation':>10} "
+        f"{'retransmits':>12}",
+    )
+    for r in rows:
+        print(f"{r['dist']:>22} {r['slowdown']:>5.1f} {r['loss_rate']:>5.2f} "
+              f"{r['inflation']:>10.3f} {r['retransmit_messages']:>12}")
+
+    by_cell = {(r["dist"], r["slowdown"], r["loss_rate"]): r for r in rows}
+    for r in rows:
+        # Faults can only hurt: inflation is 1 exactly on the clean cell,
+        # and every added fault keeps the same first-transmission volume.
+        assert r["inflation"] >= 1.0 - 1e-12
+        assert r["retransmit_messages"] >= 0
+        clean = by_cell[(r["dist"], 1.0, 0.0)]
+        assert r["comm_bytes"] >= clean["comm_bytes"]
+    # Loss produces retransmissions once the rate is non-zero.
+    assert all(
+        by_cell[(d, 1.0, LOSS_RATES[-1])]["retransmit_messages"] > 0
+        for d in {r["dist"] for r in rows}
+    )
+    # The determinism contract: rerunning a cell reproduces it exactly.
+    again = sweep()
+    assert again == rows
+
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        doc = {
+            "bench": "resilience",
+            "config": {"b": B, "N": N, "sbc_r": SBC_R, "bc_grid": BC_GRID,
+                       "seed": SEED, "slowdowns": SLOWDOWNS,
+                       "loss_rates": LOSS_RATES, "machine": "bora"},
+            "host": {"python": platform.python_version(),
+                     "machine": platform.machine()},
+            "rows": rows,
+        }
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out}")

@@ -23,6 +23,7 @@ Perfetto walkthrough.
 from .events import (
     NULL_RECORDER,
     CacheEvent,
+    FaultEvent,
     IOEvent,
     NullRecorder,
     Recorder,
@@ -45,6 +46,7 @@ __all__ = [
     "TransferEvent",
     "IOEvent",
     "CacheEvent",
+    "FaultEvent",
     "chrome_trace",
     "write_chrome_trace",
     "write_jsonl",

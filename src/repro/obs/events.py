@@ -1,6 +1,6 @@
 """Structured event-trace core shared by every runtime.
 
-Four typed events cover the execution paths of the library:
+Five typed events cover the execution paths of the library:
 
 * :class:`TaskEvent` — one kernel invocation (simulator, local executor,
   distributed worker);
@@ -9,7 +9,10 @@ Four typed events cover the execution paths of the library:
 * :class:`IOEvent` — one slow-memory load/store of the out-of-core
   engine;
 * :class:`CacheEvent` — one fast-memory cache decision (hit / miss /
-  eviction writeback).
+  create / eviction writeback);
+* :class:`FaultEvent` — one injected or observed fault (straggler window,
+  link degradation, message loss, retransmission, worker crash, ack or
+  gather timeout); see :mod:`repro.runtime.faults`.
 
 All times are seconds on the recorder's time axis: simulated time for
 the simulator, wall-clock seconds since the run started for the real
@@ -35,6 +38,8 @@ __all__ = [
     "TransferEvent",
     "IOEvent",
     "CacheEvent",
+    "FaultEvent",
+    "FAULT_OPS",
     "Recorder",
     "NullRecorder",
     "NULL_RECORDER",
@@ -105,11 +110,40 @@ class IOEvent:
 class CacheEvent:
     """One fast-memory cache decision."""
 
-    op: str  # "hit" | "miss" | "evict"
+    op: str  # "hit" | "miss" | "create" | "evict"
     key: object
     nbytes: int
     time: float
     dirty: bool = False  # for "evict": whether a writeback was paid
+
+
+#: Fault-event operations; see :class:`FaultEvent`.
+FAULT_OPS = ("slowdown", "degraded", "loss", "retry", "crash", "timeout")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected or observed fault (see :mod:`repro.runtime.faults`).
+
+    ``op`` is one of :data:`FAULT_OPS`:
+
+    * ``"slowdown"`` — a straggler window opened on ``node``;
+    * ``"degraded"`` — a link-degradation window opened on (src, dst);
+    * ``"loss"`` — a message on (src, dst) was dropped in flight;
+    * ``"retry"`` — a lost/unacked message was retransmitted;
+    * ``"crash"`` — ``node`` fail-stopped;
+    * ``"timeout"`` — a wait (ack or result gather) expired.
+
+    Fields that do not apply to an op are -1 / None.
+    """
+
+    op: str
+    time: float
+    node: int = -1
+    src: int = -1
+    dst: int = -1
+    key: object = None
+    detail: str = ""
 
 
 class Recorder:
@@ -128,6 +162,7 @@ class Recorder:
         self.transfer_events: List[TransferEvent] = []
         self.io_events: List[IOEvent] = []
         self.cache_events: List[CacheEvent] = []
+        self.fault_events: List[FaultEvent] = []
         self.metrics = MetricsRegistry()
 
     # -- recording ----------------------------------------------------------
@@ -187,7 +222,7 @@ class Recorder:
     def record_cache(
         self, op: str, key: object, nbytes: int, time: float, dirty: bool = False
     ) -> None:
-        if op not in ("hit", "miss", "evict"):
+        if op not in ("hit", "miss", "create", "evict"):
             raise ValueError(f"unknown cache op {op!r}")
         self.cache_events.append(CacheEvent(op, key, nbytes, time, dirty))
         self.metrics.counter("cache.ops", "cache decisions per op").inc(labels=(op,))
@@ -195,6 +230,21 @@ class Recorder:
             self.metrics.counter(
                 "cache.writeback.bytes", "bytes written back on eviction"
             ).inc(nbytes)
+
+    def record_fault(
+        self,
+        op: str,
+        time: float,
+        node: int = -1,
+        src: int = -1,
+        dst: int = -1,
+        key: object = None,
+        detail: str = "",
+    ) -> None:
+        if op not in FAULT_OPS:
+            raise ValueError(f"unknown fault op {op!r}")
+        self.fault_events.append(FaultEvent(op, time, node, src, dst, key, detail))
+        self.metrics.counter("faults", "fault events per op").inc(labels=(op,))
 
     # -- derived views ------------------------------------------------------
 
@@ -230,14 +280,16 @@ class Recorder:
 
     def num_events(self) -> int:
         return (len(self.task_events) + len(self.transfer_events)
-                + len(self.io_events) + len(self.cache_events))
+                + len(self.io_events) + len(self.cache_events)
+                + len(self.fault_events))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<Recorder {self.source or 'unlabelled'}: "
                 f"{len(self.task_events)} tasks, "
                 f"{len(self.transfer_events)} transfers, "
                 f"{len(self.io_events)} io, "
-                f"{len(self.cache_events)} cache>")
+                f"{len(self.cache_events)} cache, "
+                f"{len(self.fault_events)} faults>")
 
 
 class NullRecorder(Recorder):
@@ -259,6 +311,9 @@ class NullRecorder(Recorder):
         pass
 
     def record_cache(self, *args, **kwargs) -> None:  # noqa: D102
+        pass
+
+    def record_fault(self, *args, **kwargs) -> None:  # noqa: D102
         pass
 
     def finalize_utilization(self, *args, **kwargs) -> None:  # noqa: D102

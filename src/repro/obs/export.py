@@ -35,6 +35,7 @@ JSONL_VERSION = 1
 _TID_NIC = 1000
 _TID_IO = 2000
 _TID_CACHE = 2001
+_TID_FAULT = 3000
 
 
 # -- key (de)serialization ----------------------------------------------------
@@ -95,6 +96,15 @@ def _assign_lanes(spans: Sequence[Tuple[float, float]]) -> List[int]:
     return out
 
 
+def _fault_node(e) -> int:
+    """Track a fault event lands on: the affected node, else the source."""
+    if e.node >= 0:
+        return e.node
+    if e.src >= 0:
+        return e.src
+    return 0
+
+
 def chrome_trace(recorder: Recorder) -> Dict:
     """Render a recorder as a Chrome trace-event JSON document (a dict)."""
     events: List[Dict] = []
@@ -102,6 +112,7 @@ def chrome_trace(recorder: Recorder) -> Dict:
         {e.node for e in recorder.task_events}
         | {e.src for e in recorder.transfer_events}
         | {e.dst for e in recorder.transfer_events}
+        | {_fault_node(e) for e in recorder.fault_events}
     )
     for node in nodes:
         events.append({"ph": "M", "pid": node, "name": "process_name",
@@ -169,6 +180,20 @@ def chrome_trace(recorder: Recorder) -> Dict:
             "args": {"op": e.op, "nbytes": e.nbytes, "dirty": e.dirty},
         })
 
+    # Fault instants land on the affected node's track, one shared lane.
+    fault_pids = {_fault_node(e) for e in recorder.fault_events}
+    for pid in sorted(fault_pids):
+        events.append({"ph": "M", "pid": pid, "tid": _TID_FAULT,
+                       "name": "thread_name", "args": {"name": "faults"}})
+    for e in recorder.fault_events:
+        label = e.op if e.key is None else f"{e.op} {_key_label(e.key)}"
+        events.append({
+            "ph": "i", "pid": _fault_node(e), "tid": _TID_FAULT, "s": "t",
+            "cat": "fault", "name": label, "ts": e.time * 1e6,
+            "args": {"op": e.op, "node": e.node, "src": e.src, "dst": e.dst,
+                     "detail": e.detail},
+        })
+
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -211,6 +236,11 @@ def write_jsonl(recorder: Recorder, path) -> str:
             rec.update(asdict(e))
             rec["key"] = _encode_key(e.key)
             fh.write(json.dumps(rec) + "\n")
+        for e in recorder.fault_events:
+            rec = {"type": "fault"}
+            rec.update(asdict(e))
+            rec["key"] = _encode_key(e.key)
+            fh.write(json.dumps(rec) + "\n")
     return str(path)
 
 
@@ -241,6 +271,9 @@ def read_jsonl(path) -> Recorder:
             elif kind == "cache":
                 obj["key"] = _decode_key(obj["key"])
                 rec.record_cache(**obj)
+            elif kind == "fault":
+                obj["key"] = _decode_key(obj["key"])
+                rec.record_fault(**obj)
             else:
                 raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
     return rec

@@ -38,7 +38,8 @@ class TileCache:
     """LRU cache of variably-sized tiles with pinning and dirty tracking.
 
     Pass a :class:`repro.obs.Recorder` to emit one cache event per
-    hit/miss/eviction (the event's ``nbytes`` is the tile's element
+    hit/miss/create/eviction, flushes included (the event's ``nbytes``
+    is the tile's element
     count times 8, i.e. float64 bytes; its ``time`` is a logical tick —
     the running count of cache operations).
     """
@@ -106,6 +107,7 @@ class TileCache:
         self._evict_for(size)
         self._entries[key] = (size, pin, True)
         self.used += size
+        self._record("create", key, size, dirty=True)
 
     def touch_dirty(self, key: Hashable) -> None:
         """Mark a resident tile as modified (must be stored on eviction)."""
@@ -118,9 +120,15 @@ class TileCache:
             self._entries[key] = (size, False, dirty)
 
     def flush(self) -> None:
-        """Write back every dirty tile and empty the cache."""
-        for _k, (sz, _pinned, dirty) in self._entries.items():
+        """Write back every dirty tile and empty the cache.
+
+        Emits one ``evict`` event per resident tile (advancing the
+        logical clock), so flushed write-backs appear in traces exactly
+        like capacity evictions.
+        """
+        for k, (sz, _pinned, dirty) in self._entries.items():
             if dirty:
                 self.stats.stored += sz
+            self._record("evict", k, sz, dirty)
         self._entries.clear()
         self.used = 0

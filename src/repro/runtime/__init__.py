@@ -17,7 +17,20 @@ from .simulator import (
     utilization_timeline,
 )
 from .bounds import CholeskyBounds, cholesky_bounds
-from .distributed import DistributedReport, execute_distributed
+from .distributed import (
+    DeadWorkerError,
+    DistributedReport,
+    ExecutionTimeout,
+    execute_distributed,
+)
+from .faults import (
+    FaultPlan,
+    LinkDegradation,
+    RetryPolicy,
+    SimulatedFailure,
+    SlowdownWindow,
+    WorkerCrash,
+)
 
 __all__ = [
     "KERNEL_DISPATCH",
@@ -37,6 +50,14 @@ __all__ = [
     "utilization_timeline",
     "execute_distributed",
     "DistributedReport",
+    "DeadWorkerError",
+    "ExecutionTimeout",
+    "FaultPlan",
+    "SlowdownWindow",
+    "LinkDegradation",
+    "WorkerCrash",
+    "RetryPolicy",
+    "SimulatedFailure",
     "CholeskyBounds",
     "cholesky_bounds",
 ]

@@ -1,5 +1,15 @@
 """Multiprocessing owner-computes executor with real message passing."""
 
-from .executor import DistributedReport, execute_distributed
+from .executor import (
+    DeadWorkerError,
+    DistributedReport,
+    ExecutionTimeout,
+    execute_distributed,
+)
 
-__all__ = ["execute_distributed", "DistributedReport"]
+__all__ = [
+    "execute_distributed",
+    "DistributedReport",
+    "DeadWorkerError",
+    "ExecutionTimeout",
+]

@@ -29,6 +29,7 @@ from ...config import MachineSpec
 from ...graph.priorities import set_critical_path_priorities
 from ...graph.task import DataKey, Task, TaskGraph
 from ...obs import Recorder, TaskEvent, TransferEvent
+from ..faults import FaultPlan, SimulatedFailure
 from .network import NetworkSim, Transfer
 
 __all__ = ["SimReport", "TaskTrace", "TransferTrace", "simulate"]
@@ -125,6 +126,7 @@ def simulate(
     broadcast: str = "direct",
     aggregate: bool = False,
     recorder: Optional[Recorder] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SimReport:
     """Simulate ``graph`` on ``machine``; see module docstring for the model.
 
@@ -143,6 +145,15 @@ def simulate(
     depth of large fan-outs to log2 — the collective-communication
     optimization §V-C notes Chameleon does not perform).  Total message
     and byte counts are identical in both modes.
+
+    ``faults`` injects a seeded :class:`repro.runtime.faults.FaultPlan`:
+    straggler windows multiply task durations, link degradations multiply
+    wire time, transient losses drop deliveries and retransmit after a
+    timeout (retransmitted bytes/messages count), and worker crashes
+    fail-stop a node — the run then raises a diagnostic
+    :class:`SimulatedFailure` naming the crashed node.  The same plan
+    produces bit-identical results on :func:`simulate_compiled`; see
+    ``docs/network-model.md`` ("Fault model").
     """
     if broadcast not in ("direct", "tree"):
         raise ValueError(f"unknown broadcast mode {broadcast!r}")
@@ -205,8 +216,22 @@ def simulate(
     iter_blocked: Dict[int, List[Task]] = defaultdict(list)
     released_idx = 0  # tasks with iteration index <= released_idx may run
 
+    # --- fault-plan state ---------------------------------------------------
+    fault_slow = faults is not None and bool(faults.slowdowns)
+    crash_after = (
+        {c.node: c.after_tasks for c in faults.crashes}
+        if faults is not None and faults.crashes else None
+    )
+    dead = [False] * num_nodes if crash_after is not None else None
+    completed_on = [0] * num_nodes
+    loss = faults.loss_state() if faults is not None else None
+    wire_factor = (
+        faults.link_factor if faults is not None and faults.links else None
+    )
+
     nodes = [_NodeState(machine.cores) for _ in range(num_nodes)]
-    net = NetworkSim(machine.network, num_nodes, aggregate=aggregate)
+    net = NetworkSim(machine.network, num_nodes, aggregate=aggregate,
+                     wire_factor=wire_factor)
 
     # --- event loop ---------------------------------------------------------
     events: list = []  # (time, seq, kind, payload)
@@ -231,8 +256,20 @@ def simulate(
     ready_time = [0.0] * n_tasks if trace else None
     first_chunk_start: Dict[Tuple[DataKey, int], float] = {}
 
+    if trace and faults is not None:
+        # Declare the plan's windows up front so the trace shows them even
+        # if nothing lands inside one.
+        for w in faults.slowdowns:
+            rec.record_fault("slowdown", time=w.start, node=w.node,
+                             detail=f"x{w.factor} until {w.end:g}")
+        for ln in faults.links:
+            rec.record_fault("degraded", time=ln.start, src=ln.src, dst=ln.dst,
+                             detail=f"x{ln.factor} until {ln.end:g}")
+
     def start_task(task: Task, time: float) -> None:
         dur = duration_fn(task)
+        if fault_slow:
+            dur *= faults.compute_factor(task.node, time)
         busy_time[task.node] += dur
         time_by_kind[task.kind] += dur
         if trace:
@@ -248,6 +285,11 @@ def simulate(
             iter_blocked[iter_pos[task.iteration]].append(task)
             return
         st = nodes[task.node]
+        if dead is not None and dead[task.node]:
+            # Fail-stopped node: the task is parked forever; the run ends
+            # with a diagnostic SimulatedFailure.
+            st.push(task)
+            return
         if st.free_workers > 0:
             st.free_workers -= 1
             start_task(task, time)
@@ -349,12 +391,26 @@ def simulate(
         if kind == "task":
             task = payload
             done += 1
-            st = nodes[task.node]
-            nxt = st.pop()
-            if nxt is not None:
-                start_task(nxt, now)
+            n = task.node
+            if crash_after is not None and not dead[n]:
+                completed_on[n] += 1
+                point = crash_after.get(n)
+                if point is not None and completed_on[n] >= point:
+                    # Fail-stop: in-flight tasks finish (their events are
+                    # queued), nothing new starts on this node.
+                    dead[n] = True
+                    if trace:
+                        rec.record_fault("crash", time=now, node=n,
+                                         detail=f"after {completed_on[n]} tasks")
+            st = nodes[n]
+            if dead is not None and dead[n]:
+                pass  # no workers left to pick up the next ready task
             else:
-                st.free_workers += 1
+                nxt = st.pop()
+                if nxt is not None:
+                    start_task(nxt, now)
+                else:
+                    st.free_workers += 1
             if task.write is not None:
                 data_arrived_local(task.write, now)
                 request_transfers(task.write, task.node, now)
@@ -365,8 +421,30 @@ def simulate(
             nxt = net.egress_freed(payload.transfer.src, now)
             if nxt is not None:
                 launch(nxt)
+        elif kind == "retry":  # retransmission of a lost message
+            old = payload
+            nt = Transfer(old.key, old.src, old.dst, old.nbytes, old.priority)
+            nt.keys = list(old.keys)  # preserve aggregated payloads
+            if trace:
+                rec.record_fault("retry", time=now, src=old.src, dst=old.dst,
+                                 key=old.key)
+            started = net.submit(nt, now)
+            if started is not None:
+                launch(started)
         else:  # transfer delivered at the destination
             tr = payload
+            if loss is not None and loss.lost(tr.src, tr.dst):
+                # Transient loss: the message evaporates in flight; the
+                # sender retransmits after the plan's timeout (the lost
+                # bytes stayed on the wire and remain counted).
+                if trace:
+                    rec.record_fault(
+                        "loss", time=tr.end, src=tr.src, dst=tr.dst,
+                        key=tr.key,
+                        detail=f"retry at {tr.end + faults.retransmit_timeout:.6g}",
+                    )
+                push_event(tr.end + faults.retransmit_timeout, "retry", tr)
+                continue
             if trace:
                 rec.record_transfer(
                     key=tr.key,
@@ -389,6 +467,15 @@ def simulate(
                     )
 
     if done != n_tasks:
+        if dead is not None and any(dead):
+            crashed = ", ".join(
+                f"node {i} after {completed_on[i]} tasks"
+                for i in range(num_nodes) if dead[i]
+            )
+            raise SimulatedFailure(
+                f"simulated worker crash ({crashed}): "
+                f"{n_tasks - done}/{n_tasks} tasks never ran"
+            )
         raise RuntimeError(
             f"simulation deadlock: executed {done}/{n_tasks} tasks "
             f"({sum(len(v) for v in iter_blocked.values())} blocked on barriers)"

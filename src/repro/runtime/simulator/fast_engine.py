@@ -38,6 +38,7 @@ import numpy as np
 from ...config import MachineSpec
 from ...graph.compiled import CompiledGraph, compiled_critical_path_priorities
 from ...obs import Recorder
+from ..faults import FaultPlan, SimulatedFailure
 from .engine import SimReport
 from .network import NetworkSim, Transfer
 
@@ -54,6 +55,7 @@ def simulate_compiled(
     broadcast: str = "direct",
     aggregate: bool = False,
     recorder: Optional[Recorder] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> SimReport:
     """Simulate a compiled graph on ``machine``.
 
@@ -61,6 +63,12 @@ def simulate_compiled(
     that custom task durations are passed as a per-task array
     (``durations``) rather than a callable.  Returns the same
     :class:`SimReport`.
+
+    A :class:`repro.runtime.faults.FaultPlan` produces bit-identical
+    makespan/bytes/messages to the object engine under the same plan
+    (fault runs take the general loop and route every network quantum
+    through the shared :class:`NetworkSim` code so the injected wire
+    factors agree exactly).
     """
     if broadcast not in ("direct", "tree"):
         raise ValueError(f"unknown broadcast mode {broadcast!r}")
@@ -195,7 +203,27 @@ def simulate_compiled(
     buckets: List[dict] = [{} for _ in range(num_nodes)]
     pheap: List[list] = [[] for _ in range(num_nodes)]
     qlen = [0] * num_nodes  # queue depth, only tracked for the trace gauge
-    net = NetworkSim(machine.network, num_nodes, aggregate=aggregate)
+
+    # --- fault-plan state (mirrors engine.simulate) -------------------------
+    fault_slow = faults is not None and bool(faults.slowdowns)
+    crash_after = (
+        {c.node: c.after_tasks for c in faults.crashes}
+        if faults is not None and faults.crashes else None
+    )
+    dead = [False] * num_nodes if crash_after is not None else None
+    completed_on = [0] * num_nodes
+    loss = faults.loss_state() if faults is not None else None
+    wire_factor = (
+        faults.link_factor if faults is not None and faults.links else None
+    )
+    # Under a slowdown the per-task duration depends on start time, so the
+    # end-of-run busy-time bincount is wrong; accumulate like the object
+    # engine instead.
+    busy_acc = [0.0] * num_nodes if fault_slow else None
+    tbk_acc = [0.0] * len(cg.kind_names) if fault_slow else None
+
+    net = NetworkSim(machine.network, num_nodes, aggregate=aggregate,
+                     wire_factor=wire_factor)
     # The per-quantum server is transcribed inline in the event loop (the
     # single hottest network path); bind its state once.
     net_queues = net._queues
@@ -208,8 +236,10 @@ def simulate_compiled(
 
     # --- event loop ---------------------------------------------------------
     # Events are (time, seq, kind, payload): kind 0 = task completion
-    # (payload: task id), 1 = egress freed (payload: Chunk), 2 = delivery
-    # (payload: Transfer) — the object engine's "task"/"sent"/"xfer".
+    # (payload: task id), 1 = egress freed (payload: source node), 2 =
+    # delivery (payload: Transfer), 3 = retransmission of a lost message
+    # (payload: Transfer) — the object engine's "task"/"sent"/"xfer"/
+    # "retry".
     events: list = []
     seq = 0
     now = 0.0
@@ -225,6 +255,15 @@ def simulate_compiled(
     data_keys = cg.data_keys
     kind_names = cg.kind_names
 
+    if trace and faults is not None:
+        # Same declaration order as the object engine.
+        for w in faults.slowdowns:
+            rec.record_fault("slowdown", time=w.start, node=w.node,
+                             detail=f"x{w.factor} until {w.end:g}")
+        for ln in faults.links:
+            rec.record_fault("degraded", time=ln.start, src=ln.src, dst=ln.dst,
+                             detail=f"x{ln.factor} until {ln.end:g}")
+
     def enqueue_ready(t: int, time: float) -> None:
         nonlocal seq
         if trace:
@@ -233,9 +272,24 @@ def simulate_compiled(
             iter_blocked[ipos[t]].append(t)
             return
         n = node_l[t]
+        if dead is not None and dead[n]:
+            # Fail-stopped node: park the task (mirrors engine.simulate).
+            np_ = negprio_l[t]
+            bq = buckets[n]
+            b = bq.get(np_)
+            if b is None:
+                bq[np_] = deque((t,))
+                heappush(pheap[n], np_)
+            else:
+                b.append(t)
+            return
         if free[n] > 0:
             free[n] -= 1
             dur = dur_l[t]
+            if fault_slow:
+                dur *= faults.compute_factor(n, time)
+                busy_acc[n] += dur
+                tbk_acc[kind_l[t]] += dur
             if trace:
                 rec.record_task(t, kind_names[kind_l[t]], n,
                                 ready_time[t], time, time + dur, cg.flops[t])
@@ -342,14 +396,25 @@ def simulate_compiled(
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        if trace or synchronized:
+        if trace or synchronized or faults is not None:
             while events:
                 now, _evseq, kind, payload = heappop(events)
                 if kind == 0:  # task completion
                     t = payload
                     n = node_l[t]
-                    ph = pheap[n]
-                    if ph:
+                    if crash_after is not None and not dead[n]:
+                        completed_on[n] += 1
+                        point = crash_after.get(n)
+                        if point is not None and completed_on[n] >= point:
+                            dead[n] = True
+                            if trace:
+                                rec.record_fault(
+                                    "crash", time=now, node=n,
+                                    detail=f"after {completed_on[n]} tasks")
+                    if dead is not None and dead[n]:
+                        pass  # no workers left on a fail-stopped node
+                    elif pheap[n]:
+                        ph = pheap[n]
                         np0 = ph[0]
                         bq = buckets[n]
                         b2 = bq[np0]
@@ -360,6 +425,10 @@ def simulate_compiled(
                         if trace:
                             qlen[n] -= 1
                         dur = dur_l[t2]
+                        if fault_slow:
+                            dur *= faults.compute_factor(n, now)
+                            busy_acc[n] += dur
+                            tbk_acc[kind_l[t2]] += dur
                         if trace:
                             rec.record_task(t2, kind_names[kind_l[t2]], n,
                                             ready_time[t2], now, now + dur,
@@ -386,9 +455,23 @@ def simulate_compiled(
                                         iter_blocked[ipos[tid]].append(tid)
                                         continue
                                     n2 = node_l[tid]
+                                    if dead is not None and dead[n2]:
+                                        np_ = negprio_l[tid]
+                                        bq2 = buckets[n2]
+                                        b3 = bq2.get(np_)
+                                        if b3 is None:
+                                            bq2[np_] = deque((tid,))
+                                            heappush(pheap[n2], np_)
+                                        else:
+                                            b3.append(tid)
+                                        continue
                                     if free[n2] > 0:
                                         free[n2] -= 1
                                         dur = dur_l[tid]
+                                        if fault_slow:
+                                            dur *= faults.compute_factor(n2, now)
+                                            busy_acc[n2] += dur
+                                            tbk_acc[kind_l[tid]] += dur
                                         if trace:
                                             rec.record_task(
                                                 tid, kind_names[kind_l[tid]], n2,
@@ -416,6 +499,14 @@ def simulate_compiled(
                         iter_remaining[ipos[t]] -= 1
                         release_iterations(now)
                 elif kind == 1:  # source egress channel freed
+                    if faults is not None:
+                        # Fault runs take the shared NetworkSim path so the
+                        # injected wire factors apply identically to both
+                        # engines (the transcription below skips the hook).
+                        nxt = net.egress_freed(payload, now)
+                        if nxt is not None:
+                            launch(nxt)
+                        continue
                     # Statement-by-statement transcription of
                     # ``NetworkSim._serve`` + ``launch``: the per-quantum path
                     # runs millions of times and the call/Chunk overhead is
@@ -455,8 +546,36 @@ def simulate_compiled(
                     if not remaining:
                         seq += 1
                         heappush(events, (delivery, seq, 2, tr))
+                elif kind == 3:  # retransmission of a lost message
+                    old = payload
+                    nt = Transfer(old.key, old.src, old.dst, old.nbytes,
+                                  old.priority)
+                    nt.keys = list(old.keys)  # preserve aggregated payloads
+                    if trace:
+                        rec.record_fault(
+                            "retry", time=now, src=old.src, dst=old.dst,
+                            key=(data_keys[old.key] if data_keys is not None
+                                 else old.key))
+                    started = net.submit(nt, now)
+                    if started is not None:
+                        launch(started)
                 else:  # transfer delivered at the destination
                     tr = payload
+                    if loss is not None and loss.lost(tr.src, tr.dst):
+                        # Transient loss: the message evaporates in flight;
+                        # the sender retransmits after the plan's timeout.
+                        if trace:
+                            rec.record_fault(
+                                "loss", time=tr.end, src=tr.src, dst=tr.dst,
+                                key=(data_keys[tr.key] if data_keys is not None
+                                     else tr.key),
+                                detail="retry at "
+                                f"{tr.end + faults.retransmit_timeout:.6g}",
+                            )
+                        seq += 1
+                        heappush(events,
+                                 (tr.end + faults.retransmit_timeout, seq, 3, tr))
+                        continue
                     if trace:
                         rec.record_transfer(
                             key=data_keys[tr.key] if data_keys is not None else tr.key,
@@ -503,9 +622,23 @@ def simulate_compiled(
                                     iter_blocked[ipos[tid]].append(tid)
                                     continue
                                 n2 = node_l[tid]
+                                if dead is not None and dead[n2]:
+                                    np_ = negprio_l[tid]
+                                    bq2 = buckets[n2]
+                                    b3 = bq2.get(np_)
+                                    if b3 is None:
+                                        bq2[np_] = deque((tid,))
+                                        heappush(pheap[n2], np_)
+                                    else:
+                                        b3.append(tid)
+                                    continue
                                 if free[n2] > 0:
                                     free[n2] -= 1
                                     dur = dur_l[tid]
+                                    if fault_slow:
+                                        dur *= faults.compute_factor(n2, end)
+                                        busy_acc[n2] += dur
+                                        tbk_acc[kind_l[tid]] += dur
                                     if trace:
                                         rec.record_task(
                                             tid, kind_names[kind_l[tid]], n2,
@@ -685,26 +818,46 @@ def simulate_compiled(
         unready = sum(1 for m in missing if m)
     done = n_tasks - queued - blocked - unready
     if done != n_tasks:
+        if dead is not None and any(dead):
+            crashed = ", ".join(
+                f"node {i} after {completed_on[i]} tasks"
+                for i in range(num_nodes) if dead[i]
+            )
+            raise SimulatedFailure(
+                f"simulated worker crash ({crashed}): "
+                f"{n_tasks - done}/{n_tasks} tasks never ran"
+            )
         raise RuntimeError(
             f"simulation deadlock: executed {done}/{n_tasks} tasks "
             f"({blocked} blocked on barriers)"
         )
 
-    # Every task ran exactly once, so per-node and per-kind busy time are
-    # plain weighted bincounts over the task table.  Summation order
-    # differs from the object engine's event-order accumulation, so these
-    # match it to float rounding (makespan/bytes/messages stay exact).
-    busy_time = np.bincount(
-        cg.node, weights=durations, minlength=num_nodes
-    ).tolist()
-    counts = np.bincount(cg.kind_codes, minlength=len(kind_names))
-    kt = np.bincount(cg.kind_codes, weights=durations,
-                     minlength=len(kind_names))
-    time_by_kind = {
-        kind_names[c]: float(kt[c])
-        for c in range(len(kind_names))
-        if counts[c]
-    }
+    if fault_slow:
+        # Slowed durations depend on each task's start time, so they were
+        # accumulated in event order, exactly like the object engine.
+        busy_time = busy_acc
+        time_by_kind = {
+            kind_names[c]: tbk_acc[c]
+            for c in range(len(kind_names))
+            if tbk_acc[c]
+        }
+    else:
+        # Every task ran exactly once, so per-node and per-kind busy time
+        # are plain weighted bincounts over the task table.  Summation
+        # order differs from the object engine's event-order accumulation,
+        # so these match it to float rounding (makespan/bytes/messages
+        # stay exact).
+        busy_time = np.bincount(
+            cg.node, weights=durations, minlength=num_nodes
+        ).tolist()
+        counts = np.bincount(cg.kind_codes, minlength=len(kind_names))
+        kt = np.bincount(cg.kind_codes, weights=durations,
+                         minlength=len(kind_names))
+        time_by_kind = {
+            kind_names[c]: float(kt[c])
+            for c in range(len(kind_names))
+            if counts[c]
+        }
     if trace:
         rec.finalize_utilization(busy_time, now, machine.cores)
         rec.metrics.gauge("makespan.seconds", "simulated makespan").set(now)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 from heapq import heappop, heappush
-from typing import List, NamedTuple, Optional
+from typing import Callable, List, NamedTuple, Optional
 
 from ...config import NetworkSpec
 
@@ -66,7 +66,8 @@ class NetworkSim:
     """Tracks per-node channel occupancy and schedules transfers."""
 
     def __init__(self, spec: NetworkSpec, num_nodes: int,
-                 quantum: int = DEFAULT_QUANTUM, aggregate: bool = False):
+                 quantum: int = DEFAULT_QUANTUM, aggregate: bool = False,
+                 wire_factor: Optional[Callable[[int, int, float], float]] = None):
         if quantum < 1:
             raise ValueError(f"quantum must be positive, got {quantum}")
         self.spec = spec
@@ -76,6 +77,12 @@ class NetworkSim:
         # at paper scale); avoid the dataclass attribute chain.
         self._bandwidth = spec.bandwidth
         self._latency = spec.latency
+        #: Fault-injection hook (repro.runtime.faults): multiplies the wire
+        #: time of each quantum served on (src, dst) at a given time.  The
+        #: fast engine's inlined _serve transcription does NOT apply it —
+        #: when a fault plan is active the engines route every quantum
+        #: through this class instead.
+        self._wire_factor = wire_factor
         #: Coalesce queued messages sharing (source, destination) into one
         #: wire message (single latency): the aggregation optimization the
         #: paper notes Chameleon does not implement (§V-C).  Bytes moved
@@ -148,6 +155,8 @@ class NetworkSim:
         remaining -= size
         tr.remaining = remaining
         wire = size / self._bandwidth
+        if self._wire_factor is not None:
+            wire *= self._wire_factor(src, tr.dst, now)
         occupancy = wire if tr.started else wire + self._latency
         tr.started = True
         egress_done = now + occupancy

@@ -92,6 +92,34 @@ class TestEngineEquality:
         fast = simulate_compiled(cg, m, synchronized=sync)
         assert_reports_equal(ref, fast)
 
+    @pytest.mark.parametrize("dist", DISTS, ids=lambda d: d.name)
+    @pytest.mark.parametrize("broadcast", ["direct", "tree"])
+    @pytest.mark.parametrize("aggregate", [False, True])
+    def test_fault_plan_matches_object_engine(self, dist, broadcast, aggregate):
+        """Slowdowns, link degradation and seeded loss keep the engines
+        bit-identical (fault runs route quanta through the shared
+        NetworkSim instead of the inlined transcription)."""
+        from repro.runtime.faults import (
+            FaultPlan,
+            LinkDegradation,
+            SlowdownWindow,
+        )
+
+        g = build_cholesky_graph(12, 32, dist)
+        cg = compile_graph(g)
+        m = laptop(nodes=dist.num_nodes, cores=2)
+        plan = FaultPlan(
+            seed=11,
+            slowdowns=(SlowdownWindow(node=1, factor=2.0),),
+            links=(LinkDegradation(factor=3.0, src=0),),
+            loss_rate=0.05,
+        )
+        ref = simulate(g, m, broadcast=broadcast, aggregate=aggregate,
+                       faults=plan)
+        fast = simulate_compiled(cg, m, broadcast=broadcast,
+                                 aggregate=aggregate, faults=plan)
+        assert_reports_equal(ref, fast)
+
     def test_lu_matches_object_engine(self):
         g = build_lu_graph(10, 32, BlockCyclic2D(3, 2))
         cg = compile_graph(g)

@@ -126,6 +126,17 @@ class TestRecorder:
             rec.record_io("write", "k", 1, 0.0)
         with pytest.raises(ValueError):
             rec.record_cache("flush", "k", 1, 0.0)
+        with pytest.raises(ValueError):
+            rec.record_fault("explode", 0.0)
+
+    def test_fault_events_feed_metrics(self):
+        rec = Recorder()
+        rec.record_fault("loss", 1.0, src=0, dst=2, key="k")
+        rec.record_fault("retry", 1.5, src=0, dst=2, key="k")
+        rec.record_fault("crash", 2.0, node=3, detail="after 7 tasks")
+        assert rec.metrics.counter("faults").value(("loss",)) == 1
+        assert rec.metrics.counter("faults").value(("crash",)) == 1
+        assert rec.num_events() >= 3
 
     def test_cache_hit_rate(self):
         rec = Recorder()
@@ -179,6 +190,8 @@ class TestExport:
         _g, _rep, rec = traced
         rec.record_io("load", ("A", 0, 0), 64, 1.0)
         rec.record_cache("miss", ("A", 0, 0), 64, 2.0)
+        rec.record_fault("loss", 3.0, src=0, dst=1, key=("A", 0, 0),
+                         detail="retry at 3.1")
         path = write_jsonl(rec, tmp_path / "trace.jsonl")
         back = read_jsonl(path)
         assert back.source == rec.source
@@ -186,6 +199,7 @@ class TestExport:
         assert back.transfer_events == rec.transfer_events
         assert back.io_events == rec.io_events
         assert back.cache_events == rec.cache_events
+        assert back.fault_events == rec.fault_events
         # Replayed metrics equal the originals (modulo gauges, which are
         # finalized by the runtime, not the events).
         assert (back.metrics.counter("net.bytes").values
@@ -216,6 +230,21 @@ class TestExport:
         assert len(xfers) == len(rec.transfer_events)
         for e in slices:
             assert e["ts"] >= 0 and e["dur"] >= 0
+
+    def test_chrome_trace_fault_instants(self, traced):
+        _g, _rep, rec = traced
+        rec.record_fault("crash", 1.0, node=2, detail="after 5 tasks")
+        rec.record_fault("loss", 0.5, src=1, dst=3, key=("A", 0, 0))
+        doc = chrome_trace(rec)
+        instants = [e for e in doc["traceEvents"]
+                    if e.get("cat") == "fault" and e.get("ph") == "i"]
+        assert len(instants) == 2
+        # crash lands on the affected node's track; loss on the source's
+        assert {e["pid"] for e in instants} == {2, 1}
+        names = [e for e in doc["traceEvents"]
+                 if e.get("name") == "thread_name"
+                 and e["args"]["name"] == "faults"]
+        assert {e["pid"] for e in names} == {2, 1}
 
     def test_chrome_trace_lanes_do_not_overlap(self, traced):
         _g, _rep, rec = traced
@@ -325,6 +354,23 @@ class TestOutOfCoreIntegration:
         assert ops.value(("evict",)) == 2
         assert rec.metrics.counter("cache.writeback.bytes").total() == 30 * 8
         assert rec.cache_hit_rate() == pytest.approx(1 / 3)
+        assert rec.metrics.counter("cache.ops").value(("create",)) == 1
+
+    def test_tile_cache_flush_emits_evictions(self):
+        rec = Recorder()
+        cache = TileCache(100, recorder=rec)
+        cache.load("a", 40)
+        cache.create("b", 30)
+        ticks_before = max(e.time for e in rec.cache_events)
+        cache.flush()
+        evicts = [e for e in rec.cache_events if e.op == "evict"]
+        assert {e.key for e in evicts} == {"a", "b"}
+        # the dirty created tile is written back, the clean load is not
+        assert {e.key: e.dirty for e in evicts} == {"a": False, "b": True}
+        assert rec.metrics.counter("cache.writeback.bytes").total() == 30 * 8
+        # the logical clock keeps advancing through the flush
+        assert all(e.time > ticks_before for e in evicts)
+        assert cache.used == 0
 
 
 class TestSelfcheck:
