@@ -1,0 +1,51 @@
+"""Static analysis over graphs, schedules, traces, and the codebase.
+
+Three passes, one findings model, one CLI (``python -m repro.analyze``):
+
+* :mod:`repro.analyze.schedule` — proves well-formedness of a compiled
+  schedule (acyclicity, single-writer, owner-computes, byte
+  conservation, SBC symmetry, Theorem 1 bounds) with vectorized
+  numpy sweeps that scale to the paper's largest compiled graphs;
+* :mod:`repro.analyze.races` — vector-clock happens-before analysis of
+  recorded ``repro.obs`` traces: data races, missing/misordered
+  deliveries, stale retransmits, run-to-run determinism;
+* :mod:`repro.analyze.lint` — AST rules over the repository itself
+  (no unseeded randomness, no wall-clock in the simulator, TaskEvent
+  coverage of every runtime, engine-equality test coverage).
+
+:mod:`repro.analyze.mutate` keeps all of the above honest: a seeded
+harness injects known-bad schedules and traces and fails loudly unless
+every injected defect class is detected.
+
+The rule catalogue and severity contract live in ``docs/analyze.md``.
+"""
+
+from .findings import Finding, Report, Severity
+from .lint import lint_repo, lint_sources
+from .mutate import build_baseline, run_mutation_harness, self_test
+from .races import compare_traces, detect_races
+from .schedule import (
+    kahn_order,
+    verify_all,
+    verify_compiled,
+    verify_sbc,
+    verify_theorem1,
+)
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Severity",
+    "verify_compiled",
+    "verify_sbc",
+    "verify_theorem1",
+    "verify_all",
+    "kahn_order",
+    "detect_races",
+    "compare_traces",
+    "lint_repo",
+    "lint_sources",
+    "build_baseline",
+    "run_mutation_harness",
+    "self_test",
+]

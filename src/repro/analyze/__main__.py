@@ -1,0 +1,288 @@
+"""``python -m repro.analyze`` — the static-analysis CLI.
+
+Modes (combinable; ``--all`` turns everything on):
+
+* ``--graphs`` — compile every shipped graph builder (Cholesky, LU,
+  POSV, POTRI × SBC / 2DBC / 2.5D / remap variants) and run the full
+  schedule verifier on each, including SBC symmetry and the Theorem 1
+  volume bound where the distribution is an SBC;
+* ``--lint`` — AST invariant rules over ``src/`` + ``tests/``;
+* ``--races [TRACE [TRACE2]]`` — with no path, run a seeded traced
+  simulation and race-check it (plus a replay determinism check); with
+  one JSONL trace, race-check it against the graph named by
+  ``--trace-graph``; with two traces, diff them for determinism;
+* ``--self-test`` — the seeded mutation harness: every injected defect
+  class must be detected (the no-false-negative gate).
+
+``--report PATH`` writes the machine-readable findings document that CI
+publishes as an artifact.  Exit status is 0 iff no error-severity
+finding was produced (``--strict`` also fails on warnings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any, Optional
+
+from ..distributions.base import Distribution
+from ..distributions.block_cyclic import BlockCyclic2D
+from ..distributions.row_cyclic import RowCyclic1D
+from ..distributions.sbc import SymmetricBlockCyclic
+from ..distributions.twod5 import TwoDotFiveD
+from ..graph.cholesky import build_cholesky_graph, build_cholesky_graph_25d
+from ..graph.compiled import (
+    CompiledGraph,
+    compile_cholesky,
+    compile_graph,
+    compile_lu,
+)
+from ..graph.inversion import build_potri_graph
+from ..graph.lu import build_lu_graph, build_lu_graph_25d
+from ..graph.solve import build_posv_graph
+from ..graph.task import TaskGraph
+from ..obs.events import Recorder
+from ..obs.export import read_jsonl
+from ..runtime.simulator.engine import simulate
+from .findings import Report, Severity
+from .lint import lint_sources
+from .mutate import build_baseline, self_test
+from .races import compare_traces, detect_races
+from .schedule import verify_all
+
+#: One row of the builder verification matrix:
+#: (name, thunk -> (compiled graph, distribution or None, object graph
+#: or None, tile count for the SBC rules)).
+Case = tuple[str, Callable[[], tuple[Any, ...]]]
+
+
+def _matrix() -> list[Case]:
+    """Every shipped graph builder × the distributions it supports.
+
+    Sizes are chosen so the whole matrix verifies in seconds while still
+    exercising multiple pattern periods (N > r) and every task kind.
+    """
+    N, b = 8, 32
+    Ninv = 6
+
+    def cholesky(
+        dist: Distribution, n: int = N
+    ) -> tuple[CompiledGraph, Distribution, TaskGraph, int]:
+        g = build_cholesky_graph(n, b, dist)
+        return compile_graph(g), dist, g, n
+
+    def cholesky_direct(
+        dist: Distribution, n: int = N
+    ) -> tuple[CompiledGraph, Distribution, TaskGraph, int]:
+        # The direct compiler has no DataKey table; cross-check its plan
+        # against the object graph built with identical parameters.
+        g = build_cholesky_graph(n, b, dist)
+        return compile_cholesky(n, b, dist), dist, g, n
+
+    def cholesky_25d(c: int) -> tuple[CompiledGraph, None, TaskGraph, int]:
+        d25 = TwoDotFiveD(BlockCyclic2D(2, 2), c)
+        g = build_cholesky_graph_25d(N, b, d25)
+        # 2.5D runs tasks on slice copies: no single owner per tile, so
+        # the distribution-level rules do not apply (dist=None).
+        return compile_graph(g), None, g, N
+
+    def lu(dist: Distribution) -> tuple[CompiledGraph, Distribution, TaskGraph, int]:
+        g = build_lu_graph(N, b, dist)
+        return compile_graph(g), dist, g, N
+
+    def lu_direct(dist: Distribution) -> tuple[CompiledGraph, Distribution, TaskGraph, int]:
+        g = build_lu_graph(N, b, dist)
+        return compile_lu(N, b, dist), dist, g, N
+
+    def lu_25d(c: int) -> tuple[CompiledGraph, None, TaskGraph, int]:
+        d25 = TwoDotFiveD(BlockCyclic2D(2, 2), c)
+        g = build_lu_graph_25d(N, b, d25)
+        return compile_graph(g), None, g, N
+
+    def posv(dist: Distribution) -> tuple[CompiledGraph, Distribution, TaskGraph, int]:
+        g = build_posv_graph(N, b, dist, RowCyclic1D(6))
+        return compile_graph(g), dist, g, N
+
+    def potri(
+        dist: Distribution, trtri_dist: Optional[Distribution] = None
+    ) -> tuple[CompiledGraph, Distribution, TaskGraph, int, Optional[Distribution]]:
+        g = build_potri_graph(Ninv, b, dist, trtri_dist=trtri_dist)
+        return compile_graph(g), dist, g, Ninv, trtri_dist
+
+    sbc = lambda: SymmetricBlockCyclic(4)  # noqa: E731 - fresh per case
+    sbc_basic = lambda: SymmetricBlockCyclic(4, "basic")  # noqa: E731
+    bc = lambda: BlockCyclic2D(2, 4)  # noqa: E731
+
+    return [
+        ("cholesky/sbc4-ext", lambda: cholesky(sbc())),
+        ("cholesky/sbc4-basic", lambda: cholesky(sbc_basic())),
+        ("cholesky/2dbc-2x4", lambda: cholesky(bc())),
+        ("cholesky/sbc4-ext-direct", lambda: cholesky_direct(sbc())),
+        ("cholesky/2.5d-c2", lambda: cholesky_25d(2)),
+        ("lu/2dbc-2x4", lambda: lu(bc())),
+        ("lu/sbc4-ext", lambda: lu(sbc())),
+        ("lu/2dbc-2x4-direct", lambda: lu_direct(bc())),
+        ("lu/2.5d-c2", lambda: lu_25d(2)),
+        ("posv/sbc4-ext", lambda: posv(sbc())),
+        ("posv/2dbc-2x4", lambda: posv(bc())),
+        ("potri/sbc4-ext", lambda: potri(sbc())),
+        ("potri/2dbc-2x4", lambda: potri(bc())),
+        ("potri/sbc4-remap-2dbc", lambda: potri(sbc(), bc())),
+    ]
+
+
+def run_graphs(quiet: bool = False) -> Report:
+    """Verify the full builder matrix."""
+    rep = Report()
+    for name, thunk in _matrix():
+        cg, dist, graph, n, *extra = thunk()
+        # A remap graph spans two distributions; the valid node range is
+        # their union.
+        num_nodes = None
+        if extra and extra[0] is not None:
+            num_nodes = max(dist.num_nodes, extra[0].num_nodes)
+        one = verify_all(cg, dist=dist, graph=graph, name=name, N=n,
+                         num_nodes=num_nodes)
+        if not quiet:
+            state = "ok" if one.ok() else "FAIL"
+            print(f"  {state:4s} {name:26s} "
+                  f"({cg.n_tasks} tasks, {cg.n_data} versions)")
+        rep.extend(one)
+    return rep
+
+
+def run_traced_races(quiet: bool = False) -> Report:
+    """Simulate the baseline with tracing on; race- and replay-check it."""
+    base = build_baseline()
+    rep = detect_races(base.recorder, base.cg, name="simulated")
+    rerun = Recorder(source="simulator")
+    simulate(base.graph, base.machine, trace=True, recorder=rerun)
+    rep.extend(compare_traces(base.recorder, rerun, name="simulated"))
+    if not quiet:
+        state = "ok" if rep.ok() else "FAIL"
+        print(f"  {state:4s} simulated trace "
+              f"({len(base.recorder.task_events)} tasks, "
+              f"{len(base.recorder.transfer_events)} transfers)")
+    return rep
+
+
+def _trace_graph(spec: str) -> tuple[CompiledGraph, TaskGraph]:
+    """Build the graph a standalone trace file is checked against.
+
+    ``spec`` is ``builder:N:b:r`` with builder in {cholesky, lu}; the
+    trace must come from a run of exactly that graph.
+    """
+    parts = spec.split(":")
+    builder = parts[0]
+    n = int(parts[1]) if len(parts) > 1 else 8
+    b = int(parts[2]) if len(parts) > 2 else 32
+    r = int(parts[3]) if len(parts) > 3 else 4
+    dist = SymmetricBlockCyclic(r)
+    if builder == "cholesky":
+        g = build_cholesky_graph(n, b, dist)
+    elif builder == "lu":
+        g = build_lu_graph(n, b, dist)
+    else:
+        raise SystemExit(f"unknown --trace-graph builder {builder!r} "
+                         "(expected cholesky or lu)")
+    return compile_graph(g), g
+
+
+def run_races(paths: list[str], spec: str, quiet: bool = False) -> Report:
+    if not paths:
+        return run_traced_races(quiet=quiet)
+    if len(paths) == 1:
+        cg, _ = _trace_graph(spec)
+        rec = read_jsonl(paths[0])
+        return detect_races(rec, cg, name=Path(paths[0]).name)
+    if len(paths) == 2:
+        a, b = (read_jsonl(p) for p in paths)
+        return compare_traces(
+            a, b, name="traces",
+            label_a=Path(paths[0]).name, label_b=Path(paths[1]).name)
+    raise SystemExit("--races takes at most two trace files")
+
+
+def run_lint(root: Path, quiet: bool = False) -> Report:
+    rep = lint_sources(root / "src", tests_root=root / "tests")
+    if not quiet:
+        state = "ok" if rep.ok() else "FAIL"
+        print(f"  {state:4s} lint ({rep.passes.get('lint', 0)} files)")
+    return rep
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Schedule verifier, trace race detector, and "
+                    "codebase invariant linter.",
+    )
+    ap.add_argument("--all", action="store_true",
+                    help="run every pass (graphs, lint, races, self-test)")
+    ap.add_argument("--graphs", action="store_true",
+                    help="verify every shipped graph builder")
+    ap.add_argument("--lint", action="store_true",
+                    help="AST invariant rules over src/ and tests/")
+    ap.add_argument("--races", nargs="*", metavar="TRACE", default=None,
+                    help="race-check a trace (none: simulate one; one: "
+                         "JSONL vs --trace-graph; two: determinism diff)")
+    ap.add_argument("--trace-graph", default="cholesky:8:32:4",
+                    metavar="BUILDER:N:B:R",
+                    help="graph a standalone trace is checked against "
+                         "(default %(default)s)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="mutation harness: injected defects must be caught")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="mutation-harness seed (default %(default)s)")
+    ap.add_argument("--report", metavar="PATH",
+                    help="write the JSON findings document here")
+    ap.add_argument("--root", default=".",
+                    help="repository root for --lint (default: cwd)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit nonzero on warnings too")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress per-subject progress lines")
+    args = ap.parse_args(argv)
+
+    do_graphs = args.all or args.graphs
+    do_lint = args.all or args.lint
+    do_races = args.all or args.races is not None
+    do_selftest = args.all or args.self_test
+    if not (do_graphs or do_lint or do_races or do_selftest):
+        ap.print_help()
+        return 2
+
+    rep = Report()
+    if do_graphs:
+        if not args.quiet:
+            print("[schedule] verifying graph builders")
+        rep.extend(run_graphs(quiet=args.quiet))
+    if do_races:
+        if not args.quiet:
+            print("[races] happens-before analysis")
+        rep.extend(run_races(args.races or [], args.trace_graph,
+                             quiet=args.quiet))
+    if do_lint:
+        if not args.quiet:
+            print("[lint] codebase invariants")
+        rep.extend(run_lint(Path(args.root), quiet=args.quiet))
+    if do_selftest:
+        if not args.quiet:
+            print("[self-test] mutation harness")
+        rep.extend(self_test(seed=args.seed, verbose=not args.quiet))
+
+    if args.report:
+        rep.write(args.report)
+        if not args.quiet:
+            print(f"findings report written to {args.report}")
+    interesting = [f for f in rep
+                   if f.severity != Severity.INFO or not rep.ok()]
+    if interesting or not args.quiet:
+        print(rep.render())
+    return rep.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

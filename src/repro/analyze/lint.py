@@ -1,0 +1,245 @@
+"""AST-based codebase invariant linter.
+
+Repo-wide invariants that no unit test states but every PR relies on,
+checked by walking Python ASTs (no imports, no execution):
+
+* ``ANA-RAND`` — no *unseeded* randomness outside test fixtures: the
+  module-level ``random.*`` / ``numpy.random.*`` functions draw from
+  hidden global state and break the repo's replay guarantees.  Seeded
+  construction (``np.random.default_rng(seed)``, ``random.Random(seed)``,
+  ``np.random.SeedSequence(...)``) is fine; the zero-argument forms are
+  not;
+* ``ANA-CLOCK`` — no wall-clock reads (``time.time``,
+  ``time.perf_counter``, ``time.monotonic``, ``datetime.now``) inside
+  ``runtime/simulator/``: the simulator owns its clock, and a wall-clock
+  read there silently breaks bit-exact engine equality;
+* ``ANA-OBS`` — every runtime path that completes tasks must emit
+  :class:`~repro.obs.events.TaskEvent`\\ s: the modules listed in
+  :data:`TASK_COMPLETION_MODULES` must contain at least one
+  ``record_task`` call;
+* ``ANA-EQTEST`` — engine-equality coverage: every ``simulate_*``
+  entry point defined under ``src/`` must be referenced somewhere under
+  ``tests/``, so a new engine cannot ship without an equality/behaviour
+  test naming it.
+
+Run via ``python -m repro.analyze --lint`` (or ``--all``); wired into
+CI as a blocking step.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from pathlib import Path
+from typing import Optional
+
+from .findings import Report, Severity
+
+__all__ = ["lint_repo", "lint_sources", "TASK_COMPLETION_MODULES"]
+
+#: Module-level ``random`` functions that use the hidden global RNG.
+_RANDOM_GLOBAL_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "betavariate", "expovariate", "seed",
+    "getrandbits", "normalvariate",
+}
+
+#: ``numpy.random`` module-level functions backed by the legacy global
+#: state (plus ``seed`` itself).
+_NP_RANDOM_GLOBAL_FNS = {
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "normal", "uniform", "standard_normal",
+    "seed",
+}
+
+#: Wall-clock reads forbidden inside the simulator.
+_CLOCK_CALLS = {
+    ("time", "time"), ("time", "perf_counter"), ("time", "monotonic"),
+    ("time", "time_ns"), ("time", "perf_counter_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"),
+}
+
+#: Runtime modules (relative to the source root) that complete tasks and
+#: must therefore emit TaskEvents through a ``record_task`` call.  The
+#: out-of-core engine is deliberately absent: it traces IO/cache events
+#: (its unit of progress is a tile movement, not a task).
+TASK_COMPLETION_MODULES = (
+    "repro/runtime/simulator/engine.py",
+    "repro/runtime/simulator/fast_engine.py",
+    "repro/runtime/local.py",
+    "repro/runtime/distributed/executor.py",
+)
+
+#: Directories whose files may use unseeded randomness (fixtures).
+_RAND_EXEMPT_PARTS = ("tests", "benchmarks", "examples", "conftest")
+
+
+def _dotted(node: ast.AST) -> Optional[tuple[str, ...]]:
+    """Flatten ``a.b.c`` into ("a", "b", "c"); None for other shapes."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class _FileLint(ast.NodeVisitor):
+    """Collects rule hits for one parsed source file."""
+
+    def __init__(self, rel: str, in_simulator: bool, rand_exempt: bool):
+        self.rel = rel
+        self.in_simulator = in_simulator
+        self.rand_exempt = rand_exempt
+        self.hits: list[tuple[str, int, str, str]] = []
+        self.record_task_calls = 0
+        self.simulate_defs: list[tuple[str, int]] = []
+
+    def _hit(self, rule: str, lineno: int, message: str, hint: str) -> None:
+        self.hits.append((rule, lineno, message, hint))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name.startswith("simulate_"):
+            self.simulate_defs.append((node.name, node.lineno))
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        if node.name.startswith("simulate_"):
+            self.simulate_defs.append((node.name, node.lineno))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted:
+            self._check_call(dotted, node)
+        self.generic_visit(node)
+
+    def _check_call(self, dotted: tuple[str, ...], node: ast.Call) -> None:
+        if dotted[-1] == "record_task":
+            self.record_task_calls += 1
+
+        if not self.rand_exempt:
+            # random.<global fn>(...)
+            if len(dotted) == 2 and dotted[0] == "random" \
+                    and dotted[1] in _RANDOM_GLOBAL_FNS:
+                self._hit(
+                    "ANA-RAND", node.lineno,
+                    f"call to random.{dotted[1]} uses the unseeded global "
+                    "RNG",
+                    "construct random.Random(seed) and draw from it",
+                )
+            # random.Random() / np.random.default_rng() with no arguments
+            if dotted[-1] in ("Random", "default_rng") \
+                    and "random" in dotted and not node.args \
+                    and not node.keywords:
+                self._hit(
+                    "ANA-RAND", node.lineno,
+                    f"{'.'.join(dotted)}() without a seed draws entropy "
+                    "from the OS",
+                    "pass an explicit seed or SeedSequence",
+                )
+            # np.random.<legacy global fn>(...)
+            if len(dotted) >= 3 and dotted[-2] == "random" \
+                    and dotted[-1] in _NP_RANDOM_GLOBAL_FNS:
+                self._hit(
+                    "ANA-RAND", node.lineno,
+                    f"call to {'.'.join(dotted)} uses numpy's legacy "
+                    "global RNG state",
+                    "use np.random.default_rng(seed)",
+                )
+
+        if self.in_simulator:
+            tail = dotted[-2:] if len(dotted) >= 2 else dotted
+            if tuple(tail) in _CLOCK_CALLS:
+                self._hit(
+                    "ANA-CLOCK", node.lineno,
+                    f"wall-clock read {'.'.join(dotted)}() inside "
+                    "runtime/simulator/",
+                    "the simulator's time axis is the event clock; pass "
+                    "times in explicitly",
+                )
+
+
+def _iter_sources(src_root: Path) -> Iterable[Path]:
+    return sorted(src_root.rglob("*.py"))
+
+
+def lint_sources(src_root: Path, tests_root: Optional[Path] = None) -> Report:
+    """Lint every Python file under ``src_root``.
+
+    ``tests_root`` enables the ANA-EQTEST rule (simulate_* entry points
+    must be referenced by at least one test file).
+    """
+    rep = Report()
+    src_root = Path(src_root)
+    simulate_defs: list[tuple[str, str, int]] = []
+    files = list(_iter_sources(src_root))
+    rep.note_pass("lint", len(files))
+    for path in files:
+        rel = path.relative_to(src_root).as_posix()
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as exc:
+            rep.add("ANA-PARSE", Severity.ERROR,
+                    f"cannot parse: {exc.msg}",
+                    f"{rel}:{exc.lineno or 0}")
+            continue
+        in_sim = "runtime/simulator/" in rel
+        exempt = any(part in _RAND_EXEMPT_PARTS for part in rel.split("/"))
+        visitor = _FileLint(rel, in_sim, exempt)
+        visitor.visit(tree)
+        for rule, lineno, message, hint in visitor.hits:
+            rep.add(rule, Severity.ERROR, message, f"{rel}:{lineno}", hint)
+        if rel in TASK_COMPLETION_MODULES and not visitor.record_task_calls:
+            rep.add(
+                "ANA-OBS", Severity.ERROR,
+                "runtime module completes tasks but never calls "
+                "record_task: executions would be invisible to repro.obs",
+                f"{rel}:1",
+                "emit a TaskEvent wherever a task finishes (see "
+                "docs/observability.md)",
+            )
+        for fn_name, lineno in visitor.simulate_defs:
+            simulate_defs.append((fn_name, rel, lineno))
+
+    missing_modules = [
+        m for m in TASK_COMPLETION_MODULES if not (src_root / m).exists()
+    ]
+    for m in missing_modules:
+        rep.add(
+            "ANA-OBS", Severity.WARNING,
+            "configured task-completion module does not exist "
+            "(update TASK_COMPLETION_MODULES after moving runtimes)",
+            f"{m}:1",
+        )
+
+    if tests_root is not None:
+        tests_root = Path(tests_root)
+        corpus = ""
+        if tests_root.is_dir():
+            corpus = "\n".join(
+                p.read_text() for p in sorted(tests_root.rglob("*.py"))
+            )
+        seen: set[str] = set()
+        for fn_name, rel, lineno in simulate_defs:
+            if fn_name in seen:
+                continue
+            seen.add(fn_name)
+            if fn_name not in corpus:
+                rep.add(
+                    "ANA-EQTEST", Severity.ERROR,
+                    f"engine entry point {fn_name} has no test referencing "
+                    "it",
+                    f"{rel}:{lineno}",
+                    "new simulate_* paths need an engine-equality test "
+                    "(see tests/test_compiled_engine.py)",
+                )
+    return rep
+
+
+def lint_repo(root: Path) -> Report:
+    """Lint the repository layout used by this project (src/ + tests/)."""
+    root = Path(root)
+    return lint_sources(root / "src", tests_root=root / "tests")

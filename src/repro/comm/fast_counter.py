@@ -21,6 +21,7 @@ with the generic graph counter is property-tested.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from ..distributions.base import Distribution
 
@@ -35,13 +36,13 @@ __all__ = [
 _POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.int64)
 
 
-def _popcount(arr: np.ndarray) -> np.ndarray:
+def _popcount(arr: npt.NDArray[np.uint64]) -> npt.NDArray[np.int64]:
     """Per-mask population count; masks live on the trailing word axis."""
     b = arr.view(np.uint8).reshape(arr.shape[:-1] + (arr.shape[-1] * 8,))
     return _POP8[b].sum(axis=-1)
 
 
-def _num_words(owners: np.ndarray) -> int:
+def _num_words(owners: npt.NDArray[np.integer]) -> int:
     """Mask words needed for this owner map (one uint64 per 64 nodes)."""
     if owners.size and owners.min() < 0:
         raise ValueError("owner map contains negative node ids")
@@ -49,7 +50,9 @@ def _num_words(owners: np.ndarray) -> int:
     return top // 64 + 1
 
 
-def _masks(owners: np.ndarray, words: int) -> np.ndarray:
+def _masks(
+    owners: npt.NDArray[np.integer], words: int
+) -> npt.NDArray[np.uint64]:
     """Per-entry one-hot bitmasks, shape ``owners.shape + (words,)``."""
     out = np.zeros(owners.shape + (words,), dtype=np.uint64)
     word = owners // 64
@@ -58,7 +61,9 @@ def _masks(owners: np.ndarray, words: int) -> np.ndarray:
     return out
 
 
-def _suffix_or(masks: np.ndarray, axis: int) -> np.ndarray:
+def _suffix_or(
+    masks: npt.NDArray[np.uint64], axis: int
+) -> npt.NDArray[np.uint64]:
     """``out[t] = OR of masks[t:]`` along ``axis``, with a zero row appended.
 
     The result has one extra entry along ``axis`` (the empty suffix).
@@ -71,7 +76,9 @@ def _suffix_or(masks: np.ndarray, axis: int) -> np.ndarray:
     return np.concatenate([acc, zero], axis=axis)
 
 
-def _destination_masks(owners: np.ndarray) -> np.ndarray:
+def _destination_masks(
+    owners: npt.NDArray[np.integer],
+) -> npt.NDArray[np.uint64]:
     """Per-tile destination bitmasks for POTRF under owner map ``owners``.
 
     Returns an (N, N, W) uint64 array D where D[j, i] (j > i) has bit ``n``
@@ -103,7 +110,9 @@ def _destination_masks(owners: np.ndarray) -> np.ndarray:
     return dests
 
 
-def _transfer_counts(owners: np.ndarray) -> np.ndarray:
+def _transfer_counts(
+    owners: npt.NDArray[np.integer],
+) -> npt.NDArray[np.int64]:
     """Per-tile transfer counts for POTRF under owner map ``owners``."""
     return _popcount(_destination_masks(owners))
 
@@ -113,7 +122,9 @@ def cholesky_message_count(dist: Distribution, N: int) -> int:
     return int(_transfer_counts(dist.owner_map(N)).sum())
 
 
-def cholesky_node_traffic(dist: Distribution, N: int):
+def cholesky_node_traffic(
+    dist: Distribution, N: int
+) -> "tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]":
     """Exact per-node (sent, received) message counts for POTRF.
 
     Returns two ``num_nodes``-long int arrays; ``sent.sum() ==

@@ -35,9 +35,10 @@ segment-max reductions instead of an O(tasks) Python loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from ..distributions.base import Distribution
 from ..kernels.flops import kernel_flops
@@ -75,23 +76,23 @@ class CommPlan:
     """
 
     #: per-task count of inputs not initially present at the task's node
-    missing: np.ndarray
+    missing: npt.NDArray[np.int32]
     #: CSR over data ids: consumer tasks co-located with the producer
-    lc_ptr: np.ndarray
-    lc_ids: np.ndarray
+    lc_ptr: npt.NDArray[np.int64]
+    lc_ids: npt.NDArray[np.int32]
     #: remote (data, destination) pairs, one row per eventual wire message
     #: (before any broadcast-tree re-routing): grouped by data id in
     #: first-need order of the destinations.
-    pair_data: np.ndarray
-    pair_dst: np.ndarray
+    pair_data: npt.NDArray[np.int64]
+    pair_dst: npt.NDArray[np.int32]
     #: per-pair [start, start + count) slice into ``rn_ids``: the consumer
     #: tasks waiting at that destination, in task-id order
-    pair_rn_start: np.ndarray
-    pair_rn_count: np.ndarray
-    rn_ids: np.ndarray
+    pair_rn_start: npt.NDArray[np.int64]
+    pair_rn_count: npt.NDArray[np.int64]
+    rn_ids: npt.NDArray[np.int32]
     #: per data id, the [start, end) slice of its pairs (empty when the
     #: version never leaves its producer)
-    kd_ptr: np.ndarray
+    kd_ptr: npt.NDArray[np.int64]
     #: (data id, home node) of misplaced initial versions, in the order
     #: the object engine kicks their eager transfers off at t = 0
     initial_sources: Tuple[Tuple[int, int], ...]
@@ -105,18 +106,18 @@ class CompiledGraph:
     width: int
     element_size: int
     kind_names: List[str]
-    kind_codes: np.ndarray  # int16 per task
-    node: np.ndarray  # int32 per task
-    flops: np.ndarray  # float64 per task
-    iteration: np.ndarray  # int32 per task
-    priority: np.ndarray  # float64 per task (0 until assigned)
-    write_id: np.ndarray  # int32 per task, -1 when the task writes nothing
-    read_ptr: np.ndarray  # int64, len n_tasks + 1
-    read_ids: np.ndarray  # int32 data ids
+    kind_codes: npt.NDArray[np.int16]  # per task
+    node: npt.NDArray[np.int32]  # per task
+    flops: npt.NDArray[np.float64]  # per task
+    iteration: npt.NDArray[np.int32]  # per task
+    priority: npt.NDArray[np.float64]  # per task (0 until assigned)
+    write_id: npt.NDArray[np.int32]  # per task, -1 when the task writes nothing
+    read_ptr: npt.NDArray[np.int64]  # len n_tasks + 1
+    read_ids: npt.NDArray[np.int32]  # data ids
     n_init: int  # versions that pre-exist the computation (ids 0..n_init-1)
-    data_producer: np.ndarray  # int32 producing task id, -1 for initial data
-    data_source_node: np.ndarray  # int32 producer's node / initial home
-    data_nbytes: np.ndarray  # int64 per data id
+    data_producer: npt.NDArray[np.int32]  # producing task id, -1 for initial
+    data_source_node: npt.NDArray[np.int32]  # producer's node / initial home
+    data_nbytes: npt.NDArray[np.int64]  # per data id
     #: DataKey per data id — kept by :func:`compile_graph` for tracing;
     #: the direct compilers skip it (keys are synthesized on demand).
     data_keys: Optional[List[DataKey]] = None
@@ -125,9 +126,9 @@ class CompiledGraph:
     #: priority sweep); None -> generic Python sweep.
     level_ranges: Optional[List[Tuple[int, int]]] = None
     _plan: Optional[CommPlan] = field(default=None, repr=False)
-    _cons_csr: Optional[Tuple[np.ndarray, np.ndarray]] = field(
-        default=None, repr=False
-    )
+    _cons_csr: Optional[
+        Tuple[npt.NDArray[np.int64], npt.NDArray[np.int32]]
+    ] = field(default=None, repr=False)
 
     @property
     def n_tasks(self) -> int:
@@ -149,7 +150,9 @@ class CompiledGraph:
             self._plan = _build_comm_plan(self)
         return self._plan
 
-    def consumers_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+    def consumers_csr(
+        self,
+    ) -> Tuple[npt.NDArray[np.int64], npt.NDArray[np.int32]]:
         """CSR over *tasks*: ids of tasks reading each task's output,
         in task-id order (the priority sweep's adjacency).  Built once
         and cached (the arrays are treated as read-only)."""
@@ -261,8 +264,8 @@ def _build_comm_plan(cg: CompiledGraph) -> CommPlan:
 
 
 def compiled_critical_path_priorities(
-    cg: CompiledGraph, durations: np.ndarray
-) -> np.ndarray:
+    cg: CompiledGraph, durations: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
     """Bottom-level priorities, bit-identical to the object-path sweep.
 
     ``priority[t] = durations[t] + max(priority of consumers, default 0)``
@@ -396,7 +399,9 @@ def compile_graph(graph: TaskGraph) -> CompiledGraph:
 # ---------------------------------------------------------------------------
 
 
-def _concat(parts: Sequence[np.ndarray], dtype) -> np.ndarray:
+def _concat(
+    parts: Sequence[npt.NDArray[Any]], dtype: npt.DTypeLike
+) -> npt.NDArray[Any]:
     if not parts:
         return np.empty(0, dtype=dtype)
     return np.concatenate([np.asarray(p, dtype=dtype) for p in parts])
@@ -422,7 +427,9 @@ def compile_cholesky(N: int, b: int, dist: Distribution) -> CompiledGraph:
     jj = np.arange(N, dtype=np.int64)
     col_off = jj * N - jj * (jj - 1) // 2
 
-    def tri_id(i: np.ndarray, j: np.ndarray) -> np.ndarray:
+    def tri_id(
+        i: npt.NDArray[np.int64], j: npt.NDArray[np.int64]
+    ) -> npt.NDArray[np.int64]:
         return col_off[j] + i - j
 
     # Current version id of every lower-triangle tile (packed tri index).

@@ -28,15 +28,28 @@ __all__ = [
 def validate_graph(graph: TaskGraph) -> None:
     """Raise AssertionError on structural inconsistencies.
 
-    Checks: every read has a producer emitted earlier in the list or an
-    initial declaration (=> the list order is a topological order and the
-    graph is acyclic), every version has at most one producer (guaranteed
-    by construction, re-verified), and node ids are non-negative.
+    Checks: task ids are unique, every read has a producer emitted
+    earlier in the list or an initial declaration (=> the list order is
+    a topological order and the graph is acyclic), no task reads the
+    version it writes (self-dependency), every version has at most one
+    producer (guaranteed by construction, re-verified), and node ids are
+    non-negative.  The compiled form is then re-checked by the schedule
+    verifier (:mod:`repro.analyze.schedule`) so the object and array
+    validation paths cannot drift apart.
     """
     seen = set(graph.initial)
+    ids = set()
     for t in graph.tasks:
+        if t.id in ids:
+            raise AssertionError(f"duplicate task id {t.id} ({t})")
+        ids.add(t.id)
         if t.node < 0:
             raise AssertionError(f"task {t} placed on negative node")
+        if t.write is not None and t.write in t.reads:
+            raise AssertionError(
+                f"task {t} reads its own output {t.write} "
+                "(self-dependency)"
+            )
         for k in t.reads:
             if k not in seen:
                 raise AssertionError(
@@ -47,6 +60,19 @@ def validate_graph(graph: TaskGraph) -> None:
             if t.write in seen:
                 raise AssertionError(f"data {t.write} written twice")
             seen.add(t.write)
+
+    # One validation path: the schedule verifier re-derives the same
+    # invariants (plus byte conservation) from the compiled arrays.
+    # Imported lazily — repro.analyze depends on this package.
+    from ..analyze.schedule import verify_compiled
+    from .compiled import compile_graph
+
+    report = verify_compiled(compile_graph(graph), graph=graph)
+    if not report.ok():
+        raise AssertionError(
+            "schedule verifier rejects the compiled graph:\n"
+            + report.render()
+        )
 
 
 def kind_counts(graph: TaskGraph) -> Dict[str, int]:

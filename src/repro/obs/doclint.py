@@ -1,10 +1,16 @@
 """Dead-link lint for the repository's markdown documentation.
 
 Checks every inline markdown link ``[text](target)`` whose target is
-*intra-repo* (not ``http(s)://``, ``mailto:`` or a pure ``#anchor``) and
-reports targets that do not exist on disk, resolving relative to the
-file containing the link.  Wired into the test suite
-(``tests/test_docs.py``) and exposed as
+*intra-repo* (not ``http(s)://`` or ``mailto:``) and reports:
+
+* targets that do not exist on disk, resolving relative to the file
+  containing the link;
+* anchors that do not resolve to a heading — both same-file
+  (``#section``) and cross-file (``other.md#section``) anchors, using
+  GitHub's heading-slug rules (lowercase, punctuation stripped, spaces
+  to hyphens, duplicate slugs numbered ``-1``, ``-2``, ...).
+
+Wired into the test suite (``tests/test_docs.py``) and exposed as
 ``python -m repro.obs --check-docs``.
 """
 
@@ -12,22 +18,60 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Iterable, List, NamedTuple
+from typing import Dict, Iterable, List, NamedTuple, Set
 
-__all__ = ["DeadLink", "find_dead_links", "default_doc_paths"]
+__all__ = ["DeadLink", "find_dead_links", "default_doc_paths", "heading_anchors"]
 
 #: Inline markdown links; deliberately simple (no nested brackets) —
 #: the repository's docs do not use reference-style links.
 _LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 _EXTERNAL = ("http://", "https://", "mailto:")
 
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+#: Markdown decoration stripped from heading text before slugification.
+_INLINE_LINK_RE = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+_SLUG_DROP_RE = re.compile(r"[^\w\- ]")
+
 
 class DeadLink(NamedTuple):
-    """One broken intra-repo link."""
+    """One broken intra-repo link (missing file or unresolvable anchor)."""
 
     file: str
     lineno: int
     target: str
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug of one heading's text."""
+    text = _INLINE_LINK_RE.sub(r"\1", heading)  # keep link text only
+    text = text.replace("`", "")
+    text = _SLUG_DROP_RE.sub("", text.lower())
+    return text.strip().replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> Set[str]:
+    """Every anchor the markdown file at ``path`` defines.
+
+    Follows GitHub rendering: ATX headings outside fenced code blocks;
+    a repeated slug gets ``-1``, ``-2``, ... suffixes.
+    """
+    anchors: Set[str] = set()
+    counts: Dict[str, int] = {}
+    in_fence = False
+    for line in Path(path).read_text().splitlines():
+        if line.lstrip().startswith(("```", "~~~")):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = _slugify(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
 
 
 def default_doc_paths(root) -> List[Path]:
@@ -42,19 +86,37 @@ def default_doc_paths(root) -> List[Path]:
 
 
 def find_dead_links(paths: Iterable) -> List[DeadLink]:
-    """Scan markdown files; returns every intra-repo link with no target."""
+    """Scan markdown files; returns every intra-repo link that does not
+    resolve — to a file on disk, and (for markdown targets carrying an
+    anchor) to a heading inside that file."""
     dead: List[DeadLink] = []
+    anchor_cache: Dict[Path, Set[str]] = {}
+
+    def anchors_of(p: Path) -> Set[str]:
+        p = p.resolve()
+        if p not in anchor_cache:
+            anchor_cache[p] = heading_anchors(p)
+        return anchor_cache[p]
+
     for path in paths:
         path = Path(path)
         text = path.read_text()
         for lineno, line in enumerate(text.splitlines(), start=1):
             for m in _LINK_RE.finditer(line):
                 target = m.group(1)
-                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                if target.startswith(_EXTERNAL):
                     continue
-                rel = target.split("#", 1)[0]  # drop any anchor
-                if not rel:
-                    continue
-                if not (path.parent / rel).exists():
+                rel, _, anchor = target.partition("#")
+                if rel:
+                    resolved = path.parent / rel
+                    if not resolved.exists():
+                        dead.append(DeadLink(str(path), lineno, target))
+                        continue
+                else:
+                    if not anchor:
+                        continue
+                    resolved = path  # pure "#anchor": same file
+                if anchor and resolved.suffix == ".md" \
+                        and anchor not in anchors_of(resolved):
                     dead.append(DeadLink(str(path), lineno, target))
     return dead

@@ -1,0 +1,438 @@
+"""Tests of the repro.analyze static-analysis subsystem.
+
+Covers the three passes (schedule verifier, race detector, codebase
+linter), the findings report format, the CLI, the mutation no-false-
+negative gate, and the NetworkSim stale-heap regression the race
+detector pins.
+"""
+
+import json
+from heapq import heappop, heappush
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.runtime.simulator.engine as engine_mod
+from repro.analyze import (
+    Report,
+    Severity,
+    compare_traces,
+    detect_races,
+    kahn_order,
+    lint_sources,
+    run_mutation_harness,
+    verify_compiled,
+    verify_sbc,
+    verify_theorem1,
+)
+from repro.analyze.__main__ import main as analyze_main
+from repro.analyze.findings import Finding
+from repro.analyze.mutate import build_baseline
+from repro.config import laptop
+from repro.distributions.block_cyclic import BlockCyclic2D
+from repro.distributions.sbc import SymmetricBlockCyclic
+from repro.graph.cholesky import build_cholesky_graph
+from repro.graph.compiled import compile_graph
+from repro.graph.lu import build_lu_graph
+from repro.graph.properties import validate_graph
+from repro.obs.events import Recorder
+from repro.runtime.simulator.network import Chunk, NetworkSim
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return build_baseline()
+
+
+# ---------------------------------------------------------------------------
+# Findings model
+# ---------------------------------------------------------------------------
+
+
+def test_finding_rejects_unknown_severity():
+    with pytest.raises(ValueError):
+        Finding("X", "fatal", "m", "loc")
+
+
+def test_report_roundtrip_and_exit_codes(tmp_path):
+    rep = Report()
+    rep.note_pass("schedule", 3)
+    rep.add("SCHED-CYCLE", Severity.ERROR, "boom", "g:task 1", "fix it")
+    rep.add("RACE-RETRY", Severity.WARNING, "dup", "t:transfer 0->1")
+    rep.add("SCHED-THM1", Severity.INFO, "margin 7", "g:N=8")
+    assert not rep.ok()
+    assert rep.exit_code() == 1
+    path = tmp_path / "findings.json"
+    rep.write(path)
+    doc = json.loads(path.read_text())
+    assert doc["version"] == 1
+    assert doc["summary"] == {"errors": 1, "warnings": 1, "info": 1}
+    assert doc["passes"] == {"schedule": 3}
+    assert {f["rule"] for f in doc["findings"]} == {
+        "SCHED-CYCLE", "RACE-RETRY", "SCHED-THM1"
+    }
+    assert all(
+        set(f) == {"rule", "severity", "message", "location", "hint"}
+        for f in doc["findings"]
+    )
+    back = Report.from_dict(doc)
+    assert back.rules_hit() == rep.rules_hit()
+    assert back.passes == rep.passes
+
+    warn_only = Report()
+    warn_only.add("RACE-RETRY", Severity.WARNING, "dup", "loc")
+    assert warn_only.ok() and not warn_only.ok(strict=True)
+    assert warn_only.exit_code(strict=True) == 1
+
+
+# ---------------------------------------------------------------------------
+# Schedule verifier
+# ---------------------------------------------------------------------------
+
+
+def test_clean_graphs_verify_clean(baseline):
+    rep = verify_compiled(baseline.cg, dist=baseline.dist,
+                          graph=baseline.graph)
+    assert rep.ok(), rep.render()
+    assert rep.num_errors == 0 and rep.num_warnings == 0
+    assert rep.passes["schedule"] == baseline.cg.n_tasks
+
+
+def test_sbc_symmetry_and_theorem1_clean():
+    for variant, radii in (("extended", (3, 4, 5)), ("basic", (4, 6))):
+        for r in radii:  # basic SBC exists for even r only
+            dist = SymmetricBlockCyclic(r, variant)
+            assert verify_sbc(dist, 3 * r).ok()
+            rep = verify_theorem1(dist, 3 * r)
+            assert rep.ok()
+            # The bound is reported as advisory info, never silent.
+            assert rep.by_rule("SCHED-THM1")
+
+
+def test_kahn_order_matches_topological_numbering(baseline):
+    order = kahn_order(baseline.cg)
+    assert order is not None
+    seen_at = np.empty(baseline.cg.n_tasks, dtype=np.int64)
+    seen_at[order] = np.arange(baseline.cg.n_tasks)
+    cg = baseline.cg
+    for t in range(cg.n_tasks):
+        for d in cg.read_ids[cg.read_ptr[t]:cg.read_ptr[t + 1]]:
+            p = int(cg.data_producer[d])
+            if p >= 0:
+                assert seen_at[p] < seen_at[t]
+
+
+def test_verifier_catches_cross_distribution_placement():
+    # Tiles placed per 2DBC but claimed to be SBC: owner-computes fails.
+    N, b = 8, 32
+    wrong = build_cholesky_graph(N, b, BlockCyclic2D(2, 3))
+    rep = verify_compiled(compile_graph(wrong),
+                          dist=SymmetricBlockCyclic(4))
+    assert "SCHED-NODE" in rep.rules_hit()
+
+
+# ---------------------------------------------------------------------------
+# Mutation harness: the no-false-negative gate
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_mutation_harness_catches_every_defect(baseline, seed):
+    outcomes, gate = run_mutation_harness(seed=seed, base=baseline)
+    assert len(outcomes) >= 10
+    missed = [o for o in outcomes if not o.caught]
+    assert not missed, "undetected mutants: " + ", ".join(
+        f"{o.name} (expected {o.expected_rule}, got {o.rules_hit})"
+        for o in missed
+    )
+    assert gate.ok(), gate.render()
+    assert "MUT-FALSE-NEGATIVE" not in gate.rules_hit()
+    assert "MUT-FALSE-POSITIVE" not in gate.rules_hit()
+    # The defect classes ISSUE requires are all represented.
+    defects = {o.defect for o in outcomes}
+    assert {"cycle", "double-writer", "symmetry-break", "volume-bound",
+            "race"} <= defects
+
+
+def test_mutation_outcomes_have_expected_rules(baseline):
+    outcomes, _ = run_mutation_harness(seed=0, base=baseline)
+    by_name = {o.name: o for o in outcomes}
+    assert "SCHED-CYCLE" in by_name["cycle-potrf-trsm"].rules_hit
+    assert "SCHED-WRITER" in by_name["double-writer"].rules_hit
+    assert "SCHED-SBC-SYM" in by_name["asymmetric-owner"].rules_hit
+    assert "SCHED-THM1" in by_name["fake-sbc-volume"].rules_hit
+    assert "RACE-DETERMINISM" in by_name["nondeterministic-replay"].rules_hit
+
+
+# ---------------------------------------------------------------------------
+# Race detector
+# ---------------------------------------------------------------------------
+
+
+def test_clean_trace_has_no_races(baseline):
+    rep = detect_races(baseline.recorder, baseline.cg)
+    assert rep.ok(), rep.render()
+    assert len(rep.findings) == 0
+
+
+def test_identical_traces_are_deterministic(baseline):
+    rep = compare_traces(baseline.recorder, baseline.recorder)
+    assert len(rep.findings) == 0
+
+
+def test_detector_requires_remote_delivery(baseline):
+    # Removing every transfer breaks availability for all remote reads.
+    rec = Recorder(source="simulator")
+    rec.task_events = list(baseline.recorder.task_events)
+    rep = detect_races(rec, baseline.cg)
+    assert "RACE-MISSING" in rep.rules_hit()
+
+
+# ---------------------------------------------------------------------------
+# Codebase linter
+# ---------------------------------------------------------------------------
+
+
+def _lint_tree(tmp_path, files, tests=None):
+    src = tmp_path / "src"
+    for rel, text in files.items():
+        p = src / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+    tests_root = None
+    if tests is not None:
+        tests_root = tmp_path / "tests"
+        tests_root.mkdir(exist_ok=True)
+        for rel, text in tests.items():
+            (tests_root / rel).write_text(text)
+    return lint_sources(src, tests_root=tests_root)
+
+
+def test_lint_flags_unseeded_randomness(tmp_path):
+    rep = _lint_tree(tmp_path, {
+        "pkg/a.py": "import random\nx = random.random()\n",
+        "pkg/b.py": "import numpy as np\ny = np.random.rand(3)\n",
+        "pkg/c.py": "import numpy as np\nrng = np.random.default_rng()\n",
+    })
+    hits = rep.by_rule("ANA-RAND")
+    assert len(hits) == 3
+    assert all(h.severity == Severity.ERROR for h in hits)
+
+
+def test_lint_accepts_seeded_randomness(tmp_path):
+    rep = _lint_tree(tmp_path, {
+        "pkg/a.py": (
+            "import random\nimport numpy as np\n"
+            "r = random.Random(7)\n"
+            "g = np.random.default_rng(np.random.SeedSequence(3))\n"
+        ),
+        "tests/fixture.py": "import random\nx = random.random()\n",
+    })
+    assert "ANA-RAND" not in rep.rules_hit()
+
+
+def test_lint_flags_wall_clock_in_simulator_only(tmp_path):
+    body = "import time\nt = time.perf_counter()\n"
+    rep = _lint_tree(tmp_path, {
+        "repro/runtime/simulator/clocky.py": body,
+        "repro/tools/bench.py": body,  # outside the simulator: allowed
+    })
+    hits = rep.by_rule("ANA-CLOCK")
+    assert len(hits) == 1
+    assert "runtime/simulator" in hits[0].location
+
+
+def test_lint_requires_record_task_in_runtimes(tmp_path):
+    rep = _lint_tree(tmp_path, {
+        "repro/runtime/simulator/engine.py": "def run():\n    pass\n",
+    })
+    obs = rep.by_rule("ANA-OBS")
+    assert any(f.severity == Severity.ERROR for f in obs)
+    rep2 = _lint_tree(tmp_path, {
+        "repro/runtime/simulator/engine.py":
+            "def run(rec):\n    rec.record_task(1)\n",
+    })
+    assert not any(
+        f.severity == Severity.ERROR for f in rep2.by_rule("ANA-OBS")
+    )
+
+
+def test_lint_requires_engine_equality_coverage(tmp_path):
+    rep = _lint_tree(
+        tmp_path,
+        {"pkg/eng.py": "def simulate_fancy(x):\n    return x\n"},
+        tests={"test_none.py": "def test_nothing():\n    pass\n"},
+    )
+    assert "ANA-EQTEST" in rep.rules_hit()
+    rep2 = _lint_tree(
+        tmp_path,
+        {"pkg/eng.py": "def simulate_fancy(x):\n    return x\n"},
+        tests={"test_eq.py": "from pkg.eng import simulate_fancy\n"},
+    )
+    assert "ANA-EQTEST" not in rep2.rules_hit()
+
+
+def test_lint_flags_syntax_errors(tmp_path):
+    rep = _lint_tree(tmp_path, {"pkg/bad.py": "def f(:\n"})
+    assert "ANA-PARSE" in rep.rules_hit()
+
+
+def test_repo_passes_its_own_lint():
+    rep = lint_sources(ROOT / "src", tests_root=ROOT / "tests")
+    assert rep.ok(), rep.render()
+
+
+# ---------------------------------------------------------------------------
+# validate_graph routes through the schedule verifier
+# ---------------------------------------------------------------------------
+
+
+def test_validate_graph_accepts_clean(baseline):
+    validate_graph(baseline.graph)
+
+
+def test_validate_graph_rejects_duplicate_task_ids(baseline):
+    g = build_cholesky_graph(baseline.N, 32, baseline.dist)
+    g.tasks[3].id = g.tasks[2].id
+    with pytest.raises(AssertionError, match="duplicate task id"):
+        validate_graph(g)
+
+
+def test_validate_graph_rejects_self_dependency(baseline):
+    g = build_cholesky_graph(baseline.N, 32, baseline.dist)
+    t = g.tasks[1]
+    t.reads = t.reads + (t.write,)
+    with pytest.raises(AssertionError, match="self-dependency"):
+        validate_graph(g)
+
+
+def test_validate_graph_uses_schedule_verifier(baseline, monkeypatch):
+    # Defects only visible in the compiled arrays still fail validation.
+    g = build_cholesky_graph(baseline.N, 32, baseline.dist)
+    calls = []
+    from repro.analyze import schedule as sched_mod
+
+    orig = sched_mod.verify_compiled
+
+    def spy(*args, **kwargs):
+        calls.append(1)
+        return orig(*args, **kwargs)
+
+    monkeypatch.setattr(sched_mod, "verify_compiled", spy)
+    validate_graph(g)
+    assert calls
+
+
+# ---------------------------------------------------------------------------
+# NetworkSim stale-heap regression (PR 2 fix), pinned by the detector
+# ---------------------------------------------------------------------------
+
+
+class _PreFixNetworkSim(NetworkSim):
+    """The pre-fix behavior: an aggregation piggy-back that raises a queued
+    transfer's priority mutates it in place, leaving the heap entry's
+    sort key stale; _serve trusts whatever surfaces first."""
+
+    def submit(self, transfer, now):
+        if self.aggregate and self._egress_busy[transfer.src]:
+            for _nprio, _seq, queued in self._queues[transfer.src]:
+                if queued.dst == transfer.dst and not queued.started:
+                    queued.keys.append(transfer.key)
+                    queued.nbytes += transfer.nbytes
+                    queued.remaining += transfer.nbytes
+                    if transfer.priority > queued.priority:
+                        queued.priority = transfer.priority  # stale key kept
+                    self.total_bytes += transfer.nbytes
+                    transfer.submitted = now
+                    return None
+        return NetworkSim.submit(self, transfer, now)
+
+    def _serve(self, src, now):
+        queue = self._queues[src]
+        if not queue:
+            self._egress_busy[src] = False
+            return None
+        _negprio, _, tr = heappop(queue)  # no staleness check
+        remaining = tr.remaining
+        size = self.quantum if self.quantum < remaining else remaining
+        tr.remaining = remaining - size
+        wire = size / self._bandwidth
+        occupancy = wire if tr.started else wire + self._latency
+        tr.started = True
+        egress_done = now + occupancy
+        ingress = self._ingress_free[tr.dst] + wire
+        delivery = egress_done if egress_done > ingress else ingress
+        self._ingress_free[tr.dst] = delivery
+        self._egress_busy[src] = True
+        self.busy_time[src] += occupancy
+        if tr.remaining:
+            self._seq += 1
+            heappush(queue, (-tr.priority, self._seq, tr))
+            return Chunk(tr, egress_done, delivery, False)
+        tr.end = delivery
+        return Chunk(tr, egress_done, delivery, True)
+
+
+def _traced_lu_run(monkeypatch, net_cls):
+    # LU on SBC(4) with 4 cores is the smallest shipped config whose
+    # aggregation piggy-backs raise queued priorities (the bug trigger).
+    dist = SymmetricBlockCyclic(4)
+    graph = build_lu_graph(10, 1024, dist)
+    machine = laptop(nodes=dist.num_nodes, cores=4)
+    rec = Recorder(source="simulator")
+    monkeypatch.setattr(engine_mod, "NetworkSim", net_cls)
+    engine_mod.simulate(graph, machine, trace=True, recorder=rec,
+                        aggregate=True)
+    return rec
+
+
+def test_networksim_stale_heap_revert_is_flagged(monkeypatch):
+    good = _traced_lu_run(monkeypatch, NetworkSim)
+    replay = _traced_lu_run(monkeypatch, NetworkSim)
+    assert len(compare_traces(good, replay).findings) == 0
+
+    bad = _traced_lu_run(monkeypatch, _PreFixNetworkSim)
+    rep = compare_traces(good, bad, label_a="fixed", label_b="reverted")
+    assert "RACE-DETERMINISM" in rep.rules_hit()
+    assert rep.num_errors > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_graphs_pass_clean(capsys):
+    assert analyze_main(["--graphs", "-q"]) == 0
+
+
+def test_cli_self_test_and_report(tmp_path, capsys):
+    report = tmp_path / "findings.json"
+    code = analyze_main(["--self-test", "-q", "--report", str(report)])
+    assert code == 0
+    doc = json.loads(report.read_text())
+    assert doc["summary"]["errors"] == 0
+    assert doc["passes"]["mutation"] >= 10
+
+
+def test_cli_lint_on_repo(capsys):
+    assert analyze_main(["--lint", "--root", str(ROOT), "-q"]) == 0
+
+
+def test_cli_no_mode_prints_help(capsys):
+    assert analyze_main([]) == 2
+
+
+def test_cli_trace_diff_detects_divergence(tmp_path, capsys, monkeypatch):
+    from repro.obs.export import write_jsonl
+
+    good = _traced_lu_run(monkeypatch, NetworkSim)
+    bad = _traced_lu_run(monkeypatch, _PreFixNetworkSim)
+    pa, pb = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    write_jsonl(good, pa)
+    write_jsonl(bad, pb)
+    assert analyze_main(["--races", str(pa), str(pb), "-q"]) == 1
+    assert analyze_main(["--races", str(pa), str(pa), "-q"]) == 0

@@ -25,6 +25,8 @@ def test_no_dead_links_in_docs():
 def test_detects_a_dead_link(tmp_path):
     md = tmp_path / "page.md"
     md.write_text(
+        "# Top\n"
+        "## Sec\n"
         "ok [web](https://example.com) and [anchor](#sec)\n"
         "bad [missing](./nope.md)\n"
         "ok [self](page.md#top)\n"
@@ -32,7 +34,35 @@ def test_detects_a_dead_link(tmp_path):
     dead = find_dead_links([md])
     assert len(dead) == 1
     assert isinstance(dead[0], DeadLink)
-    assert dead[0].lineno == 2 and dead[0].target == "./nope.md"
+    assert dead[0].lineno == 4 and dead[0].target == "./nope.md"
+
+
+def test_detects_a_dead_anchor(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("# Rule Catalogue\nSee [other](other.md#severities).\n"
+                    "Bad [gone](#no-such-heading).\n")
+    other = tmp_path / "other.md"
+    other.write_text("## Severities\n```\n# not a heading (code fence)\n```\n")
+    dead = find_dead_links([page])
+    assert [d.target for d in dead] == ["#no-such-heading"]
+    # Cross-file anchor resolves; a fenced pseudo-heading does not count.
+    page.write_text("See [other](other.md#not-a-heading-code-fence).\n")
+    dead = find_dead_links([page])
+    assert [d.target for d in dead] == ["other.md#not-a-heading-code-fence"]
+
+
+def test_anchor_slugs_handle_punctuation_and_duplicates(tmp_path):
+    from repro.obs.doclint import heading_anchors
+
+    md = tmp_path / "a.md"
+    md.write_text(
+        "# `repro.analyze` — Rules & Severities!\n"
+        "## Setup\n"
+        "## Setup\n"
+    )
+    anchors = heading_anchors(md)
+    assert "reproanalyze--rules--severities" in anchors
+    assert {"setup", "setup-1"} <= anchors
 
 
 def test_check_docs_cli_passes_on_repo(capsys):
