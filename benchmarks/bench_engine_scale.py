@@ -11,6 +11,14 @@ repo root holds the reference run; regenerate it with
 ``REPRO_FULL=1 REPRO_BENCH_OUT=BENCH_engine.json pytest
 benchmarks/bench_engine_scale.py``).
 
+Since the sweep-service PR each point is submitted through
+:class:`repro.service.SweepClient` (in-process mode): the build / plan /
+sim timings are measured inside :func:`repro.service.run_point` and
+memoized alongside the :class:`SimReport`.  With ``REPRO_SWEEP_STORE``
+pointing at a warm store a re-run simulates nothing and replays the
+stored timings (the ``cached`` column says which rows were replayed);
+regenerate the reference trajectory against a *cold* store.
+
 The acceptance point of the array-engine PR is the last full-mode row:
 N = 400 (10.7M tasks) must simulate in under 60 s wall.
 """
@@ -21,15 +29,13 @@ import json
 import os
 import platform
 import resource
-import time
 
 from conftest import print_header, sizes
 
 from repro.config import bora
 from repro.distributions import SymmetricBlockCyclic
-from repro.graph import compile_cholesky
 from repro.obs import MetricsRegistry
-from repro.runtime.simulator import simulate_compiled
+from repro.service import JobSpec, SweepClient
 
 B = 512
 R = 9  # extended SBC on P = 36 nodes, the paper's largest square layout
@@ -42,30 +48,28 @@ def _peak_rss_mb() -> float:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
-def trajectory(ns):
+def trajectory(ns, client: SweepClient):
     dist = SymmetricBlockCyclic(R)
     machine = bora(nodes=dist.num_nodes)
     metrics = MetricsRegistry()
     rows = []
     for N in ns:
-        t0 = time.perf_counter()
-        cg = compile_cholesky(N, B, dist)
-        t1 = time.perf_counter()
-        cg.comm_plan()
-        t2 = time.perf_counter()
-        rep = simulate_compiled(cg, machine)
-        t3 = time.perf_counter()
+        res = client.submit(
+            JobSpec.make("cholesky", N, B, dist, machine, engine="compiled")
+        ).raise_for_status()
+        rep = res.report
         row = {
             "N": N,
             "n": N * B,
-            "n_tasks": cg.n_tasks,
-            "build_seconds": round(t1 - t0, 3),
-            "plan_seconds": round(t2 - t1, 3),
-            "sim_seconds": round(t3 - t2, 3),
+            "n_tasks": rep.num_tasks,
+            "build_seconds": round(res.timings["build_seconds"], 3),
+            "plan_seconds": round(res.timings["plan_seconds"], 3),
+            "sim_seconds": round(res.timings["sim_seconds"], 3),
             "peak_rss_mb": round(_peak_rss_mb(), 1),
             "makespan_seconds": rep.makespan,
             "comm_messages": rep.comm_messages,
             "comm_bytes": rep.comm_bytes,
+            "cached": res.cached,
         }
         rows.append(row)
         for key in ("build_seconds", "plan_seconds", "sim_seconds",
@@ -75,17 +79,22 @@ def trajectory(ns):
     return rows, metrics
 
 
-def test_engine_scale(run_once):
-    rows, metrics = run_once(trajectory, NS)
+def test_engine_scale(run_once, tmp_path):
+    store = os.environ.get("REPRO_SWEEP_STORE") or str(tmp_path / "sweep-store")
+    client = SweepClient(store=store)
+    try:
+        rows, metrics = run_once(trajectory, NS, client)
+    finally:
+        client.close()
     print_header(
         f"Compiled-engine scaling, POTRF on SBC-extended(r={R}), b={B}",
         f"{'N':>5} {'tasks':>10} {'build(s)':>9} {'plan(s)':>9} "
-        f"{'sim(s)':>9} {'peakRSS(MB)':>12}",
+        f"{'sim(s)':>9} {'peakRSS(MB)':>12} {'cached':>7}",
     )
     for r in rows:
         print(f"{r['N']:>5} {r['n_tasks']:>10} {r['build_seconds']:>9.2f} "
               f"{r['plan_seconds']:>9.2f} {r['sim_seconds']:>9.2f} "
-              f"{r['peak_rss_mb']:>12.1f}")
+              f"{r['peak_rss_mb']:>12.1f} {str(r['cached']):>7}")
 
     # Structural sanity: work grows ~N^3, so per-task sim cost must stay
     # roughly flat (the array engine's whole point).  Allow generous

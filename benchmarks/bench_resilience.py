@@ -9,6 +9,14 @@ and reproducible) over both distributions on the same node count, and
 reports each cell's makespan inflation relative to its own fault-free
 baseline plus the retransmitted-message overhead.
 
+Since the sweep-service PR this bench is a *thin client*: every cell is
+a :class:`repro.service.JobSpec` submitted through a
+:class:`repro.service.SweepClient`, so identical cells are simulated
+exactly once and memoized in a content-addressed store.  Point
+``REPRO_SWEEP_STORE`` at a directory to keep the cache warm across
+invocations — a warm re-run performs **zero** new simulations (the test
+asserts this via the service's obs counters).  See ``docs/service.md``.
+
 Run with ``REPRO_BENCH_OUT=resilience.json`` to dump the rows as JSON;
 ``REPRO_FULL=1`` sweeps a paper-scale tile count.
 """
@@ -23,9 +31,8 @@ from conftest import print_header, sizes
 
 from repro.config import bora
 from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
-from repro.graph import compile_cholesky
 from repro.runtime.faults import FaultPlan, SlowdownWindow
-from repro.runtime.simulator import simulate_compiled
+from repro.service import JobSpec, SweepClient
 
 B = 512
 N = sizes(small=[20], full=[96])[0]
@@ -50,64 +57,94 @@ def _plan(slowdown: float, loss: float) -> FaultPlan | None:
     return FaultPlan(seed=SEED, slowdowns=slowdowns, loss_rate=loss)
 
 
-def sweep():
+def _cells():
+    """(dist, slowdown, loss, JobSpec) for every sweep cell, in order."""
     sbc = SymmetricBlockCyclic(SBC_R)
     bc = BlockCyclic2D(*BC_GRID)
     assert sbc.num_nodes == bc.num_nodes, "layouts must use equal node counts"
     machine = bora(nodes=sbc.num_nodes)
-    rows = []
+    out = []
     for dist in (sbc, bc):
-        cg = compile_cholesky(N, B, dist)
-        clean = simulate_compiled(cg, machine)
         for slowdown in SLOWDOWNS:
             for loss in LOSS_RATES:
-                plan = _plan(slowdown, loss)
-                rep = (clean if plan is None
-                       else simulate_compiled(cg, machine, faults=plan))
-                rows.append({
-                    "dist": dist.name,
-                    "nodes": dist.num_nodes,
-                    "N": N,
-                    "slowdown": slowdown,
-                    "loss_rate": loss,
-                    "makespan_seconds": rep.makespan,
-                    "inflation": rep.makespan / clean.makespan,
-                    "comm_bytes": rep.comm_bytes,
-                    "comm_messages": rep.comm_messages,
-                    "retransmit_messages":
-                        rep.comm_messages - clean.comm_messages,
-                })
+                spec = JobSpec.make(
+                    "cholesky", N, B, dist, machine,
+                    engine="compiled", faults=_plan(slowdown, loss),
+                )
+                out.append((dist, slowdown, loss, spec))
+    return out
+
+
+def sweep(client: SweepClient):
+    """Submit every cell through the service; rows in sweep order."""
+    cells = _cells()
+    results = client.sweep([spec for _, _, _, spec in cells])
+    clean_makespan = {}
+    for (dist, slowdown, loss, _), res in zip(cells, results):
+        if slowdown == 1.0 and loss == 0.0:
+            clean_makespan[dist.name] = res.report.makespan
+    rows = []
+    for (dist, slowdown, loss, _), res in zip(cells, results):
+        rep = res.report
+        clean = clean_makespan[dist.name]
+        rows.append({
+            "dist": dist.name,
+            "nodes": dist.num_nodes,
+            "N": N,
+            "slowdown": slowdown,
+            "loss_rate": loss,
+            "makespan_seconds": rep.makespan,
+            "inflation": rep.makespan / clean,
+            "comm_bytes": rep.comm_bytes,
+            "comm_messages": rep.comm_messages,
+        })
+    clean_messages = {
+        r["dist"]: r["comm_messages"]
+        for r in rows if r["slowdown"] == 1.0 and r["loss_rate"] == 0.0
+    }
+    for r in rows:
+        r["retransmit_messages"] = r["comm_messages"] - clean_messages[r["dist"]]
     return rows
 
 
-def test_resilience_sweep(run_once):
-    rows = run_once(sweep)
-    print_header(
-        f"Makespan inflation under faults, POTRF N={N}, b={B}, "
-        f"P={SymmetricBlockCyclic(SBC_R).num_nodes}",
-        f"{'dist':>22} {'slow':>5} {'loss':>5} {'inflation':>10} "
-        f"{'retransmits':>12}",
-    )
-    for r in rows:
-        print(f"{r['dist']:>22} {r['slowdown']:>5.1f} {r['loss_rate']:>5.2f} "
-              f"{r['inflation']:>10.3f} {r['retransmit_messages']:>12}")
+def test_resilience_sweep(run_once, tmp_path):
+    store = os.environ.get("REPRO_SWEEP_STORE") or str(tmp_path / "sweep-store")
+    client = SweepClient(store=store)
+    try:
+        rows = run_once(sweep, client)
+        sims_first = client.simulations_run()
+        print_header(
+            f"Makespan inflation under faults, POTRF N={N}, b={B}, "
+            f"P={SymmetricBlockCyclic(SBC_R).num_nodes}",
+            f"{'dist':>22} {'slow':>5} {'loss':>5} {'inflation':>10} "
+            f"{'retransmits':>12}",
+        )
+        for r in rows:
+            print(f"{r['dist']:>22} {r['slowdown']:>5.1f} {r['loss_rate']:>5.2f} "
+                  f"{r['inflation']:>10.3f} {r['retransmit_messages']:>12}")
+        print(f"(sweep service: {sims_first} simulations, store {store})")
 
-    by_cell = {(r["dist"], r["slowdown"], r["loss_rate"]): r for r in rows}
-    for r in rows:
-        # Faults can only hurt: inflation is 1 exactly on the clean cell,
-        # and every added fault keeps the same first-transmission volume.
-        assert r["inflation"] >= 1.0 - 1e-12
-        assert r["retransmit_messages"] >= 0
-        clean = by_cell[(r["dist"], 1.0, 0.0)]
-        assert r["comm_bytes"] >= clean["comm_bytes"]
-    # Loss produces retransmissions once the rate is non-zero.
-    assert all(
-        by_cell[(d, 1.0, LOSS_RATES[-1])]["retransmit_messages"] > 0
-        for d in {r["dist"] for r in rows}
-    )
-    # The determinism contract: rerunning a cell reproduces it exactly.
-    again = sweep()
-    assert again == rows
+        by_cell = {(r["dist"], r["slowdown"], r["loss_rate"]): r for r in rows}
+        for r in rows:
+            # Faults can only hurt: inflation is 1 exactly on the clean cell,
+            # and every added fault keeps the same first-transmission volume.
+            assert r["inflation"] >= 1.0 - 1e-12
+            assert r["retransmit_messages"] >= 0
+            clean = by_cell[(r["dist"], 1.0, 0.0)]
+            assert r["comm_bytes"] >= clean["comm_bytes"]
+        # Loss produces retransmissions once the rate is non-zero.
+        assert all(
+            by_cell[(d, 1.0, LOSS_RATES[-1])]["retransmit_messages"] > 0
+            for d in {r["dist"] for r in rows}
+        )
+        # The determinism + memoization contract: a warm-cache re-run
+        # reproduces every row exactly and simulates NOTHING new.
+        again = sweep(client)
+        assert again == rows
+        assert client.simulations_run() == sims_first, \
+            "warm-cache re-run must perform zero new simulations"
+    finally:
+        client.close()
 
     out = os.environ.get("REPRO_BENCH_OUT")
     if out:

@@ -12,7 +12,18 @@ Public surface:
 * the high-level helpers in :mod:`repro.api`.
 """
 
-from . import comm, config, distributions, graph, kernels, obs, ooc, runtime, tiles
+from . import (
+    comm,
+    config,
+    distributions,
+    graph,
+    kernels,
+    obs,
+    ooc,
+    runtime,
+    service,
+    tiles,
+)
 from .api import (
     cholesky,
     lu,
@@ -43,6 +54,7 @@ __all__ = [
     "obs",
     "ooc",
     "runtime",
+    "service",
     "tiles",
     "cholesky",
     "lu",

@@ -1,0 +1,162 @@
+"""Synchronous client API over the sweep service.
+
+:class:`SweepClient` is what benchmarks and notebooks use.  Two modes:
+
+* **in-process** (default): the client owns a private event loop, a
+  :class:`~repro.service.store.ResultStore` and a
+  :class:`~repro.service.server.SweepServer` — submitting is a plain
+  function call, no sockets, and a warm store makes re-runs
+  near-instant.  ``benchmarks/bench_resilience.py`` and
+  ``bench_engine_scale.py`` are thin clients in this mode.
+* **remote**: pass ``url="http://host:port"`` to talk to a running
+  ``python -m repro.service serve`` over the stdlib ``http.client``.
+
+Both modes return :class:`~repro.service.server.JobResult` objects whose
+``report`` is a fully reconstructed
+:class:`~repro.runtime.simulator.SimReport` — bit-identical to a fresh
+run (the determinism contract of :mod:`repro.service.runner`).
+``simulations_run`` exposes the server's ``service.simulations`` obs
+counter so callers can assert "zero new simulations" on warm caches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Sequence, Union
+from urllib.parse import urlsplit
+
+from .jobs import JobSpec
+from .runner import report_from_dict
+from .server import JobResult, SweepServer
+from .store import ResultStore
+
+__all__ = ["SweepClient", "default_store_path"]
+
+#: Environment variable naming a persistent store directory for the
+#: thin-client benchmarks (unset -> a fresh per-process temp store).
+STORE_ENV = "REPRO_SWEEP_STORE"
+
+
+def default_store_path() -> str:
+    """``$REPRO_SWEEP_STORE`` or a fresh temp directory (cold cache)."""
+    path = os.environ.get(STORE_ENV)
+    if path:
+        return path
+    return tempfile.mkdtemp(prefix="repro-sweep-")
+
+
+class SweepClient:
+    """Submit sweep points and read results, synchronously."""
+
+    def __init__(
+        self,
+        store: Union[ResultStore, os.PathLike, str, None] = None,
+        url: Optional[str] = None,
+        workers: int = 0,
+    ):
+        self.url = url
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server: Optional[SweepServer] = None
+        if url is None:
+            if not isinstance(store, ResultStore):
+                store = ResultStore(store if store is not None
+                                    else default_store_path())
+            self.server = SweepServer(store, workers=workers)
+            self._loop = asyncio.new_event_loop()
+
+    # -- core calls ----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobResult:
+        """Resolve one point (cache hit or fresh simulation)."""
+        if self.url is not None:
+            return self._http_submit(spec)
+        assert self._loop is not None and self.server is not None
+        return self._loop.run_until_complete(self.server.submit(spec))
+
+    def sweep(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        """Resolve many points; in-process mode runs them concurrently."""
+        if self.url is not None:
+            return [self._http_submit(s) for s in specs]
+        assert self._loop is not None and self.server is not None
+        return self._loop.run_until_complete(self.server.sweep(specs))
+
+    def status(self, spec: JobSpec) -> str:
+        if self.url is not None:
+            doc = self._http_json("POST", "/status",
+                                  json.dumps(spec.to_dict()).encode())
+            return doc["status"]
+        assert self.server is not None
+        return self.server.status(spec)
+
+    def result_by_hash(self, point_hash: str) -> Optional[Dict[str, Any]]:
+        if self.url is not None:
+            try:
+                return self._http_json("GET", f"/result/{point_hash}")
+            except LookupError:
+                return None
+        assert self.server is not None
+        return self.server.result_by_hash(point_hash)
+
+    def simulations_run(self) -> int:
+        """Simulations the backing server actually executed (obs counter)."""
+        if self.url is not None:
+            doc = self._http_json("GET", "/metrics")
+            values = doc.get("service.simulations", {}).get("values", {})
+            return int(sum(values.values()))
+        assert self.server is not None
+        return self.server.simulations()
+
+    def close(self) -> None:
+        if self._loop is not None:
+            if self.server is not None:
+                self._loop.run_until_complete(self.server.close())
+            self._loop.close()
+            self._loop = None
+
+    def __enter__(self) -> "SweepClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- HTTP transport ------------------------------------------------------
+
+    def _http_json(self, method: str, path: str,
+                   body: Optional[bytes] = None) -> Dict[str, Any]:
+        import http.client
+
+        parts = urlsplit(self.url)
+        conn = http.client.HTTPConnection(parts.hostname,
+                                          parts.port or 80, timeout=600)
+        try:
+            headers = {"Content-Type": "application/json"}
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            payload = resp.read()
+            if resp.status == 404:
+                raise LookupError(path)
+            if resp.status != 200:
+                raise RuntimeError(
+                    f"{method} {path} -> {resp.status}: {payload[:200]!r}"
+                )
+            return json.loads(payload.decode())
+        finally:
+            conn.close()
+
+    def _http_submit(self, spec: JobSpec) -> JobResult:
+        doc = self._http_json("POST", "/submit",
+                              json.dumps(spec.to_dict()).encode())
+        report = doc.get("report")
+        return JobResult(
+            hash=doc["hash"],
+            spec=spec,
+            status=doc["status"],
+            cached=bool(doc.get("cached")),
+            report=None if report is None else report_from_dict(report),
+            timings=dict(doc.get("timings", {})),
+            metrics=doc.get("metrics"),
+            error=doc.get("error"),
+        )

@@ -1,0 +1,94 @@
+"""Content addressing for sweep points.
+
+A point's identity is the pair
+
+    point hash = H(schema version, structure hash, config digest)
+
+* the **config digest** hashes the canonical JSON of the *full*
+  :class:`repro.service.jobs.JobSpec` — any field change (tile count,
+  distribution parameter, network constant, fault seed, engine, ...)
+  yields a new digest;
+* the **structure hash** hashes the raw bytes of the compiled graph's
+  arrays (kinds, placements, CSR read adjacency, writer table, data
+  sizes, flop counts) — it pins the cache to the *actual* task graph,
+  so a change in a graph builder that alters dependencies or placement
+  invalidates entries even if the spec text is unchanged.
+
+The structure hash requires building the graph, which is the expensive
+step the cache exists to avoid; the store therefore memoizes
+``structure key -> structure hash`` (the key being the canonical JSON of
+:meth:`JobSpec.structure_fields`), and :data:`SCHEMA_VERSION` salts both
+hashes so bumping it invalidates every prior entry at once.  See
+``docs/service.md`` ("Content hash") for the invalidation matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..graph.compiled import CompiledGraph
+from .jobs import JobSpec, canonical_json
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "config_digest",
+    "structure_key",
+    "structure_hash",
+    "point_hash",
+]
+
+#: Bump to invalidate every cached result (graph-builder or engine
+#: changes that alter semantics without changing specs or array layouts).
+SCHEMA_VERSION = 1
+
+
+def _h(*parts: bytes) -> str:
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(p)
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def config_digest(spec: JobSpec) -> str:
+    """Digest of the full canonical spec (any field change changes it)."""
+    return _h(b"config", str(SCHEMA_VERSION).encode(),
+              spec.canonical().encode())
+
+
+def structure_key(spec: JobSpec) -> str:
+    """Canonical JSON of the fields the graph structure depends on."""
+    return canonical_json(spec.structure_fields())
+
+
+def structure_hash(cg: CompiledGraph) -> str:
+    """Hash of the compiled graph's structural arrays.
+
+    Includes every array that defines tasks, placement, dependencies and
+    data sizes; excludes derived state (priorities, cached comm plan) and
+    provenance extras (``data_keys``, ``level_ranges``) so the direct
+    compilers and the generic :func:`repro.graph.compiled.compile_graph`
+    lowering of the same graph hash identically — the same equality the
+    property suite pins for the engines.
+    """
+    h = hashlib.sha256()
+    h.update(b"structure")
+    h.update(str(SCHEMA_VERSION).encode())
+    meta = (cg.b, cg.width, cg.element_size, cg.n_init,
+            tuple(cg.kind_names))
+    h.update(repr(meta).encode())
+    for arr in (cg.kind_codes, cg.node, cg.flops, cg.iteration,
+                cg.write_id, cg.read_ptr, cg.read_ids,
+                cg.data_producer, cg.data_source_node, cg.data_nbytes):
+        a = np.ascontiguousarray(arr)
+        h.update(a.dtype.str.encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def point_hash(structure: str, config: str) -> str:
+    """The content address of one (graph structure, configuration) point."""
+    return _h(b"point", str(SCHEMA_VERSION).encode(),
+              structure.encode(), config.encode())

@@ -1,0 +1,176 @@
+"""Worker-side execution of one sweep point.
+
+:func:`run_point` is a pure top-level function — (spec dict in, result
+dict out) — so the server can ship it to a ``ProcessPoolExecutor``
+unchanged.  It builds the task graph for the requested engine, computes
+the structure hash (:mod:`repro.service.hashing`), simulates, and
+returns a JSON-ready record: status, point hash, per-phase timings
+(build / plan / simulate), the serialized :class:`SimReport`, and an
+optional ``repro.obs`` metrics summary.
+
+Determinism contract: the record is a function of the spec alone.  Both
+engines are deterministic (the fault plans are seeded; see
+:mod:`repro.runtime.faults`), so a memoized report is bit-identical to a
+fresh run — the test suite asserts this for both engines, and it is what
+makes content-addressed caching sound.  A seeded worker *crash* is also
+deterministic, so failed runs are memoized too (status ``"failed"``
+with the diagnostic message) instead of being retried forever.
+
+Serialized reports drop the per-event trace (``SimReport.trace`` /
+``transfers`` — unbounded at paper scale); summaries and metrics are
+kept.  Submit with ``collect_metrics=True`` to store the run's
+metric registry dump alongside the report.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from ..graph import (
+    build_cholesky_graph,
+    build_cholesky_graph_25d,
+    build_lu_graph,
+    build_lu_graph_25d,
+    compile_cholesky,
+    compile_graph,
+    compile_lu,
+)
+from ..obs import Recorder
+from ..runtime.faults import SimulatedFailure
+from ..runtime.simulator import SimReport, simulate, simulate_compiled
+from .hashing import config_digest, point_hash, structure_hash
+from .jobs import JobSpec
+
+__all__ = [
+    "run_point",
+    "report_to_dict",
+    "report_from_dict",
+]
+
+
+def report_to_dict(rep: SimReport) -> Dict[str, Any]:
+    """Lossless JSON form of a :class:`SimReport` (event traces dropped).
+
+    ``json`` serializes floats via ``repr``, which round-trips doubles
+    exactly — a reloaded report is bit-identical to the original.
+    """
+    return {
+        "makespan": rep.makespan,
+        "total_flops": rep.total_flops,
+        "num_nodes": rep.num_nodes,
+        "comm_bytes": rep.comm_bytes,
+        "comm_messages": rep.comm_messages,
+        "busy_time": list(rep.busy_time),
+        "time_by_kind": dict(rep.time_by_kind),
+        "num_tasks": rep.num_tasks,
+        "cores_per_node": rep.cores_per_node,
+    }
+
+
+def report_from_dict(d: Mapping[str, Any]) -> SimReport:
+    """Rebuild a :class:`SimReport` from :func:`report_to_dict` output."""
+    return SimReport(
+        makespan=d["makespan"],
+        total_flops=d["total_flops"],
+        num_nodes=d["num_nodes"],
+        comm_bytes=d["comm_bytes"],
+        comm_messages=d["comm_messages"],
+        busy_time=list(d["busy_time"]),
+        time_by_kind=dict(d["time_by_kind"]),
+        num_tasks=d["num_tasks"],
+        cores_per_node=d["cores_per_node"],
+    )
+
+
+def _build_object_graph(spec: JobSpec):
+    dist = spec.distribution()
+    from ..distributions import TwoDotFiveD
+
+    if isinstance(dist, TwoDotFiveD):
+        builder = (build_cholesky_graph_25d if spec.algorithm == "cholesky"
+                   else build_lu_graph_25d)
+        return builder(spec.ntiles, spec.b, dist)
+    builder = (build_cholesky_graph if spec.algorithm == "cholesky"
+               else build_lu_graph)
+    return builder(spec.ntiles, spec.b, dist)
+
+
+def _compile(spec: JobSpec):
+    """Compiled graph for the spec (direct compiler when one exists)."""
+    dist = spec.distribution()
+    from ..distributions import TwoDotFiveD
+
+    if not isinstance(dist, TwoDotFiveD):
+        direct = compile_cholesky if spec.algorithm == "cholesky" else compile_lu
+        return direct(spec.ntiles, spec.b, dist)
+    # 2.5D graphs have no direct compiler yet: lower the object graph.
+    return compile_graph(_build_object_graph(spec))
+
+
+def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
+    """Execute one sweep point; returns the store-ready record body."""
+    spec = JobSpec.from_dict(dict(spec_dict))
+    faults = spec.fault_plan()
+    machine = spec.machine_spec()
+    recorder = Recorder(source="service") if spec.collect_metrics else None
+
+    t0 = time.perf_counter()
+    if spec.engine == "compiled":
+        cg = _compile(spec)
+        struct = structure_hash(cg)
+        t1 = time.perf_counter()
+        cg.comm_plan()
+        t2 = time.perf_counter()
+        runner = lambda: simulate_compiled(  # noqa: E731
+            cg, machine,
+            synchronized=spec.synchronized,
+            broadcast=spec.broadcast,
+            aggregate=spec.aggregate,
+            recorder=recorder,
+            faults=faults,
+        )
+    else:
+        graph = _build_object_graph(spec)
+        struct = structure_hash(compile_graph(graph))
+        t1 = time.perf_counter()
+        t2 = t1
+        runner = lambda: simulate(  # noqa: E731
+            graph, machine,
+            synchronized=spec.synchronized,
+            broadcast=spec.broadcast,
+            aggregate=spec.aggregate,
+            recorder=recorder,
+            faults=faults,
+        )
+
+    status = "ok"
+    error: Optional[str] = None
+    report: Optional[Dict[str, Any]] = None
+    try:
+        rep = runner()
+        report = report_to_dict(rep)
+    except SimulatedFailure as exc:
+        # Seeded crash plans fail deterministically: memoize the outcome.
+        status = "failed"
+        error = str(exc)
+    t3 = time.perf_counter()
+
+    metrics = None
+    if recorder is not None:
+        metrics = recorder.metrics.as_dict()
+
+    return {
+        "hash": point_hash(struct, config_digest(spec)),
+        "structure": struct,
+        "spec": spec.to_dict(),
+        "status": status,
+        "error": error,
+        "report": report,
+        "metrics": metrics,
+        "timings": {
+            "build_seconds": t1 - t0,
+            "plan_seconds": t2 - t1,
+            "sim_seconds": t3 - t2,
+        },
+    }

@@ -1,0 +1,232 @@
+"""Asyncio sweep server: dedup, memoize, shard, stream.
+
+:class:`SweepServer` is the service core (the HTTP front-end in
+:mod:`repro.service.http` and the CLI are thin wrappers over it).  One
+``submit()`` walks the pipeline::
+
+    canonicalize -> config digest
+      -> join in-flight duplicate, if any          (dedup)
+      -> structure-hash memo -> point hash -> store lookup   (cache)
+      -> dispatch run_point to the worker executor           (simulate)
+      -> persist record, resolve every joined waiter
+
+* **Dedup** keys on the config digest, which is computable without
+  building the graph, so N clients submitting the same point while it
+  runs all await one simulation.
+* **Memoization** keys on the content hash of
+  :mod:`repro.service.hashing`; hits are re-verified by comparing the
+  stored spec's canonical form (hash collisions aside, this catches
+  hand-edited stores).
+* **Sharding** uses a ``ProcessPoolExecutor`` when ``workers > 0``
+  (independent sweep points are embarrassingly parallel); ``workers=0``
+  runs points on the default thread executor — simulation releases
+  little of the GIL, but submission stays async and tests stay
+  single-process.
+* **Streaming**: every lifecycle transition is pushed to subscriber
+  queues as a :class:`SweepEvent` and counted in the server's
+  ``repro.obs`` :class:`~repro.obs.metrics.MetricsRegistry` — the
+  ``service.simulations`` counter is the ground truth the cache tests
+  assert on (a cache hit or dedup join never increments it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs.metrics import MetricsRegistry
+from .hashing import config_digest, point_hash, structure_key
+from .jobs import JobSpec
+from .runner import report_from_dict, run_point
+from .store import ResultStore
+
+__all__ = ["SweepEvent", "JobResult", "SweepServer"]
+
+#: Lifecycle ops a job can emit, in order of appearance.
+EVENT_OPS = ("submitted", "dedup", "cache-hit", "started", "completed",
+             "failed")
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One job lifecycle transition, streamed to subscribers."""
+
+    op: str  # one of EVENT_OPS
+    key: str  # config digest of the point
+    time: float  # wall-clock seconds (time.monotonic reference)
+    detail: str = ""
+
+
+@dataclass
+class JobResult:
+    """Outcome of one submitted point (see ``docs/service.md``)."""
+
+    hash: str
+    spec: JobSpec
+    status: str  # "ok" | "failed"
+    cached: bool  # True when no new simulation ran for this submit
+    report: Optional[Any]  # SimReport (None on failed runs)
+    timings: Dict[str, float]
+    metrics: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    def raise_for_status(self) -> "JobResult":
+        if self.status != "ok":
+            raise RuntimeError(f"sweep point failed: {self.error}")
+        return self
+
+
+def _result_from_record(spec: JobSpec, record: Dict[str, Any],
+                        cached: bool) -> JobResult:
+    report = record.get("report")
+    return JobResult(
+        hash=record["hash"],
+        spec=spec,
+        status=record["status"],
+        cached=cached,
+        report=None if report is None else report_from_dict(report),
+        timings=dict(record.get("timings", {})),
+        metrics=record.get("metrics"),
+        error=record.get("error"),
+    )
+
+
+class SweepServer:
+    """Long-running job server over one :class:`ResultStore`."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.store = store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._subscribers: List[asyncio.Queue] = []
+        self._pool: Optional[ProcessPoolExecutor] = (
+            ProcessPoolExecutor(max_workers=workers) if workers > 0 else None
+        )
+        self._t0 = time.monotonic()
+
+    # -- events --------------------------------------------------------------
+
+    def subscribe(self) -> asyncio.Queue:
+        """A queue receiving every :class:`SweepEvent` from now on."""
+        q: asyncio.Queue = asyncio.Queue()
+        self._subscribers.append(q)
+        return q
+
+    def unsubscribe(self, q: asyncio.Queue) -> None:
+        if q in self._subscribers:
+            self._subscribers.remove(q)
+
+    def _emit(self, op: str, key: str, detail: str = "") -> None:
+        ev = SweepEvent(op, key, time.monotonic() - self._t0, detail)
+        self.metrics.counter("service.events", "job lifecycle events per op") \
+            .inc(labels=(op,))
+        for q in self._subscribers:
+            q.put_nowait(ev)
+
+    # -- counters ------------------------------------------------------------
+
+    def _count(self, name: str, help_: str) -> None:
+        self.metrics.counter(name, help_).inc()
+
+    def simulations(self) -> int:
+        """Simulations actually executed by this server (not cache hits)."""
+        c = self.metrics.get("service.simulations")
+        return int(c.total()) if c is not None else 0
+
+    # -- the pipeline --------------------------------------------------------
+
+    def _lookup(self, spec: JobSpec, ckey: str) -> Optional[Dict[str, Any]]:
+        """Store lookup via the structure-hash memo; None on any miss."""
+        struct = self.store.get_structure(structure_key(spec))
+        if struct is None:
+            return None
+        record = self.store.get(point_hash(struct, ckey))
+        if record is None:
+            return None
+        # Paranoia over hand-edited stores: the cached spec must be the
+        # very spec we were asked about.
+        if record.get("spec") != spec.to_dict():
+            return None
+        return record
+
+    async def submit(self, spec: JobSpec) -> JobResult:
+        """Resolve one point: dedup, then cache, then simulate + persist."""
+        ckey = config_digest(spec)
+        self._count("service.jobs", "points submitted")
+        self._emit("submitted", ckey, str(spec))
+
+        # 1. join an identical in-flight point (registered synchronously
+        #    below, before any await — concurrent submits cannot race past
+        #    this check in one event loop).
+        pending = self._inflight.get(ckey)
+        if pending is not None:
+            self._count("service.dedup.joined", "submits joined in-flight work")
+            self._emit("dedup", ckey)
+            record = await asyncio.shield(pending)
+            return _result_from_record(spec, record, cached=True)
+
+        # 2. memoized result?
+        record = self._lookup(spec, ckey)
+        if record is not None:
+            self._count("service.cache.hits", "points served from the store")
+            self._emit("cache-hit", ckey)
+            return _result_from_record(spec, record, cached=True)
+        self._count("service.cache.misses", "points not found in the store")
+
+        # 3. simulate on the worker executor.
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[ckey] = future
+        self._emit("started", ckey)
+        try:
+            record = await loop.run_in_executor(
+                self._pool, run_point, spec.to_dict()
+            )
+            self._count("service.simulations", "simulations actually executed")
+            if record["status"] != "ok":
+                self._count("service.failures", "deterministically failed points")
+            self.store.put_structure(structure_key(spec), record["structure"])
+            self.store.put(record)
+            self._emit("completed" if record["status"] == "ok" else "failed",
+                       ckey, record.get("error") or "")
+            future.set_result(record)
+        except BaseException as exc:
+            future.set_exception(exc)
+            # Joined waiters observe the exception through the shield;
+            # quiet the "exception never retrieved" warning for our copy.
+            future.exception()
+            self._emit("failed", ckey, repr(exc))
+            raise
+        finally:
+            del self._inflight[ckey]
+        return _result_from_record(spec, record, cached=False)
+
+    async def sweep(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        """Submit many points concurrently; results in input order."""
+        return list(await asyncio.gather(*(self.submit(s) for s in specs)))
+
+    def status(self, spec: JobSpec) -> str:
+        """'cached' | 'running' | 'unknown' for one point."""
+        ckey = config_digest(spec)
+        if ckey in self._inflight:
+            return "running"
+        if self._lookup(spec, ckey) is not None:
+            return "cached"
+        return "unknown"
+
+    def result_by_hash(self, point: str) -> Optional[Dict[str, Any]]:
+        """Raw stored record for a point hash (None when absent)."""
+        return self.store.get(point)
+
+    async def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,171 @@
+"""Persistent content-addressed result store (append-only JSONL).
+
+Layout of a store directory::
+
+    store/
+      results.jsonl      one record per completed point, keyed by hash
+      structures.jsonl   structure-key -> structure-hash memo
+
+Both files are append-only logs of single-line JSON envelopes::
+
+    {"schema": 1, "sha": "<sha256 of payload>", ...payload...}
+
+``sha`` is the SHA-256 of the canonical JSON of the envelope minus the
+``sha`` field itself, so any torn write, truncation or bit-rot is
+detected at load time: a line that fails to parse, carries the wrong
+schema version, or mismatches its checksum is *skipped* (and counted in
+``corrupt_entries``) — the server then treats the point as uncached and
+recomputes it, appending a fresh valid record.  Served results are
+re-verified on every read, never trusted from a stale in-memory index.
+
+Appends are last-wins per key, which is what makes recovery and
+re-runs idempotent; :meth:`ResultStore.compact` rewrites each file with
+one line per live key.  Concurrent *processes* should not share a store
+directory for writing (the service owns its store); concurrent readers
+are safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from .hashing import SCHEMA_VERSION
+from .jobs import canonical_json
+
+__all__ = ["ResultStore"]
+
+
+def _checksum(payload: Mapping[str, Any]) -> str:
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def _seal(payload: Dict[str, Any]) -> str:
+    """Envelope one payload as a JSONL line with schema + checksum."""
+    body = dict(payload)
+    body["schema"] = SCHEMA_VERSION
+    body["sha"] = _checksum(body)
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _open_valid(line: str) -> Optional[Dict[str, Any]]:
+    """Parse + verify one envelope line; None when corrupt/foreign."""
+    try:
+        body = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(body, dict) or body.get("schema") != SCHEMA_VERSION:
+        return None
+    sha = body.pop("sha", None)
+    if sha != _checksum(body):
+        return None
+    return body
+
+
+class ResultStore:
+    """On-disk memo of completed sweep points (see module docstring)."""
+
+    RESULTS = "results.jsonl"
+    STRUCTURES = "structures.jsonl"
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: envelope lines skipped at load time (corruption indicator)
+        self.corrupt_entries = 0
+        self._results: Dict[str, Dict[str, Any]] = {}
+        self._structures: Dict[str, str] = {}
+        self._load()
+
+    # -- loading ------------------------------------------------------------
+
+    def _lines(self, name: str) -> Iterator[str]:
+        path = self.root / name
+        if not path.exists():
+            return
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield line
+
+    def _load(self) -> None:
+        for line in self._lines(self.RESULTS):
+            body = _open_valid(line)
+            if body is None or "hash" not in body:
+                self.corrupt_entries += 1
+                continue
+            self._results[body["hash"]] = body
+        for line in self._lines(self.STRUCTURES):
+            body = _open_valid(line)
+            if body is None or "key" not in body or "structure" not in body:
+                self.corrupt_entries += 1
+                continue
+            self._structures[body["key"]] = body["structure"]
+
+    # -- results ------------------------------------------------------------
+
+    def get(self, point_hash: str) -> Optional[Dict[str, Any]]:
+        """The stored record for ``point_hash``, or None when uncached."""
+        return self._results.get(point_hash)
+
+    def put(self, record: Mapping[str, Any]) -> None:
+        """Append one completed-point record (must carry ``hash``)."""
+        if "hash" not in record:
+            raise ValueError("result record needs a 'hash' field")
+        body = dict(record)
+        self._append(self.RESULTS, _seal(body))
+        body["schema"] = SCHEMA_VERSION
+        self._results[body["hash"]] = body
+
+    # -- structure-hash memo -------------------------------------------------
+
+    def get_structure(self, key: str) -> Optional[str]:
+        """Memoized structure hash for a structure key, or None."""
+        return self._structures.get(key)
+
+    def put_structure(self, key: str, structure: str) -> None:
+        if self._structures.get(key) == structure:
+            return
+        self._append(self.STRUCTURES, _seal({"key": key, "structure": structure}))
+        self._structures[key] = structure
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _append(self, name: str, line: str) -> None:
+        with open(self.root / name, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def compact(self) -> None:
+        """Rewrite both logs with one line per live key."""
+        for name, items in (
+            (self.RESULTS, list(self._results.values())),
+            (self.STRUCTURES, [
+                {"key": k, "structure": v} for k, v in self._structures.items()
+            ]),
+        ):
+            tmp = self.root / (name + ".tmp")
+            with open(tmp, "w") as fh:
+                for body in items:
+                    payload = {k: v for k, v in body.items()
+                               if k not in ("schema", "sha")}
+                    fh.write(_seal(payload) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.root / name)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def hashes(self):
+        return list(self._results)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ResultStore {self.root} results={len(self._results)} "
+                f"structures={len(self._structures)} "
+                f"corrupt={self.corrupt_entries}>")

@@ -1,0 +1,346 @@
+"""Sweep-service contract tests: cache keys, store durability, dedup.
+
+The load-bearing guarantees of ``repro.service`` (see ``docs/service.md``):
+
+* one configuration simulates exactly **once** — re-submits are cache
+  hits, asserted through the server's ``service.simulations`` obs
+  counter, never inferred from timing;
+* *every* :class:`JobSpec` field participates in the content hash —
+  changing the fault seed or a network constant is a different point;
+* the store survives a process restart and detects (then recomputes,
+  never serves) corrupt entries;
+* a memoized :class:`SimReport` is bit-identical to a fresh run on both
+  engines;
+* concurrent submits of one point join a single in-flight simulation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.config import bora
+from repro.distributions import BlockCyclic2D, SymmetricBlockCyclic
+from repro.graph import build_cholesky_graph, compile_cholesky
+from repro.runtime.faults import FaultPlan, SlowdownWindow, WorkerCrash
+from repro.runtime.simulator import simulate, simulate_compiled
+from repro.service import (
+    JobSpec,
+    ResultStore,
+    SweepClient,
+    SweepServer,
+    config_digest,
+    report_to_dict,
+    run_point,
+    structure_key,
+)
+from repro.service.__main__ import main as service_main
+
+NT, B = 6, 128
+DIST = SymmetricBlockCyclic(2)  # 2 nodes: the smallest extended layout
+MACHINE = bora(nodes=DIST.num_nodes)
+
+
+def spec(**overrides) -> JobSpec:
+    base = dict(algorithm="cholesky", ntiles=NT, b=B, dist=DIST,
+                machine=MACHINE, engine="compiled")
+    base.update(overrides)
+    return JobSpec.make(**base)
+
+
+# --------------------------------------------------------------------------
+# memoization: one simulation per configuration
+# --------------------------------------------------------------------------
+
+def test_same_config_simulates_exactly_once(tmp_path):
+    with SweepClient(store=tmp_path / "store") as client:
+        first = client.submit(spec()).raise_for_status()
+        assert not first.cached
+        assert client.simulations_run() == 1
+        second = client.submit(spec()).raise_for_status()
+        assert second.cached
+        assert client.simulations_run() == 1, \
+            "identical configuration must be served from the cache"
+        assert second.hash == first.hash
+        assert report_to_dict(second.report) == report_to_dict(first.report)
+
+
+def test_store_survives_restart(tmp_path):
+    store = tmp_path / "store"
+    with SweepClient(store=store) as client:
+        cold = client.submit(spec()).raise_for_status()
+        assert client.simulations_run() == 1
+    # A brand-new client (fresh process, in spirit) on the same directory.
+    with SweepClient(store=store) as client:
+        warm = client.submit(spec()).raise_for_status()
+        assert warm.cached
+        assert client.simulations_run() == 0, \
+            "restart must not lose memoized results"
+        assert warm.hash == cold.hash
+        assert report_to_dict(warm.report) == report_to_dict(cold.report)
+
+
+def test_corrupt_entry_is_detected_and_recomputed(tmp_path):
+    store_dir = tmp_path / "store"
+    with SweepClient(store=store_dir) as client:
+        original = client.submit(spec()).raise_for_status()
+
+    # Bit-rot one byte inside the record's payload: the envelope checksum
+    # must catch it at load time.
+    path = store_dir / ResultStore.RESULTS
+    line = path.read_text().rstrip("\n")
+    assert '"status":"ok"' in line
+    path.write_text(line.replace('"status":"ok"', '"status":"OK"') + "\n")
+
+    reopened = ResultStore(store_dir)
+    assert reopened.corrupt_entries == 1
+    assert reopened.get(original.hash) is None, \
+        "a corrupt record must never be served"
+
+    with SweepClient(store=ResultStore(store_dir)) as client:
+        redone = client.submit(spec()).raise_for_status()
+        assert not redone.cached
+        assert client.simulations_run() == 1
+        assert report_to_dict(redone.report) == report_to_dict(original.report)
+
+
+def test_truncated_store_line_is_skipped(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.put({"hash": "abc", "status": "ok"})
+    path = store.root / ResultStore.RESULTS
+    path.write_text(path.read_text()[:-20])  # torn final write
+    reopened = ResultStore(tmp_path / "store")
+    assert reopened.corrupt_entries == 1
+    assert reopened.get("abc") is None
+
+
+def test_store_last_wins_and_compact(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.put({"hash": "h", "status": "failed"})
+    store.put({"hash": "h", "status": "ok"})
+    assert store.get("h")["status"] == "ok"
+    store.compact()
+    reopened = ResultStore(tmp_path / "store")
+    assert len(reopened) == 1 and reopened.get("h")["status"] == "ok"
+    assert reopened.corrupt_entries == 0
+
+
+# --------------------------------------------------------------------------
+# cache keys: every field change is a distinct point
+# --------------------------------------------------------------------------
+
+def test_every_field_change_changes_the_hash():
+    base = spec(faults=FaultPlan(seed=1, loss_rate=0.05))
+    machine = base.to_dict()["machine"]
+    variants = {
+        "ntiles": spec(ntiles=NT + 1),
+        "b": spec(b=B * 2),
+        "dist.r": spec(dist=SymmetricBlockCyclic(3),
+                       machine=bora(nodes=SymmetricBlockCyclic(3).num_nodes)),
+        "dist.variant": spec(dist=SymmetricBlockCyclic(2, variant="basic")),
+        "dist.kind": spec(dist=BlockCyclic2D(1, 2)),
+        "algorithm": spec(algorithm="lu"),
+        "engine": spec(engine="object"),
+        "synchronized": spec(synchronized=True),
+        "broadcast": spec(broadcast="tree"),
+        "aggregate": spec(aggregate=True),
+        "collect_metrics": spec(collect_metrics=True),
+        "faults.none-vs-plan": spec(),
+        "faults.seed": base.with_(faults=dict(base.to_dict()["faults"],
+                                              seed=2)),
+        "faults.loss_rate": base.with_(faults=dict(base.to_dict()["faults"],
+                                                   loss_rate=0.06)),
+        "faults.slowdown": spec(
+            faults=FaultPlan(seed=1, loss_rate=0.05,
+                             slowdowns=(SlowdownWindow(node=0, factor=2.0),))),
+        "machine.bandwidth": base.with_(machine=dict(machine,
+                                                     bandwidth=machine["bandwidth"] * 2)),
+        "machine.latency": base.with_(machine=dict(machine, latency=1e-3)),
+        "machine.cores": base.with_(machine=dict(machine,
+                                                 cores=machine["cores"] + 1)),
+        "machine.element_size": base.with_(machine=dict(machine,
+                                                        element_size=4)),
+    }
+    digests = {"base": config_digest(base)}
+    for name, variant in variants.items():
+        digests[name] = config_digest(variant)
+    values = list(digests.values())
+    assert len(set(values)) == len(values), (
+        "config digests collided: " + repr(
+            [k for k, v in digests.items() if values.count(v) > 1])
+    )
+    # The point hash is H(schema, structure, config digest), so distinct
+    # digests imply distinct point hashes; structural fields must ALSO
+    # rotate the structure key (and only they should).
+    for name in ("ntiles", "b", "dist.r", "dist.variant", "dist.kind",
+                 "algorithm", "machine.element_size"):
+        assert structure_key(variants[name]) != structure_key(base), name
+    for name in ("engine", "synchronized", "broadcast", "faults.seed",
+                 "machine.bandwidth", "machine.latency"):
+        assert structure_key(variants[name]) == structure_key(base), name
+
+
+def test_spec_round_trips_through_json():
+    s = spec(faults=FaultPlan(seed=7, loss_rate=0.01,
+                              crashes=(WorkerCrash(node=1, after_tasks=3),)))
+    again = JobSpec.from_dict(json.loads(json.dumps(s.to_dict())))
+    assert again == s
+    assert config_digest(again) == config_digest(s)
+
+
+# --------------------------------------------------------------------------
+# determinism: memoized reports are bit-identical to fresh runs
+# --------------------------------------------------------------------------
+
+def test_memoized_report_bit_identical_compiled(tmp_path):
+    with SweepClient(store=tmp_path / "store") as client:
+        client.submit(spec())
+        cached = client.submit(spec())
+        assert cached.cached
+    cg = compile_cholesky(NT, B, DIST)
+    fresh = simulate_compiled(cg, MACHINE)
+    assert report_to_dict(cached.report) == report_to_dict(fresh)
+
+
+def test_memoized_report_bit_identical_object(tmp_path):
+    with SweepClient(store=tmp_path / "store") as client:
+        client.submit(spec(engine="object"))
+        cached = client.submit(spec(engine="object"))
+        assert cached.cached
+    fresh = simulate(build_cholesky_graph(NT, B, DIST), MACHINE)
+    assert report_to_dict(cached.report) == report_to_dict(fresh)
+
+
+def test_failed_crash_plan_is_memoized(tmp_path):
+    crashing = spec(faults=FaultPlan(seed=3,
+                                     crashes=(WorkerCrash(node=0,
+                                                          after_tasks=2),)))
+    with SweepClient(store=tmp_path / "store") as client:
+        first = client.submit(crashing)
+        assert first.status == "failed" and first.report is None
+        assert first.error
+        with pytest.raises(RuntimeError, match="sweep point failed"):
+            first.raise_for_status()
+        # Seeded crashes are deterministic: the failure is cached, not
+        # retried forever.
+        second = client.submit(crashing)
+        assert second.cached and second.status == "failed"
+        assert client.simulations_run() == 1
+        assert second.error == first.error
+
+
+def test_run_point_is_a_pure_function_of_the_spec():
+    a = run_point(spec().to_dict())
+    b = run_point(spec().to_dict())
+    assert a["hash"] == b["hash"]
+    assert a["structure"] == b["structure"]
+    assert a["report"] == b["report"]
+
+
+# --------------------------------------------------------------------------
+# server pipeline: dedup, events, status
+# --------------------------------------------------------------------------
+
+def test_concurrent_submits_join_one_simulation(tmp_path):
+    async def scenario():
+        server = SweepServer(ResultStore(tmp_path / "store"))
+        try:
+            results = await server.sweep([spec()] * 4)
+        finally:
+            await server.close()
+        return server, results
+
+    server, results = asyncio.new_event_loop().run_until_complete(scenario())
+    assert server.simulations() == 1, \
+        "identical in-flight submits must share one simulation"
+    assert sum(not r.cached for r in results) == 1
+    assert len({r.hash for r in results}) == 1
+    assert all(report_to_dict(r.report) == report_to_dict(results[0].report)
+               for r in results)
+
+
+def test_event_stream_and_status(tmp_path):
+    async def scenario():
+        server = SweepServer(ResultStore(tmp_path / "store"))
+        queue = server.subscribe()
+        assert server.status(spec()) == "unknown"
+        await server.submit(spec())
+        assert server.status(spec()) == "cached"
+        await server.submit(spec())
+        await server.close()
+        events = []
+        while not queue.empty():
+            events.append(queue.get_nowait())
+        return events
+
+    events = asyncio.new_event_loop().run_until_complete(scenario())
+    assert [e.op for e in events] == [
+        "submitted", "started", "completed",  # cold
+        "submitted", "cache-hit",             # warm
+    ]
+    assert len({e.key for e in events}) == 1  # all about one config digest
+
+
+# --------------------------------------------------------------------------
+# front doors: CLI and HTTP
+# --------------------------------------------------------------------------
+
+def test_cli_submit_twice_is_cache_hit(tmp_path, capsys):
+    argv = ["submit", "--store", str(tmp_path / "store"),
+            "--dist", "sbc:r=2", "--ntiles", str(NT), "--b", str(B)]
+    assert service_main(argv) == 0
+    assert "cached: false" in capsys.readouterr().out
+    assert service_main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cached: true" in out
+    assert "makespan_seconds:" in out
+
+
+def test_cli_status_and_result(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    job = ["--dist", "sbc:r=2", "--ntiles", str(NT), "--b", str(B)]
+    assert service_main(["status", "--store", store] + job) == 0
+    assert capsys.readouterr().out.strip() == "unknown"
+    assert service_main(["submit", "--store", store] + job) == 0
+    point = next(ln.split()[1] for ln in capsys.readouterr().out.splitlines()
+                 if ln.startswith("hash:"))
+    assert service_main(["status", "--store", store] + job) == 0
+    assert capsys.readouterr().out.strip() == "cached"
+    assert service_main(["result", "--store", store, point]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["hash"] == point and record["status"] == "ok"
+    assert service_main(["result", "--store", store, "deadbeef"]) == 1
+
+
+def test_http_round_trip(tmp_path):
+    from repro.service.http import serve_http
+
+    loop = asyncio.new_event_loop()
+    server = SweepServer(ResultStore(tmp_path / "store"))
+    try:
+        svc = loop.run_until_complete(serve_http(server, "127.0.0.1", 0))
+    except (PermissionError, OSError) as exc:  # sandboxed runners
+        loop.close()
+        pytest.skip(f"cannot bind a localhost socket here: {exc}")
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    try:
+        with SweepClient(url=f"http://127.0.0.1:{svc.port}") as client:
+            cold = client.submit(spec()).raise_for_status()
+            assert not cold.cached
+            warm = client.submit(spec()).raise_for_status()
+            assert warm.cached
+            assert client.simulations_run() == 1
+            assert client.status(spec()) == "cached"
+            record = client.result_by_hash(cold.hash)
+            assert record["status"] == "ok"
+            assert client.result_by_hash("deadbeef") is None
+    finally:
+        asyncio.run_coroutine_threadsafe(svc.close(), loop).result(10)
+        asyncio.run_coroutine_threadsafe(server.close(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
