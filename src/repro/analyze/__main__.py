@@ -50,7 +50,7 @@ from .findings import Report, Severity
 from .lint import lint_sources
 from .mutate import build_baseline, self_test
 from .races import compare_traces, detect_races
-from .schedule import verify_all
+from .schedule import verify_all, verify_policy_placement
 
 #: One row of the builder verification matrix:
 #: (name, thunk -> (compiled graph, distribution or None, object graph
@@ -150,6 +150,31 @@ def run_graphs(quiet: bool = False) -> Report:
             print(f"  {state:4s} {name:26s} "
                   f"({cg.n_tasks} tasks, {cg.n_data} versions)")
         rep.extend(one)
+    return rep
+
+
+def run_policies(quiet: bool = False) -> Report:
+    """SCHED-PLACE over the scheduler policy zoo.
+
+    Every registered policy plans a Cholesky graph on an SBC and a 2DBC
+    distribution; non-migrating policies must keep every task on its
+    owner-computes node, migrating ones must stay on the machine.
+    """
+    from ..config import laptop
+    from ..schedulers import POLICIES
+
+    N, b = 8, 32
+    rep = Report()
+    for dist in (SymmetricBlockCyclic(4), BlockCyclic2D(2, 4)):
+        cg = compile_graph(build_cholesky_graph(N, b, dist))
+        machine = laptop(nodes=dist.num_nodes, cores=2)
+        name = f"cholesky/{dist.name}"
+        for pname in sorted(POLICIES):
+            one = verify_policy_placement(cg, machine, pname, name=name)
+            if not quiet:
+                state = "ok" if one.ok() else "FAIL"
+                print(f"  {state:4s} {name:26s} policy {pname}")
+            rep.extend(one)
     return rep
 
 
@@ -259,6 +284,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         if not args.quiet:
             print("[schedule] verifying graph builders")
         rep.extend(run_graphs(quiet=args.quiet))
+        if not args.quiet:
+            print("[schedule] verifying scheduler-policy placement")
+        rep.extend(run_policies(quiet=args.quiet))
     if do_races:
         if not args.quiet:
             print("[races] happens-before analysis")

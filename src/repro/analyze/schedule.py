@@ -23,6 +23,11 @@ and scales to the paper's 10.7M-task N = 400 compiled graphs.  Rules:
   bytes implied by the communication plan balance globally, and the
   totals equal :func:`repro.comm.count_communications` on the object
   graph when it is available;
+* ``SCHED-PLACE`` — scheduler-policy placement: a policy's task
+  assignment (:meth:`repro.schedulers.SchedulerInterface.plan`) must
+  respect the graph's data placement — identical to the owner-computes
+  ``node`` column — unless the policy declares ``migrates = True``, and
+  even a migrating policy must stay inside the machine's node range;
 * ``SCHED-SBC-SYM`` — SBC symmetry (§III of the paper): the owner map is
   symmetric and, per pattern position ``d``, the row-``d`` and
   column-``d`` broadcast peer sets coincide;
@@ -37,23 +42,28 @@ and is what ``python -m repro.analyze --all`` calls per builder.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from ..comm.counter import count_communications
 from ..comm.fast_counter import cholesky_message_count
 from ..comm.formulas import sbc_cholesky_volume
+from ..config import MachineSpec
 from ..distributions.base import Distribution
 from ..distributions.sbc import SymmetricBlockCyclic
 from ..graph.compiled import CompiledGraph
 from ..graph.task import TaskGraph
 from .findings import Report, Severity
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..schedulers import SchedulerInterface
+
 __all__ = [
     "verify_compiled",
     "verify_sbc",
     "verify_theorem1",
+    "verify_policy_placement",
     "verify_all",
     "kahn_order",
 ]
@@ -406,6 +416,61 @@ def verify_theorem1(dist: SymmetricBlockCyclic, N: int,
             f"(margin {bound - counted:.0f} tiles, edge effects)",
             f"{label}:N={N}",
         )
+    return rep
+
+
+def verify_policy_placement(cg: CompiledGraph, machine: MachineSpec,
+                            policy: Union[str, "SchedulerInterface"],
+                            name: str = "graph") -> Report:
+    """SCHED-PLACE: a scheduler policy's assignments respect placement.
+
+    Runs ``policy.plan()`` against ``cg`` on ``machine`` and checks the
+    returned assignment (if any): a policy that does not declare
+    ``migrates = True`` must keep every task on its owner-computes node
+    (anything else silently changes the communication pattern the
+    distribution was chosen for), and a migrating policy must still land
+    every task on a node the machine has.
+    """
+    from ..schedulers import CompiledGraphView, get_policy
+
+    rep = Report()
+    rep.note_pass("policy-placement")
+    pol = get_policy(policy)
+    kernel = machine.kernel
+    durations = kernel.overhead + cg.flops / kernel.rate(cg.b)
+    splan = pol.plan(CompiledGraphView(cg, machine, durations))
+    label = f"{name}[{pol.name}]"
+    if splan.assignment is None:
+        return rep
+    asg = np.asarray(splan.assignment)
+    if asg.shape != cg.node.shape:
+        rep.add(
+            "SCHED-PLACE", Severity.ERROR,
+            f"policy returned {asg.shape[0] if asg.ndim == 1 else asg.shape}"
+            f" assignments for {cg.n_tasks} tasks",
+            f"{label}:plan",
+            "SchedulePlan.assignment must cover every task exactly once",
+        )
+        return rep
+    out_of_range = np.flatnonzero((asg < 0) | (asg >= machine.nodes))
+    for t in out_of_range[:MAX_FINDINGS_PER_RULE]:
+        rep.add(
+            "SCHED-PLACE", Severity.ERROR,
+            f"task assigned to node {int(asg[t])}, outside "
+            f"[0, {machine.nodes})",
+            _task_loc(label, int(t)),
+        )
+    if not pol.migrates:
+        moved = np.flatnonzero(asg != cg.node)
+        for t in moved[:MAX_FINDINGS_PER_RULE]:
+            rep.add(
+                "SCHED-PLACE", Severity.ERROR,
+                f"non-migrating policy moves task from its data's node "
+                f"{int(cg.node[t])} to node {int(asg[t])}",
+                _task_loc(label, int(t)),
+                "declare migrates = True (and accept the extra input "
+                "transfers) or return assignment=None",
+            )
     return rep
 
 

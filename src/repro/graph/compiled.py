@@ -34,7 +34,7 @@ segment-max reductions instead of an O(tasks) Python loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -149,6 +149,29 @@ class CompiledGraph:
         if self._plan is None:
             self._plan = _build_comm_plan(self)
         return self._plan
+
+    def reassigned(self, node: npt.NDArray[np.int32]) -> "CompiledGraph":
+        """A copy of this graph with tasks placed on ``node`` instead.
+
+        Used by migrating scheduler policies (:mod:`repro.schedulers`):
+        the structural arrays are shared, the placement-derived columns
+        (``node``, ``data_source_node``) are replaced, and the cached
+        communication plan is dropped so it is rebuilt against the new
+        placement.  Initial data keeps its home; a produced version's
+        source follows its producer.  ``priority`` is copied so runs on
+        the reassigned graph never pollute the original's priorities.
+        """
+        node = np.ascontiguousarray(node, dtype=self.node.dtype)
+        if node.shape != self.node.shape:
+            raise ValueError(
+                f"assignment has shape {node.shape}, expected {self.node.shape}"
+            )
+        source = self.data_source_node.copy()
+        produced = self.data_producer >= 0
+        source[produced] = node[self.data_producer[produced]]
+        return replace(self, node=node, data_source_node=source,
+                       priority=self.priority.copy(), _plan=None,
+                       _cons_csr=self._cons_csr)
 
     def consumers_csr(
         self,

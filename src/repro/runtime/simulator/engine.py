@@ -127,6 +127,7 @@ def simulate(
     aggregate: bool = False,
     recorder: Optional[Recorder] = None,
     faults: Optional[FaultPlan] = None,
+    scheduler=None,
 ) -> SimReport:
     """Simulate ``graph`` on ``machine``; see module docstring for the model.
 
@@ -154,20 +155,91 @@ def simulate(
     :class:`SimulatedFailure` naming the crashed node.  The same plan
     produces bit-identical results on :func:`simulate_compiled`; see
     ``docs/network-model.md`` ("Fault model").
+
+    ``scheduler`` selects a policy from :mod:`repro.schedulers` (a name
+    from ``repro.schedulers.POLICIES`` or a ``SchedulerInterface``
+    instance).  The default ``None`` — like the default
+    ``"critical-path"`` policy — runs the engine's native behaviour
+    bit-exactly; other policies may replace priorities, override task
+    placement (only if they declare ``migrates``; the graph's node
+    fields are restored afterwards), force fork-join barriers, or plug
+    in a dynamic ready-queue discipline.  See ``docs/schedulers.md``.
     """
     if broadcast not in ("direct", "tree"):
         raise ValueError(f"unknown broadcast mode {broadcast!r}")
     if not graph.tasks:
         raise ValueError("cannot simulate an empty graph")
+    if duration_fn is None:
+        b = graph.b
+        kernel = machine.kernel
+        duration_fn = lambda t: kernel.duration(t.flops, b)  # noqa: E731
+
+    queue = None
+    saved_nodes: Optional[List[int]] = None
+    saved_prios: Optional[List[float]] = None
+    if scheduler is not None:
+        from ...schedulers import ObjectGraphView, get_policy
+
+        policy = get_policy(scheduler)
+        splan = policy.plan(ObjectGraphView(graph, machine, duration_fn))
+        synchronized = synchronized or splan.synchronized
+        if splan.priorities is not None:
+            prios = list(splan.priorities)
+            if len(prios) != len(graph.tasks):
+                raise ValueError(
+                    f"policy {policy.name!r} returned {len(prios)} "
+                    f"priorities for {len(graph.tasks)} tasks")
+            saved_prios = [t.priority for t in graph.tasks]
+            for t in graph.tasks:
+                t.priority = prios[t.id]
+            auto_priorities = False
+        if splan.assignment is not None:
+            asg = list(splan.assignment)
+            if len(asg) != len(graph.tasks):
+                raise ValueError(
+                    f"policy {policy.name!r} returned {len(asg)} "
+                    f"assignments for {len(graph.tasks)} tasks")
+            if any(not 0 <= n < machine.nodes for n in asg):
+                raise ValueError(
+                    f"policy {policy.name!r} assigned a task outside "
+                    f"nodes [0, {machine.nodes})")
+            saved_nodes = [t.node for t in graph.tasks]
+            for t in graph.tasks:
+                t.node = asg[t.id]
+        if splan.queue_factory is not None:
+            queue = splan.queue_factory(machine.nodes, machine.cores)
+    try:
+        return _simulate(graph, machine, synchronized, duration_fn,
+                         auto_priorities, trace, broadcast, aggregate,
+                         recorder, faults, queue)
+    finally:
+        if saved_nodes is not None:
+            for t in graph.tasks:
+                t.node = saved_nodes[t.id]
+        if saved_prios is not None:
+            for t in graph.tasks:
+                t.priority = saved_prios[t.id]
+
+
+def _simulate(
+    graph: TaskGraph,
+    machine: MachineSpec,
+    synchronized: bool,
+    duration_fn: Callable[[Task], float],
+    auto_priorities: bool,
+    trace: bool,
+    broadcast: str,
+    aggregate: bool,
+    recorder: Optional[Recorder],
+    faults: Optional[FaultPlan],
+    queue,
+) -> SimReport:
+    """The event loop behind :func:`simulate` (placement already applied)."""
     if graph.nodes_used() > machine.nodes:
         raise ValueError(
             f"graph uses {graph.nodes_used()} nodes but machine has {machine.nodes}"
         )
     num_nodes = machine.nodes
-    if duration_fn is None:
-        b = graph.b
-        kernel = machine.kernel
-        duration_fn = lambda t: kernel.duration(t.flops, b)  # noqa: E731
     if auto_priorities and all(t.priority == 0.0 for t in graph.tasks):
         # Bottom-level priorities mirror Chameleon's scheduling hints and
         # let both workers and the network favour the critical path.
@@ -288,17 +360,25 @@ def simulate(
         if dead is not None and dead[task.node]:
             # Fail-stopped node: the task is parked forever; the run ends
             # with a diagnostic SimulatedFailure.
-            st.push(task)
+            if queue is not None:
+                queue.push(task.node, task.id, task.priority)
+            else:
+                st.push(task)
             return
         if st.free_workers > 0:
             st.free_workers -= 1
             start_task(task, time)
         else:
-            st.push(task)
+            if queue is not None:
+                queue.push(task.node, task.id, task.priority)
+            else:
+                st.push(task)
             if trace:
+                depth = (queue.depth(task.node) if queue is not None
+                         else len(st.ready))
                 rec.metrics.gauge(
                     "queue.depth.max", "peak ready-queue depth per node"
-                ).set_max(len(st.ready), labels=(task.node,))
+                ).set_max(depth, labels=(task.node,))
 
     def data_arrived_local(key: DataKey, time: float) -> None:
         for tid in local_consumers.get(key, ()):
@@ -406,7 +486,11 @@ def simulate(
             if dead is not None and dead[n]:
                 pass  # no workers left to pick up the next ready task
             else:
-                nxt = st.pop()
+                if queue is not None:
+                    tid = queue.pop(n)
+                    nxt = None if tid is None else tasks[tid]
+                else:
+                    nxt = st.pop()
                 if nxt is not None:
                     start_task(nxt, now)
                 else:

@@ -29,6 +29,7 @@ graphs, custom ``duration_fn`` callables and exploratory changes; see
 from __future__ import annotations
 
 import gc
+from dataclasses import replace
 from heapq import heappop, heappush
 from collections import defaultdict, deque
 from typing import Dict, List, Optional, Tuple
@@ -56,6 +57,7 @@ def simulate_compiled(
     aggregate: bool = False,
     recorder: Optional[Recorder] = None,
     faults: Optional[FaultPlan] = None,
+    scheduler=None,
 ) -> SimReport:
     """Simulate a compiled graph on ``machine``.
 
@@ -63,6 +65,13 @@ def simulate_compiled(
     that custom task durations are passed as a per-task array
     (``durations``) rather than a callable.  Returns the same
     :class:`SimReport`.
+
+    ``scheduler`` names a policy from :data:`repro.schedulers.POLICIES`
+    (or passes a ``SchedulerInterface`` instance).  Plans are applied to
+    a copy of ``cg`` — the caller's priority/placement columns are never
+    mutated — and ``scheduler=None`` / ``"critical-path"`` leaves every
+    native code path untouched, so default runs stay bit-exact with the
+    object engine.
 
     A :class:`repro.runtime.faults.FaultPlan` produces bit-identical
     makespan/bytes/messages to the object engine under the same plan
@@ -83,6 +92,47 @@ def simulate_compiled(
     if durations is None:
         kernel = machine.kernel
         durations = kernel.overhead + cg.flops / kernel.rate(cg.b)
+
+    # --- scheduler policy (repro.schedulers) --------------------------------
+    # Applied before any lowering so node / priority columns and the comm
+    # plan all reflect the policy's choices.  Plans land on a clone of
+    # ``cg`` (``replace`` / ``reassigned``) — the caller's arrays stay
+    # untouched, so a later default run of the same graph still triggers
+    # its own auto-priority sweep.
+    cqueue = None
+    if scheduler is not None:
+        from ...schedulers import CompiledGraphView, get_policy
+
+        policy = get_policy(scheduler)
+        splan = policy.plan(CompiledGraphView(cg, machine, durations))
+        synchronized = synchronized or splan.synchronized
+        if splan.assignment is not None:
+            asg = np.ascontiguousarray(splan.assignment, dtype=cg.node.dtype)
+            if asg.shape != (n_tasks,):
+                raise ValueError(
+                    f"policy {policy.name!r} returned {asg.shape[0] if asg.ndim == 1 else asg.shape} "
+                    f"assignments for {n_tasks} tasks"
+                )
+            if asg.size and (int(asg.min()) < 0 or int(asg.max()) >= num_nodes):
+                raise ValueError(
+                    f"policy {policy.name!r} assigned tasks outside "
+                    f"nodes [0, {num_nodes})"
+                )
+            cg = cg.reassigned(asg)
+        if splan.priorities is not None:
+            prios = np.ascontiguousarray(splan.priorities, dtype=np.float64)
+            if prios.shape != (n_tasks,):
+                raise ValueError(
+                    f"policy {policy.name!r} returned {len(prios)} "
+                    f"priorities for {n_tasks} tasks"
+                )
+            if splan.assignment is not None:
+                cg.priority[:] = prios  # the reassigned clone's private copy
+            else:
+                cg = replace(cg, priority=prios)
+            auto_priorities = False
+        if splan.queue_factory is not None:
+            cqueue = splan.queue_factory(num_nodes, machine.cores)
     if auto_priorities and not cg.priority.any():
         cg.priority[:] = compiled_critical_path_priorities(cg, durations)
 
@@ -114,6 +164,9 @@ def simulate_compiled(
     dur_l = durations.tolist()
     # Ready-queue keys are -priority; pre-negate once.
     negprio_l = np.negative(cg.priority).tolist()
+    # A custom ReadyQueue takes the un-negated priority (same argument the
+    # object engine hands its queue).
+    prio_l = cg.priority.tolist() if cqueue is not None else None
     mi = plan.missing
     if mi.size == 0 or int(mi.max()) < 256:
         missing = bytearray(mi.astype(np.uint8).tobytes())
@@ -274,6 +327,9 @@ def simulate_compiled(
         n = node_l[t]
         if dead is not None and dead[n]:
             # Fail-stopped node: park the task (mirrors engine.simulate).
+            if cqueue is not None:
+                cqueue.push(n, t, prio_l[t])
+                return
             np_ = negprio_l[t]
             bq = buckets[n]
             b = bq.get(np_)
@@ -296,14 +352,17 @@ def simulate_compiled(
             seq += 1
             heappush(events, (time + dur, seq, 0, t))
         else:
-            np_ = negprio_l[t]
-            bq = buckets[n]
-            b = bq.get(np_)
-            if b is None:
-                bq[np_] = deque((t,))
-                heappush(pheap[n], np_)
+            if cqueue is not None:
+                cqueue.push(n, t, prio_l[t])
             else:
-                b.append(t)
+                np_ = negprio_l[t]
+                bq = buckets[n]
+                b = bq.get(np_)
+                if b is None:
+                    bq[np_] = deque((t,))
+                    heappush(pheap[n], np_)
+                else:
+                    b.append(t)
             if trace:
                 qlen[n] += 1
                 rec.metrics.gauge(
@@ -396,7 +455,7 @@ def simulate_compiled(
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        if trace or synchronized or faults is not None:
+        if trace or synchronized or faults is not None or cqueue is not None:
             while events:
                 now, _evseq, kind, payload = heappop(events)
                 if kind == 0:  # task completion
@@ -413,30 +472,36 @@ def simulate_compiled(
                                     detail=f"after {completed_on[n]} tasks")
                     if dead is not None and dead[n]:
                         pass  # no workers left on a fail-stopped node
-                    elif pheap[n]:
-                        ph = pheap[n]
-                        np0 = ph[0]
-                        bq = buckets[n]
-                        b2 = bq[np0]
-                        t2 = b2.popleft()
-                        if not b2:
-                            heappop(ph)
-                            del bq[np0]
-                        if trace:
-                            qlen[n] -= 1
-                        dur = dur_l[t2]
-                        if fault_slow:
-                            dur *= faults.compute_factor(n, now)
-                            busy_acc[n] += dur
-                            tbk_acc[kind_l[t2]] += dur
-                        if trace:
-                            rec.record_task(t2, kind_names[kind_l[t2]], n,
-                                            ready_time[t2], now, now + dur,
-                                            cg.flops[t2])
-                        seq += 1
-                        heappush(events, (now + dur, seq, 0, t2))
                     else:
-                        free[n] += 1
+                        if cqueue is not None:
+                            t2 = cqueue.pop(n)
+                        elif pheap[n]:
+                            ph = pheap[n]
+                            np0 = ph[0]
+                            bq = buckets[n]
+                            b2 = bq[np0]
+                            t2 = b2.popleft()
+                            if not b2:
+                                heappop(ph)
+                                del bq[np0]
+                        else:
+                            t2 = None
+                        if t2 is None:
+                            free[n] += 1
+                        else:
+                            if trace:
+                                qlen[n] -= 1
+                            dur = dur_l[t2]
+                            if fault_slow:
+                                dur *= faults.compute_factor(n, now)
+                                busy_acc[n] += dur
+                                tbk_acc[kind_l[t2]] += dur
+                            if trace:
+                                rec.record_task(t2, kind_names[kind_l[t2]], n,
+                                                ready_time[t2], now, now + dur,
+                                                cg.flops[t2])
+                            seq += 1
+                            heappush(events, (now + dur, seq, 0, t2))
                     d = t + n_init if write_dense else write_l[t]
                     if d >= 0:
                         a = lc_ptr[d]
@@ -456,6 +521,9 @@ def simulate_compiled(
                                         continue
                                     n2 = node_l[tid]
                                     if dead is not None and dead[n2]:
+                                        if cqueue is not None:
+                                            cqueue.push(n2, tid, prio_l[tid])
+                                            continue
                                         np_ = negprio_l[tid]
                                         bq2 = buckets[n2]
                                         b3 = bq2.get(np_)
@@ -479,14 +547,17 @@ def simulate_compiled(
                                         seq += 1
                                         heappush(events, (now + dur, seq, 0, tid))
                                     else:
-                                        np_ = negprio_l[tid]
-                                        bq = buckets[n2]
-                                        b3 = bq.get(np_)
-                                        if b3 is None:
-                                            bq[np_] = deque((tid,))
-                                            heappush(pheap[n2], np_)
+                                        if cqueue is not None:
+                                            cqueue.push(n2, tid, prio_l[tid])
                                         else:
-                                            b3.append(tid)
+                                            np_ = negprio_l[tid]
+                                            bq = buckets[n2]
+                                            b3 = bq.get(np_)
+                                            if b3 is None:
+                                                bq[np_] = deque((tid,))
+                                                heappush(pheap[n2], np_)
+                                            else:
+                                                b3.append(tid)
                                         if trace:
                                             qlen[n2] += 1
                                             rec.metrics.gauge(
@@ -623,6 +694,9 @@ def simulate_compiled(
                                     continue
                                 n2 = node_l[tid]
                                 if dead is not None and dead[n2]:
+                                    if cqueue is not None:
+                                        cqueue.push(n2, tid, prio_l[tid])
+                                        continue
                                     np_ = negprio_l[tid]
                                     bq2 = buckets[n2]
                                     b3 = bq2.get(np_)
@@ -646,14 +720,17 @@ def simulate_compiled(
                                     seq += 1
                                     heappush(events, (end + dur, seq, 0, tid))
                                 else:
-                                    np_ = negprio_l[tid]
-                                    bq = buckets[n2]
-                                    b3 = bq.get(np_)
-                                    if b3 is None:
-                                        bq[np_] = deque((tid,))
-                                        heappush(pheap[n2], np_)
+                                    if cqueue is not None:
+                                        cqueue.push(n2, tid, prio_l[tid])
                                     else:
-                                        b3.append(tid)
+                                        np_ = negprio_l[tid]
+                                        bq = buckets[n2]
+                                        b3 = bq.get(np_)
+                                        if b3 is None:
+                                            bq[np_] = deque((tid,))
+                                            heappush(pheap[n2], np_)
+                                        else:
+                                            b3.append(tid)
                                     if trace:
                                         qlen[n2] += 1
                                         rec.metrics.gauge(
@@ -810,7 +887,10 @@ def simulate_compiled(
         if gc_was_enabled:
             gc.enable()
 
-    queued = sum(len(q) for bq in buckets for q in bq.values())
+    if cqueue is not None:
+        queued = cqueue.total()
+    else:
+        queued = sum(len(q) for bq in buckets for q in bq.values())
     blocked = sum(len(v) for v in iter_blocked.values())
     if isinstance(missing, bytearray):
         unready = int(np.count_nonzero(np.frombuffer(missing, dtype=np.uint8)))

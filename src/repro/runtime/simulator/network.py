@@ -92,6 +92,12 @@ class NetworkSim:
         self._ingress_free = [0.0] * num_nodes
         # Per-source priority queues of transfers with bytes left to push.
         self._queues: List[list] = [[] for _ in range(num_nodes)]
+        # Aggregation index: per source, the queued-but-unstarted transfer
+        # headed to each destination (at most one exists — a second submit
+        # to the same destination piggy-backs instead of queueing).  Entries
+        # go stale once _serve starts the transfer; submit validates lazily,
+        # so _serve stays untouched (the compiled engine inlines it).
+        self._unstarted: List[dict] = [{} for _ in range(num_nodes)]
         self._seq = 0
         self.total_bytes = 0
         self.total_messages = 0
@@ -113,23 +119,32 @@ class NetworkSim:
         self.total_bytes += transfer.nbytes
         transfer.submitted = now
         if self.aggregate and self._egress_busy[transfer.src]:
-            # Piggy-back on a queued (not yet started) message to the same
+            # Piggy-back on the queued (not yet started) message to the same
             # destination instead of paying another per-message latency.
-            for _nprio, _seq, queued in self._queues[transfer.src]:
-                if queued.dst == transfer.dst and not queued.started:
-                    queued.keys.append(transfer.key)
-                    queued.nbytes += transfer.nbytes
-                    queued.remaining += transfer.nbytes
-                    if transfer.priority > queued.priority:
-                        # The old heap entry keeps its stale (lower) key;
-                        # re-push at the raised priority and let _serve
-                        # skip the stale entry when it surfaces.
-                        queued.priority = transfer.priority
-                        self._push(queued)
-                    return None
+            # O(1): the _unstarted index replaces a scan of the whole heap
+            # (quadratic under broadcast bursts); a stale entry just means
+            # _serve started that message since, so a fresh one is queued.
+            pending = self._unstarted[transfer.src]
+            queued = pending.get(transfer.dst)
+            if queued is not None and queued.started:
+                del pending[transfer.dst]
+                queued = None
+            if queued is not None:
+                queued.keys.append(transfer.key)
+                queued.nbytes += transfer.nbytes
+                queued.remaining += transfer.nbytes
+                if transfer.priority > queued.priority:
+                    # The old heap entry keeps its stale (lower) key;
+                    # re-push at the raised priority and let _serve
+                    # skip the stale entry when it surfaces.
+                    queued.priority = transfer.priority
+                    self._push(queued)
+                return None
         self.total_messages += 1
         self._push(transfer)
         if self._egress_busy[transfer.src]:
+            if self.aggregate:
+                self._unstarted[transfer.src][transfer.dst] = transfer
             return None
         return self._serve(transfer.src, now)
 

@@ -1,0 +1,193 @@
+"""Scheduler interface: how a policy talks to the simulator engines.
+
+Scheduling used to be baked into both engines as fixed critical-path
+priorities + owner-computes placement.  This module extracts the policy
+surface, estee-style: the scheduler observes the task graph and the
+machine (through an engine-neutral :class:`GraphView`) and returns its
+decisions as a :class:`SchedulePlan` — priorities, placement overrides,
+barrier mode, and optionally a dynamic ready-queue discipline that then
+receives the runtime's task-ready / worker-free updates.
+
+The contract both engines honour (see ``docs/schedulers.md``):
+
+* ``plan()`` is called once per simulation, before any event runs, with
+  a view whose numbers are **bit-identical** across the object and the
+  compiled plane (same floats, same orderings) — so one policy
+  implementation yields the same plan on both engines and the two-engine
+  equality suite extends to every policy;
+* every field of the returned plan defaults to "keep the engine's
+  native behaviour", so the default policy
+  (:class:`repro.schedulers.policies.CriticalPathOwnerComputes`) returns
+  an empty plan and the engines run their pre-existing code paths
+  unchanged, bit-exactly;
+* a policy that returns a placement ``assignment`` must declare
+  ``migrates = True`` — ``repro.analyze`` enforces that non-migrating
+  policies respect the graph's owner-computes placement (rule
+  SCHED-PLACE).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, ClassVar, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "GraphView",
+    "ReadyQueue",
+    "SchedulePlan",
+    "SchedulerInterface",
+]
+
+
+class GraphView(abc.ABC):
+    """Engine-neutral, read-only view of one task graph on one machine.
+
+    Concrete adapters (:mod:`repro.schedulers.views`) lower either a
+    :class:`repro.graph.task.TaskGraph` or a
+    :class:`repro.graph.compiled.CompiledGraph` to the same plain-Python
+    columns.  Every column is **lazy** (built on first access), so a
+    policy that ignores the view — the default policy, the fork-join
+    policy — costs nothing beyond constructing the adapter object.
+
+    Column contract (all per-task lists are indexed by task id; task ids
+    are a topological order, a builder invariant the engines already
+    rely on):
+
+    * ``durations[t]`` — simulated seconds of task ``t``, bit-identical
+      to what the engine will charge;
+    * ``node[t]`` — the graph's owner-computes placement;
+    * ``kinds[t]`` / ``iterations[t]`` — kernel name and iteration;
+    * ``out_bytes[t]`` — bytes of the version ``t`` writes (0 if none);
+    * ``consumers[t]`` — ids of tasks reading ``t``'s output, in edge
+      order (ascending consumer id, duplicates kept);
+    * ``inputs[t]`` — ``(producer_id, nbytes, source_node)`` per read,
+      in the task's read order; ``producer_id`` is -1 for initial data.
+    """
+
+    num_nodes: int
+    cores: int
+    bandwidth: float
+    latency: float
+
+    @property
+    @abc.abstractmethod
+    def n_tasks(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def durations(self) -> List[float]: ...
+
+    @property
+    @abc.abstractmethod
+    def node(self) -> List[int]: ...
+
+    @property
+    @abc.abstractmethod
+    def kinds(self) -> List[str]: ...
+
+    @property
+    @abc.abstractmethod
+    def iterations(self) -> List[int]: ...
+
+    @property
+    @abc.abstractmethod
+    def out_bytes(self) -> List[int]: ...
+
+    @property
+    @abc.abstractmethod
+    def consumers(self) -> List[List[int]]: ...
+
+    @property
+    @abc.abstractmethod
+    def inputs(self) -> List[List[Tuple[int, int, int]]]: ...
+
+    def comm_cost(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` over one link (latency + wire)."""
+        return self.latency + nbytes / self.bandwidth
+
+
+class ReadyQueue(abc.ABC):
+    """A pluggable per-node ready-queue discipline.
+
+    This is the *dynamic* half of the scheduler interface: the engines
+    feed it runtime updates — :meth:`push` when a task becomes ready on
+    a node with no free worker, :meth:`pop` when a worker frees — and it
+    answers with the next assignment.  Both engines drive one instance
+    with the identical update sequence, so a deterministic discipline
+    preserves the two-engine equality contract.
+
+    A task that is ready while a worker is free never enters the queue
+    (the engines start it immediately); the discipline only arbitrates
+    backlog.
+    """
+
+    @abc.abstractmethod
+    def push(self, node: int, task: int, priority: float) -> None:
+        """Task ``task`` became ready on ``node`` (no worker free)."""
+
+    @abc.abstractmethod
+    def pop(self, node: int) -> Optional[int]:
+        """A worker on ``node`` freed; next task id, or None to idle."""
+
+    @abc.abstractmethod
+    def depth(self, node: int) -> int:
+        """Queued tasks currently runnable from ``node``."""
+
+    @abc.abstractmethod
+    def total(self) -> int:
+        """Queued tasks across all nodes (deadlock accounting)."""
+
+
+@dataclass
+class SchedulePlan:
+    """A policy's decisions for one run; every default means "native".
+
+    ``priorities`` — per-task ready-queue/network priorities; ``None``
+    keeps the engine's own bottom-level critical-path computation.
+    ``assignment`` — per-task execution node, overriding the graph's
+    owner-computes placement (the producing node still *sends* from
+    wherever the data now lives; the engines re-derive the communication
+    pattern from the assignment).  Only policies with
+    ``migrates = True`` may return one.
+    ``synchronized`` — force fork-join iteration barriers.
+    ``queue_factory`` — ``(num_nodes, cores) -> ReadyQueue`` for a
+    custom dynamic discipline; ``None`` keeps the native per-node
+    priority queues.
+    """
+
+    priorities: Optional[Sequence[float]] = None
+    assignment: Optional[Sequence[int]] = None
+    synchronized: bool = False
+    queue_factory: Optional[Callable[[int, int], ReadyQueue]] = None
+
+    def is_native(self) -> bool:
+        """True when the plan changes nothing (the default policy)."""
+        return (self.priorities is None and self.assignment is None
+                and not self.synchronized and self.queue_factory is None)
+
+
+class SchedulerInterface(abc.ABC):
+    """One scheduling policy, usable by both simulator engines.
+
+    Subclasses set ``name`` (the registry / ``JobSpec.policy`` string)
+    and implement :meth:`plan`.  Policies must be deterministic, pure
+    functions of the view: the sweep service memoizes results by spec,
+    and the equality suite runs every policy on both engines.
+    """
+
+    #: registry key; also the ``JobSpec.policy`` value.
+    name: ClassVar[str] = ""
+    #: one-line description for catalogues and ``docs/schedulers.md``.
+    description: ClassVar[str] = ""
+    #: True when plan() may return a placement ``assignment`` that
+    #: deviates from the graph's owner-computes placement
+    #: (``repro.analyze`` rule SCHED-PLACE enforces this declaration).
+    migrates: ClassVar[bool] = False
+
+    @abc.abstractmethod
+    def plan(self, view: GraphView) -> SchedulePlan:
+        """Decide priorities/placement/discipline for this run."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

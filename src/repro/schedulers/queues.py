@@ -1,0 +1,72 @@
+"""Dynamic ready-queue disciplines (the runtime half of a policy).
+
+The engines drive a :class:`~repro.schedulers.base.ReadyQueue` with the
+same update sequence on both planes, so any deterministic discipline
+keeps the two-engine equality contract for free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from .base import ReadyQueue
+
+__all__ = ["WorkStealingQueues"]
+
+
+class WorkStealingQueues(ReadyQueue):
+    """Intra-node work stealing over per-core deques.
+
+    Each node keeps ``cores`` deques; a ready task lands on the deque
+    ``task_id % cores`` (a cheap deterministic spread that keeps sibling
+    tasks — consecutive ids in the builders — on different cores).  A
+    freed worker is modelled by a rotating per-node pointer: it pops
+    **LIFO** from its own deque (hot caches, newest work), and when that
+    deque is empty it steals **FIFO** from the longest sibling deque
+    (oldest work first, the classic Cilk/StarPU ``ws`` discipline).
+    Priorities are deliberately ignored — locality over urgency is
+    exactly the trade-off this policy exists to measure against the
+    critical-path family.
+
+    Stealing is intra-node only: tasks never change nodes, so the
+    communication pattern (and the analyze placement rule) is untouched.
+    """
+
+    def __init__(self, num_nodes: int, cores: int):
+        self.cores = max(1, cores)
+        self._deques: List[List[deque]] = [
+            [deque() for _ in range(self.cores)] for _ in range(num_nodes)
+        ]
+        self._next_core = [0] * num_nodes
+        self._depth = [0] * num_nodes
+        self._total = 0
+
+    def push(self, node: int, task: int, priority: float) -> None:
+        self._deques[node][task % self.cores].append(task)
+        self._depth[node] += 1
+        self._total += 1
+
+    def pop(self, node: int) -> Optional[int]:
+        if self._depth[node] == 0:
+            return None
+        deques = self._deques[node]
+        core = self._next_core[node]
+        self._next_core[node] = (core + 1) % self.cores
+        own = deques[core]
+        if own:
+            task = own.pop()  # LIFO: newest local work
+        else:
+            # Steal from the longest sibling deque, FIFO end; ties break
+            # to the lowest core index (determinism across engines).
+            victim = max(range(self.cores), key=lambda c: len(deques[c]))
+            task = deques[victim].popleft()
+        self._depth[node] -= 1
+        self._total -= 1
+        return task
+
+    def depth(self, node: int) -> int:
+        return self._depth[node]
+
+    def total(self) -> int:
+        return self._total

@@ -1,0 +1,162 @@
+"""Graph-view adapters: one per simulation plane.
+
+Both adapters expose the identical :class:`~repro.schedulers.base
+.GraphView` columns, with the identical floats and orderings, so a
+policy computes the identical plan whichever engine invokes it:
+
+* durations — the object plane calls ``kernel.duration(flops, b)`` per
+  task, the compiled plane evaluates ``overhead + flops / rate(b)``
+  vectorized; both are the same IEEE expression on the same doubles;
+* consumers — the object plane appends per read while scanning tasks in
+  id order; the compiled plane's ``consumers_csr()`` stably sorts the
+  (consumer, read) edge list by producer.  Both yield each producer's
+  consumers in ascending consumer id with duplicates kept;
+* inputs — task read order is preserved by ``compile_graph`` and the
+  direct compilers, so the per-read tuples line up slot for slot.
+
+Every column is built lazily on first access (``cached_property``): the
+default policy never touches the view, so the hot service path pays only
+the adapter construction (a few attribute stores).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import List, Tuple
+
+import numpy as np
+
+from ..config import MachineSpec
+from ..graph.compiled import CompiledGraph
+from ..graph.task import TaskGraph
+from .base import GraphView
+
+__all__ = ["ObjectGraphView", "CompiledGraphView"]
+
+
+class ObjectGraphView(GraphView):
+    """View over a :class:`TaskGraph` (the object engine's plane)."""
+
+    def __init__(self, graph: TaskGraph, machine: MachineSpec, duration_fn):
+        self._graph = graph
+        self._duration_fn = duration_fn
+        self.num_nodes = machine.nodes
+        self.cores = machine.cores
+        self.bandwidth = machine.network.bandwidth
+        self.latency = machine.network.latency
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self._graph.tasks)
+
+    @cached_property
+    def durations(self) -> List[float]:
+        fn = self._duration_fn
+        return [fn(t) for t in self._graph.tasks]
+
+    @cached_property
+    def node(self) -> List[int]:
+        return [t.node for t in self._graph.tasks]
+
+    @cached_property
+    def kinds(self) -> List[str]:
+        return [t.kind for t in self._graph.tasks]
+
+    @cached_property
+    def iterations(self) -> List[int]:
+        return [t.iteration for t in self._graph.tasks]
+
+    @cached_property
+    def out_bytes(self) -> List[int]:
+        g = self._graph
+        return [g.data_bytes(t.write) if t.write is not None else 0
+                for t in g.tasks]
+
+    @cached_property
+    def consumers(self) -> List[List[int]]:
+        g = self._graph
+        cons: List[List[int]] = [[] for _ in range(len(g.tasks))]
+        for t in g.tasks:
+            for k in t.reads:
+                pid = g.producer.get(k)
+                if pid is not None:
+                    cons[pid].append(t.id)
+        return cons
+
+    @cached_property
+    def inputs(self) -> List[List[Tuple[int, int, int]]]:
+        g = self._graph
+        out: List[List[Tuple[int, int, int]]] = []
+        for t in g.tasks:
+            rows = []
+            for k in t.reads:
+                pid = g.producer.get(k)
+                if pid is not None:
+                    rows.append((pid, g.data_bytes(k), g.tasks[pid].node))
+                else:
+                    rows.append((-1, g.data_bytes(k), g.initial[k][0]))
+            out.append(rows)
+        return out
+
+
+class CompiledGraphView(GraphView):
+    """View over a :class:`CompiledGraph` (the compiled engine's plane)."""
+
+    def __init__(self, cg: CompiledGraph, machine: MachineSpec,
+                 durations: np.ndarray):
+        self._cg = cg
+        self._durations = durations
+        self.num_nodes = machine.nodes
+        self.cores = machine.cores
+        self.bandwidth = machine.network.bandwidth
+        self.latency = machine.network.latency
+
+    @property
+    def n_tasks(self) -> int:
+        return self._cg.n_tasks
+
+    @cached_property
+    def durations(self) -> List[float]:
+        return self._durations.tolist()
+
+    @cached_property
+    def node(self) -> List[int]:
+        return self._cg.node.tolist()
+
+    @cached_property
+    def kinds(self) -> List[str]:
+        names = self._cg.kind_names
+        return [names[c] for c in self._cg.kind_codes.tolist()]
+
+    @cached_property
+    def iterations(self) -> List[int]:
+        return self._cg.iteration.tolist()
+
+    @cached_property
+    def out_bytes(self) -> List[int]:
+        cg = self._cg
+        out = np.zeros(cg.n_tasks, dtype=np.int64)
+        has = cg.write_id >= 0
+        out[has] = cg.data_nbytes[cg.write_id[has]]
+        return out.tolist()
+
+    @cached_property
+    def consumers(self) -> List[List[int]]:
+        ptr, ids = self._cg.consumers_csr()
+        ptr_l = ptr.tolist()
+        ids_l = ids.tolist()
+        return [ids_l[ptr_l[t]:ptr_l[t + 1]] for t in range(self._cg.n_tasks)]
+
+    @cached_property
+    def inputs(self) -> List[List[Tuple[int, int, int]]]:
+        cg = self._cg
+        ptr = cg.read_ptr.tolist()
+        rids = cg.read_ids.tolist()
+        prod = cg.data_producer.tolist()
+        src = cg.data_source_node.tolist()
+        nbytes = cg.data_nbytes.tolist()
+        out: List[List[Tuple[int, int, int]]] = []
+        for t in range(cg.n_tasks):
+            out.append([(prod[d], nbytes[d], src[d])
+                        for d in rids[ptr[t]:ptr[t + 1]]])
+        return out

@@ -99,6 +99,7 @@ def _spec_from_args(args: argparse.Namespace) -> JobSpec:
         aggregate=args.aggregate,
         faults=faults,
         collect_metrics=args.collect_metrics,
+        policy=args.policy,
     )
 
 
@@ -135,6 +136,9 @@ def _add_job_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--latency", type=float, default=0.0)
     p.add_argument("--synchronized", action="store_true")
     p.add_argument("--broadcast", choices=["direct", "tree"], default="direct")
+    p.add_argument("--policy", default="critical-path", metavar="NAME",
+                   help="scheduler policy (see repro.schedulers.POLICIES; "
+                        "default: critical-path)")
     p.add_argument("--aggregate", action="store_true")
     p.add_argument("--collect-metrics", action="store_true")
     p.add_argument("--faults-json", default=None, metavar="FILE",

@@ -41,7 +41,9 @@ __all__ = [
 
 #: Bump to invalidate every cached result (graph-builder or engine
 #: changes that alter semantics without changing specs or array layouts).
-SCHEMA_VERSION = 1
+#: v2: JobSpec grew the ``policy`` field (scheduler framework) — old
+#: entries hashed a spec without it.
+SCHEMA_VERSION = 2
 
 
 def _h(*parts: bytes) -> str:

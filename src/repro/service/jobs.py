@@ -51,6 +51,15 @@ ALGORITHMS = ("cholesky", "lu")
 ENGINES = ("compiled", "object")
 
 
+def _policy_names() -> Tuple[str, ...]:
+    # Deferred import: repro.schedulers pulls in the graph/compiled stack,
+    # which this module must not load at import time (the service CLI
+    # imports jobs for --help before any heavy work).
+    from ..schedulers import POLICIES
+
+    return tuple(sorted(POLICIES))
+
+
 def canonical_json(obj: Any) -> str:
     """Deterministic JSON: sorted keys, no whitespace, repr-exact floats."""
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
@@ -229,6 +238,11 @@ class JobSpec:
     aggregate: bool = False
     faults: Optional[Tuple] = None
     collect_metrics: bool = False
+    #: Scheduling policy (a :data:`repro.schedulers.POLICIES` name).  Part
+    #: of the config digest — sweeping policies re-simulates each point —
+    #: but NOT of the structure hash: policies act at simulation time, the
+    #: built graph is the same.
+    policy: str = "critical-path"
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -243,6 +257,12 @@ class JobSpec:
             raise ValueError(f"unknown broadcast mode {self.broadcast!r}")
         if self.ntiles < 1 or self.b < 1:
             raise ValueError("ntiles and b must be positive")
+        names = _policy_names()
+        if self.policy not in names:
+            raise ValueError(
+                f"unknown scheduler policy {self.policy!r}; "
+                f"use one of {names}"
+            )
 
     # -- construction -------------------------------------------------------
 
@@ -260,6 +280,7 @@ class JobSpec:
         aggregate: bool = False,
         faults: Union[FaultPlan, Mapping[str, Any], None] = None,
         collect_metrics: bool = False,
+        policy: str = "critical-path",
     ) -> "JobSpec":
         """Build a spec from live objects or plain dicts."""
         dspec = dist if isinstance(dist, Mapping) else dist_to_spec(dist)
@@ -279,6 +300,7 @@ class JobSpec:
             aggregate=bool(aggregate),
             faults=None if fspec is None else _freeze(fspec),
             collect_metrics=bool(collect_metrics),
+            policy=policy,
         )
 
     @classmethod
@@ -296,6 +318,7 @@ class JobSpec:
             aggregate=d.get("aggregate", False),
             faults=d.get("faults"),
             collect_metrics=d.get("collect_metrics", False),
+            policy=d.get("policy", "critical-path"),
         )
 
     # -- canonical views ----------------------------------------------------
@@ -314,6 +337,7 @@ class JobSpec:
             "aggregate": self.aggregate,
             "faults": None if self.faults is None else _thaw(self.faults),
             "collect_metrics": self.collect_metrics,
+            "policy": self.policy,
         }
 
     def canonical(self) -> str:
@@ -324,8 +348,8 @@ class JobSpec:
         """The subset of fields the task-graph *structure* depends on.
 
         Everything else (machine constants, engine, simulator options,
-        fault plan) changes timing but not the graph's tasks/edges; see
-        ``docs/service.md`` ("Content hash").
+        fault plan, scheduler policy) changes timing but not the graph's
+        tasks/edges; see ``docs/service.md`` ("Content hash").
         """
         machine = _thaw(self.machine)
         return {

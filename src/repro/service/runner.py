@@ -129,6 +129,7 @@ def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
             aggregate=spec.aggregate,
             recorder=recorder,
             faults=faults,
+            scheduler=spec.policy,
         )
     else:
         graph = _build_object_graph(spec)
@@ -142,6 +143,7 @@ def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
             aggregate=spec.aggregate,
             recorder=recorder,
             faults=faults,
+            scheduler=spec.policy,
         )
 
     status = "ok"

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -110,6 +110,12 @@ class SweepServer:
         self._pool: Optional[ProcessPoolExecutor] = (
             ProcessPoolExecutor(max_workers=workers) if workers > 0 else None
         )
+        # Store appends fsync; a dedicated single-thread executor keeps
+        # that disk wait off the event loop (concurrent submits and the
+        # HTTP front-end stay responsive) while preserving the store's
+        # single-writer contract — one thread, appends in submit order.
+        self._io = ThreadPoolExecutor(max_workers=1,
+                                      thread_name_prefix="sweep-store-io")
         self._t0 = time.monotonic()
 
     # -- events --------------------------------------------------------------
@@ -193,8 +199,9 @@ class SweepServer:
             self._count("service.simulations", "simulations actually executed")
             if record["status"] != "ok":
                 self._count("service.failures", "deterministically failed points")
-            self.store.put_structure(structure_key(spec), record["structure"])
-            self.store.put(record)
+            await loop.run_in_executor(
+                self._io, self._persist, structure_key(spec), record
+            )
             self._emit("completed" if record["status"] == "ok" else "failed",
                        ckey, record.get("error") or "")
             future.set_result(record)
@@ -209,9 +216,39 @@ class SweepServer:
             del self._inflight[ckey]
         return _result_from_record(spec, record, cached=False)
 
+    def _persist(self, skey: str, record: Dict[str, Any]) -> None:
+        """Append one record + its structure memo (runs on ``self._io``)."""
+        self.store.put_structure(skey, record["structure"])
+        self.store.put(record)
+
     async def sweep(self, specs: Sequence[JobSpec]) -> List[JobResult]:
-        """Submit many points concurrently; results in input order."""
-        return list(await asyncio.gather(*(self.submit(s) for s in specs)))
+        """Submit many points concurrently; results in input order.
+
+        One point raising (a bad spec, an executor crash) must not
+        discard every other point's result, so per-point exceptions are
+        captured and surfaced as ``status="failed"`` results with an
+        empty hash (nothing was simulated or stored for them).
+        Cancellation still propagates: cancelling the sweep cancels
+        every point.
+        """
+        outcomes = await asyncio.gather(
+            *(self.submit(s) for s in specs), return_exceptions=True
+        )
+        results: List[JobResult] = []
+        for spec, out in zip(specs, outcomes):
+            if isinstance(out, BaseException):
+                if not isinstance(out, Exception):
+                    raise out  # CancelledError / KeyboardInterrupt / ...
+                self._count("service.sweep.errors",
+                            "sweep points lost to raised exceptions")
+                results.append(JobResult(
+                    hash="", spec=spec, status="failed", cached=False,
+                    report=None, timings={},
+                    error=f"{type(out).__name__}: {out}",
+                ))
+            else:
+                results.append(out)
+        return results
 
     def status(self, spec: JobSpec) -> str:
         """'cached' | 'running' | 'unknown' for one point."""
@@ -230,3 +267,4 @@ class SweepServer:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._io.shutdown(wait=True)

@@ -71,9 +71,20 @@ class ResultStore:
     RESULTS = "results.jsonl"
     STRUCTURES = "structures.jsonl"
 
-    def __init__(self, root: os.PathLike):
+    #: Durability modes: "always" fsyncs every append (a completed point
+    #: survives an immediate power cut); "batch" only flushes to the OS on
+    #: append and fsyncs at :meth:`sync`/:meth:`compact` — far cheaper
+    #: under sweep bursts, at the cost of possibly recomputing the last
+    #: few points after a crash (appends are idempotent, so that is safe).
+    FSYNC_MODES = ("always", "batch")
+
+    def __init__(self, root: os.PathLike, fsync: str = "always"):
+        if fsync not in self.FSYNC_MODES:
+            raise ValueError(
+                f"fsync must be one of {self.FSYNC_MODES}, got {fsync!r}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
         #: envelope lines skipped at load time (corruption indicator)
         self.corrupt_entries = 0
         self._results: Dict[str, Dict[str, Any]] = {}
@@ -139,7 +150,17 @@ class ResultStore:
         with open(self.root / name, "a") as fh:
             fh.write(line + "\n")
             fh.flush()
-            os.fsync(fh.fileno())
+            if self.fsync == "always":
+                os.fsync(fh.fileno())
+
+    def sync(self) -> None:
+        """Force both logs to stable storage (a no-op worth calling only
+        in ``fsync="batch"`` mode, where appends skip the per-line fsync)."""
+        for name in (self.RESULTS, self.STRUCTURES):
+            path = self.root / name
+            if path.exists():
+                with open(path, "a") as fh:
+                    os.fsync(fh.fileno())
 
     def compact(self) -> None:
         """Rewrite both logs with one line per live key."""

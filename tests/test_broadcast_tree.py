@@ -139,3 +139,83 @@ class TestTreeWithAggregation:
         assert fast.makespan == ref.makespan
         assert fast.comm_bytes == ref.comm_bytes
         assert fast.comm_messages == ref.comm_messages
+
+
+class TestAggregationIndex:
+    """The piggy-back lookup in ``NetworkSim.submit`` is an O(1) per-
+    (src, dst) index of queued-unstarted transfers.  It must behave
+    exactly like the legacy full-heap scan it replaced — under
+    aggregation at most one unstarted transfer per (src, dst) ever
+    exists, so "first match in heap order" and "the indexed transfer"
+    are the same message.  Pin the equivalence bit-for-bit."""
+
+    def _legacy_scan_netsim(self):
+        from repro.runtime.simulator.network import NetworkSim
+
+        class LegacyScanNet(NetworkSim):
+            """The pre-index submit: walk the whole per-source heap."""
+
+            def submit(self, transfer, now):
+                if not 0 <= transfer.src < self.num_nodes:
+                    raise ValueError(f"bad source node {transfer.src}")
+                if not 0 <= transfer.dst < self.num_nodes:
+                    raise ValueError(f"bad destination node {transfer.dst}")
+                if transfer.src == transfer.dst:
+                    raise ValueError("local data needs no transfer")
+                self.total_bytes += transfer.nbytes
+                transfer.submitted = now
+                if self.aggregate and self._egress_busy[transfer.src]:
+                    for _nprio, _seq, queued in self._queues[transfer.src]:
+                        if queued.dst == transfer.dst and not queued.started:
+                            queued.keys.append(transfer.key)
+                            queued.nbytes += transfer.nbytes
+                            queued.remaining += transfer.nbytes
+                            if transfer.priority > queued.priority:
+                                queued.priority = transfer.priority
+                                self._push(queued)
+                            return None
+                self.total_messages += 1
+                self._push(transfer)
+                if self._egress_busy[transfer.src]:
+                    return None
+                return self._serve(transfer.src, now)
+
+        return LegacyScanNet
+
+    @pytest.mark.parametrize("broadcast", ["direct", "tree"])
+    @pytest.mark.parametrize("dist", [BlockCyclic2D(4, 4),
+                                      SymmetricBlockCyclic(5)],
+                             ids=lambda d: d.name)
+    def test_bit_equal_with_legacy_scan(self, dist, broadcast, monkeypatch):
+        from repro.runtime.simulator import engine as engine_mod
+
+        g = build_cholesky_graph(14, 32, dist)
+        m = laptop(nodes=dist.num_nodes, cores=2)
+        new = simulate(g, m, broadcast=broadcast, aggregate=True)
+
+        LegacyScanNet = self._legacy_scan_netsim()
+        monkeypatch.setattr(engine_mod, "NetworkSim", LegacyScanNet)
+        old = simulate(g, m, broadcast=broadcast, aggregate=True)
+
+        assert new.makespan == old.makespan
+        assert new.comm_bytes == old.comm_bytes
+        assert new.comm_messages == old.comm_messages
+
+    def test_index_entries_invalidate_lazily(self):
+        """A started transfer's stale index entry must not absorb keys."""
+        from repro.config import NetworkSpec
+        from repro.runtime.simulator.network import NetworkSim, Transfer
+
+        net = NetworkSim(NetworkSpec(bandwidth=1e9, latency=1e-6),
+                         num_nodes=3, aggregate=True, quantum=1 << 30)
+        # First transfer starts immediately (port idle) — not indexed.
+        chunk = net.submit(Transfer("a", 0, 1, 100, 1.0), 0.0)
+        assert chunk is not None and chunk.transfer.started
+        # Queued behind it: indexed as the unstarted (0, 1) transfer.
+        assert net.submit(Transfer("b", 0, 1, 100, 1.0), 0.0) is None
+        # Same destination again: must piggy-back onto "b", not "a".
+        assert net.submit(Transfer("c", 0, 1, 100, 2.0), 0.0) is None
+        pending = net._unstarted[0][1]
+        assert pending.keys == ["b", "c"]
+        assert pending.nbytes == 200
+        assert net.total_messages == 2

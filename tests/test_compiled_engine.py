@@ -259,3 +259,89 @@ class TestFastEngineApi:
         assert r1.comm_bytes == r2.comm_bytes
         assert r1.comm_messages == r2.comm_messages
         assert r1.busy_time == r2.busy_time
+
+
+class TestPolicyConformance:
+    """Every scheduler policy keeps the two-engine equality contract,
+    and the default policy is bit-exactly the pre-framework engine."""
+
+    #: Pre-framework golden results (object engine, defaults): changing
+    #: either engine's native scheduling path must trip these.
+    GOLDEN = {
+        "SBC-extended(r=4)": (0.0017815886304347814, 1228800, 150),
+        "2DBC(3x3)": (0.0014931496304347819, 1982464, 242),
+        "2DBC(2x3)": (0.001714026847826086, 1531904, 187),
+    }
+
+    @pytest.mark.parametrize("dist", DISTS, ids=lambda d: d.name)
+    def test_every_policy_matches_object_engine(self, dist):
+        from repro.schedulers import POLICIES
+
+        g = build_cholesky_graph(12, 32, dist)
+        cg = compile_graph(g)
+        m = laptop(nodes=dist.num_nodes, cores=2)
+        for policy in POLICIES:
+            ref = simulate(g, m, scheduler=policy)
+            fast = simulate_compiled(cg, m, scheduler=policy)
+            assert fast.makespan == ref.makespan, policy
+            assert fast.comm_bytes == ref.comm_bytes, policy
+            assert fast.comm_messages == ref.comm_messages, policy
+            for a, b in zip(ref.busy_time, fast.busy_time):
+                assert isclose(a, b, rel_tol=1e-9, abs_tol=1e-12), policy
+
+    @pytest.mark.parametrize("dist", DISTS, ids=lambda d: d.name)
+    def test_default_policy_is_bit_exact_golden(self, dist):
+        """scheduler=None, scheduler='critical-path' and the pinned
+        pre-refactor numbers all coincide, on both engines."""
+        g = build_cholesky_graph(12, 32, dist)
+        cg = compile_graph(g)
+        m = laptop(nodes=dist.num_nodes, cores=2)
+        makespan, nbytes, msgs = self.GOLDEN[dist.name]
+        for rep in (simulate(g, m), simulate(g, m, scheduler="critical-path"),
+                    simulate_compiled(cg, m),
+                    simulate_compiled(cg, m, scheduler="critical-path")):
+            assert rep.makespan == makespan
+            assert rep.comm_bytes == nbytes
+            assert rep.comm_messages == msgs
+
+    def test_policy_runs_leave_the_graph_pristine(self):
+        """A policy run must not leak priorities or placement into later
+        default runs of the same (object or compiled) graph."""
+        from repro.schedulers import POLICIES
+
+        dist = SymmetricBlockCyclic(4)
+        g = build_cholesky_graph(12, 32, dist)
+        cg = compile_graph(g)
+        m = laptop(nodes=dist.num_nodes, cores=2)
+        before_obj = simulate(g, m)
+        before_fast = simulate_compiled(cg, m)
+        for policy in POLICIES:
+            simulate(g, m, scheduler=policy)
+            simulate_compiled(cg, m, scheduler=policy)
+        after_obj = simulate(g, m)
+        after_fast = simulate_compiled(cg, m)
+        assert after_obj.makespan == before_obj.makespan
+        assert after_fast.makespan == before_fast.makespan
+
+    def test_migrating_policy_changes_the_comm_pattern(self):
+        """heft-lookahead declares migration, so its transfer totals may
+        (and here do) differ from owner-computes."""
+        dist = SymmetricBlockCyclic(4)
+        g = build_cholesky_graph(12, 32, dist)
+        cg = compile_graph(g)
+        m = laptop(nodes=dist.num_nodes, cores=2)
+        default = simulate_compiled(cg, m)
+        heft = simulate_compiled(cg, m, scheduler="heft-lookahead")
+        assert heft.comm_bytes != default.comm_bytes
+        ref = simulate(g, m, scheduler="heft-lookahead")
+        assert heft.makespan == ref.makespan
+
+    def test_unknown_policy_rejected_by_both_engines(self):
+        dist = BlockCyclic2D(2, 2)
+        g = build_cholesky_graph(6, 32, dist)
+        cg = compile_graph(g)
+        m = laptop(nodes=4, cores=2)
+        with pytest.raises(ValueError, match="unknown scheduler policy"):
+            simulate(g, m, scheduler="round-robin")
+        with pytest.raises(ValueError, match="unknown scheduler policy"):
+            simulate_compiled(cg, m, scheduler="round-robin")

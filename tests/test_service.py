@@ -148,6 +148,7 @@ def test_every_field_change_changes_the_hash():
         "broadcast": spec(broadcast="tree"),
         "aggregate": spec(aggregate=True),
         "collect_metrics": spec(collect_metrics=True),
+        "policy": spec(policy="bytes-critical-path"),
         "faults.none-vs-plan": spec(),
         "faults.seed": base.with_(faults=dict(base.to_dict()["faults"],
                                               seed=2)),
@@ -179,7 +180,7 @@ def test_every_field_change_changes_the_hash():
                  "algorithm", "machine.element_size"):
         assert structure_key(variants[name]) != structure_key(base), name
     for name in ("engine", "synchronized", "broadcast", "faults.seed",
-                 "machine.bandwidth", "machine.latency"):
+                 "machine.bandwidth", "machine.latency", "policy"):
         assert structure_key(variants[name]) == structure_key(base), name
 
 
@@ -282,6 +283,74 @@ def test_event_stream_and_status(tmp_path):
         "submitted", "cache-hit",             # warm
     ]
     assert len({e.key for e in events}) == 1  # all about one config digest
+
+
+def test_sweep_survives_a_raising_point(tmp_path):
+    # This spec passes JobSpec validation but raises ValueError inside
+    # run_point (the graph needs 6 nodes, the machine has 2); only
+    # SimulatedFailure is memoized, so the exception escapes submit().
+    bad = JobSpec.make("cholesky", NT, B, SymmetricBlockCyclic(4),
+                       bora(nodes=2))
+
+    async def scenario():
+        server = SweepServer(ResultStore(tmp_path / "store"))
+        try:
+            results = await server.sweep([spec(), bad, spec(ntiles=NT + 1)])
+        finally:
+            await server.close()
+        return server, results
+
+    server, results = asyncio.new_event_loop().run_until_complete(scenario())
+    ok_a, failed, ok_b = results
+    assert ok_a.status == "ok" and ok_b.status == "ok", \
+        "one bad point must not discard the healthy points' results"
+    assert server.simulations() == 2
+    assert failed.status == "failed" and not failed.cached
+    assert failed.hash == "" and failed.report is None
+    assert "ValueError" in failed.error
+    with pytest.raises(RuntimeError, match="sweep point failed"):
+        failed.raise_for_status()
+    # The failure is infrastructure, not simulation: nothing was stored,
+    # so a corrected sweep later recomputes only that point.
+    assert len(ResultStore(tmp_path / "store")) == 2
+
+
+def test_store_appends_run_off_the_event_loop(tmp_path):
+    """fsync-ing appends must not run on the loop thread (they would
+    stall every concurrent submit and the HTTP front-end)."""
+    append_threads = []
+
+    class SpyStore(ResultStore):
+        def put(self, record):
+            append_threads.append(threading.get_ident())
+            super().put(record)
+
+        def put_structure(self, key, structure):
+            append_threads.append(threading.get_ident())
+            super().put_structure(key, structure)
+
+    async def scenario():
+        server = SweepServer(SpyStore(tmp_path / "store"))
+        try:
+            (await server.submit(spec())).raise_for_status()
+        finally:
+            await server.close()
+
+    asyncio.new_event_loop().run_until_complete(scenario())
+    loop_thread = threading.get_ident()  # run_until_complete ran here
+    assert append_threads, "the store was never written"
+    assert all(t != loop_thread for t in append_threads)
+    assert len(set(append_threads)) == 1, "store writes must stay single-owner"
+
+
+def test_store_fsync_modes(tmp_path):
+    batch = ResultStore(tmp_path / "store", fsync="batch")
+    batch.put({"hash": "h", "status": "ok"})
+    batch.sync()
+    reopened = ResultStore(tmp_path / "store")
+    assert reopened.get("h")["status"] == "ok"
+    with pytest.raises(ValueError, match="fsync"):
+        ResultStore(tmp_path / "other", fsync="sometimes")
 
 
 # --------------------------------------------------------------------------
