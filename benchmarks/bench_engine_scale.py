@@ -42,10 +42,24 @@ R = 9  # extended SBC on P = 36 nodes, the paper's largest square layout
 NS = sizes(small=[18, 36, 54], full=[100, 200, 400])
 
 
-def _peak_rss_mb() -> float:
-    # ru_maxrss is KiB on Linux; the high-water mark is process-wide and
-    # monotonic, so per-N values are cumulative peaks (Ns run ascending).
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+def _peak_rss_mb(res=None) -> float:
+    """Peak RSS (MiB) of whatever actually ran the simulation.
+
+    Since the sweep-service PR the simulation may run in a
+    ``ProcessPoolExecutor`` worker, whose memory never shows up in this
+    process's ``RUSAGE_SELF`` — the worker records its own high-water
+    mark into the result (``JobResult.peak_rss_mb``).  When that field is
+    absent (old stores), fall back to the max of ``RUSAGE_SELF`` (covers
+    in-process/thread execution) and ``RUSAGE_CHILDREN`` (covers exited
+    pool workers).  All values are monotone high-water marks, so per-N
+    values are cumulative peaks (Ns run ascending).
+    """
+    if res is not None and res.peak_rss_mb is not None:
+        return float(res.peak_rss_mb)
+    return max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    ) / 1024.0
 
 
 def trajectory(ns, client: SweepClient):
@@ -65,7 +79,8 @@ def trajectory(ns, client: SweepClient):
             "build_seconds": round(res.timings["build_seconds"], 3),
             "plan_seconds": round(res.timings["plan_seconds"], 3),
             "sim_seconds": round(res.timings["sim_seconds"], 3),
-            "peak_rss_mb": round(_peak_rss_mb(), 1),
+            "peak_rss_mb": round(_peak_rss_mb(res), 1),
+            "graph_reused": res.graph_reused,
             "makespan_seconds": rep.makespan,
             "comm_messages": rep.comm_messages,
             "comm_bytes": rep.comm_bytes,

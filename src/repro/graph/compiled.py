@@ -181,17 +181,45 @@ class CompiledGraph:
         and cached (the arrays are treated as read-only)."""
         if self._cons_csr is not None:
             return self._cons_csr
-        producer = self.data_producer[self.read_ids]
-        has = producer >= 0
-        prod = producer[has]
-        cons = np.repeat(
-            np.arange(self.n_tasks, dtype=np.int32),
-            np.diff(self.read_ptr),
-        )[has]
-        order = np.argsort(prod, kind="stable")
-        ptr = np.zeros(self.n_tasks + 1, dtype=np.int64)
-        np.cumsum(np.bincount(prod, minlength=self.n_tasks), out=ptr[1:])
-        self._cons_csr = (ptr, cons[order])
+        # A chunked stable counting sort instead of a global argsort: the
+        # result is bit-identical (groups in producer order, edge order
+        # within each group), but transient memory is bounded by the
+        # chunk size instead of several full-edge-list temporaries —
+        # at N = 400 this keeps ~400 MB off the peak RSS.  Bucket 0
+        # collects initial-data reads (producer -1 shifted to 0) so no
+        # boolean-mask copies are needed; it is sliced off at the end.
+        n, E = self.n_tasks, len(self.read_ids)
+        prod1 = self.data_producer[self.read_ids].astype(np.int32)
+        np.add(prod1, 1, out=prod1)
+        counts = np.bincount(prod1, minlength=n + 1)
+        ptr0 = np.zeros(n + 2, dtype=np.int64)
+        np.cumsum(counts, out=ptr0[1:])
+        n_invalid = int(counts[0])
+        del counts
+        out = np.empty(E, dtype=np.int32)
+        pos = ptr0[:-1].astype(np.int64)  # next write slot per bucket
+        read_ptr = self.read_ptr
+        CH = 1 << 22
+        for lo in range(0, E, CH):
+            p = prod1[lo:lo + CH]
+            m = len(p)
+            # consumer of edge e: the task whose read slice contains e.
+            cons = (np.searchsorted(read_ptr, np.arange(lo, lo + m),
+                                    side="right") - 1).astype(np.int32)
+            o = np.argsort(p, kind="stable")
+            sp = p[o]
+            # stable within-chunk offset of each edge inside its bucket
+            starts = np.flatnonzero(
+                np.r_[True, sp[1:] != sp[:-1]]) if m else np.empty(
+                    0, dtype=np.int64)
+            runs = np.diff(np.r_[starts, m])
+            cumcount = np.arange(m, dtype=np.int64) - np.repeat(starts, runs)
+            out[pos[sp] + cumcount] = cons[o]
+            pos[sp[starts]] += runs
+        del prod1, pos
+        ids = out[n_invalid:]  # a view: bucket 0 excluded
+        ptr = ptr0[1:] - n_invalid
+        self._cons_csr = (ptr, ids)
         return self._cons_csr
 
 
@@ -430,15 +458,162 @@ def _concat(
     return np.concatenate([np.asarray(p, dtype=dtype) for p in parts])
 
 
+class _StreamedPlanState:
+    """Per-iteration accumulator producing the same :class:`CommPlan` as
+    :func:`_build_comm_plan`, without the global edge list.
+
+    The direct compilers know the consumer structure of every version in
+    closed form: each version's readers all live in a single iteration,
+    versions are created in ascending-id order, and within one iteration
+    readers are enumerated in task order.  Feeding those per-iteration
+    groups here (in ascending data-id order) therefore reproduces the
+    generic builder's output bit for bit — grouped-by-data local
+    consumers, ``rn_ids`` laid out by (data, destination-ascending) with
+    pair rows re-ordered to first-need — while every temporary stays
+    O(iteration) and the only sorts are radix-friendly ``int16`` keys.
+    The equality is pinned by the comm-plan property tests in
+    ``tests/test_compiled_engine.py``.
+    """
+
+    def __init__(self, n_tasks: int, n_data: int, num_nodes: int,
+                 n_reads: int = 0) -> None:
+        self.num_nodes = num_nodes
+        self.missing = np.zeros(n_tasks, dtype=np.int32)
+        # Per-version consumer counts are O(iteration width), far below
+        # 2**31: int32 halves the first-touch cost of these two n_data
+        # arrays; cumsum below widens into the int64 ptr rows (safe cast).
+        self._lc_counts = np.zeros(n_data, dtype=np.int32)
+        self._kd_counts = np.zeros(n_data, dtype=np.int32)
+        # Local-consumer and remote-needer ids partition the produced
+        # read edges, so ``n_reads`` bounds both: writing into
+        # preallocated buffers and slicing views at the end replaces the
+        # per-column concatenation copies of a chunk-list design (the
+        # finish()-time copies were a measurable slice of paper-scale
+        # build time).  Pair rows stay chunked — there are few of them.
+        self._lc = np.empty(n_reads, dtype=np.int32)
+        self._rn = np.empty(n_reads, dtype=np.int32)
+        self._pd_chunks: List[np.ndarray] = []
+        self._pdst_chunks: List[np.ndarray] = []
+        self._pstart_chunks: List[np.ndarray] = []
+        self._pcount_chunks: List[np.ndarray] = []
+        self._lc_len = 0
+        self._rn_len = 0
+
+    def _lc_append(self, ids: npt.NDArray[np.int32]) -> None:
+        n = len(ids)
+        if self._lc_len + n > len(self._lc):  # pragma: no cover - resize
+            grow = max(len(self._lc) * 2, self._lc_len + n, 1024)
+            nbuf = np.empty(grow, dtype=np.int32)
+            nbuf[: self._lc_len] = self._lc[: self._lc_len]
+            self._lc = nbuf
+        self._lc[self._lc_len : self._lc_len + n] = ids
+        self._lc_len += n
+
+    def add_single_local(
+        self, d0: int, readers: npt.NDArray[np.int32]
+    ) -> None:
+        """Versions ``d0 .. d0+len(readers)`` each read once, locally.
+
+        (The "previous version" reads of the direct algorithms: the next
+        op on a tile runs on the tile's owner, so the edge never crosses
+        nodes and each version has exactly one consumer.)
+        """
+        n = len(readers)
+        self._lc_counts[d0 : d0 + n] = 1
+        self._lc_append(readers)
+
+    def add_fanout(
+        self,
+        d0: int,
+        src_of_rel: npt.NDArray[np.int32],
+        rel: npt.NDArray[np.int64],
+        readers: npt.NDArray[np.int32],
+        nodes: npt.NDArray[np.int32],
+    ) -> None:
+        """Produced versions ``d0 + rel`` read by ``readers`` at ``nodes``.
+
+        Edges must arrive grouped by ``rel`` ascending with readers in
+        task order within each group — the global edge order restricted
+        to this iteration, which is what makes first-need positions
+        comparable without global indices.
+        """
+        nd = len(src_of_rel)
+        local = nodes == src_of_rel[rel]
+        self._lc_counts[d0 : d0 + nd] = np.bincount(rel[local], minlength=nd)
+        self._lc_append(readers[local])
+        remote = ~local
+        n_remote = int(remote.sum())
+        if n_remote == 0:
+            return
+        rrel = rel[remote]
+        rdst = nodes[remote]
+        rrd = readers[remote]
+        pos = np.flatnonzero(remote)
+        nn = self.num_nodes
+        key64 = rrel * nn + rdst
+        max_key = nd * nn
+        key = key64.astype(np.int16) if max_key <= 32767 else key64
+        order = np.argsort(key, kind="stable")
+        skey = key[order]
+        head = np.empty(n_remote, dtype=bool)
+        head[0] = True
+        np.not_equal(skey[1:], skey[:-1], out=head[1:])
+        starts = np.flatnonzero(head)
+        counts = np.diff(np.append(starts, n_remote))
+        if self._rn_len + n_remote > len(self._rn):  # pragma: no cover
+            grow = max(len(self._rn) * 2, self._rn_len + n_remote, 1024)
+            nbuf = np.empty(grow, dtype=np.int32)
+            nbuf[: self._rn_len] = self._rn[: self._rn_len]
+            self._rn = nbuf
+        self._rn[self._rn_len : self._rn_len + n_remote] = rrd[order]
+        firsts = order[starts]
+        prel = rrel[firsts]
+        pdst = rdst[firsts]
+        first_pos = pos[firsts]
+        kd = np.lexsort((first_pos, prel))
+        self._pd_chunks.append(d0 + prel[kd])
+        self._pdst_chunks.append(pdst[kd].astype(np.int32))
+        self._pstart_chunks.append(self._rn_len + starts[kd].astype(np.int64))
+        self._pcount_chunks.append(counts[kd].astype(np.int64))
+        self._kd_counts[d0 : d0 + nd] = np.bincount(prel, minlength=nd)
+        self._rn_len += n_remote
+
+    def finish(self) -> CommPlan:
+        n_data = len(self._lc_counts)
+        lc_ptr = np.zeros(n_data + 1, dtype=np.int64)
+        np.cumsum(self._lc_counts, out=lc_ptr[1:])
+        kd_ptr = np.zeros(n_data + 1, dtype=np.int64)
+        np.cumsum(self._kd_counts, out=kd_ptr[1:])
+        return CommPlan(
+            missing=self.missing,
+            lc_ptr=lc_ptr,
+            lc_ids=self._lc[: self._lc_len],
+            pair_data=_concat(self._pd_chunks, np.int64),
+            pair_dst=_concat(self._pdst_chunks, np.int32),
+            pair_rn_start=_concat(self._pstart_chunks, np.int64),
+            pair_rn_count=_concat(self._pcount_chunks, np.int64),
+            rn_ids=self._rn[: self._rn_len],
+            kd_ptr=kd_ptr,
+            # The direct algorithms never read an initial version off its
+            # home node (iteration-0 readers run on the tile's owner).
+            initial_sources=(),
+        )
+
+
 def compile_cholesky(N: int, b: int, dist: Distribution) -> CompiledGraph:
-    """Arrays of ``build_cholesky_graph(N, b, dist)``, built directly.
+    """Arrays of ``build_cholesky_graph(N, b, dist)``, built streamed.
 
     Emits the exact task/version numbering of
     :func:`repro.graph.cholesky.cholesky_phase` — POTRF, the TRSM panel,
-    then per-column SYRK + GEMMs, iteration by iteration — using O(N)
-    vectorized batches.  Version bookkeeping exploits the closed form of
-    Algorithm 1: the update of iteration ``i`` reads version ``i`` of
-    every trailing tile and writes version ``i + 1``.
+    then per-column SYRK + GEMMs, iteration by iteration — writing each
+    iteration's batch straight into preallocated output buffers (the
+    totals are closed-form), so no per-iteration Python lists or CSR
+    intermediates are ever materialized.  Version bookkeeping exploits
+    the closed form of Algorithm 1: the update of iteration ``i`` reads
+    version ``i`` of every trailing tile and writes version ``i + 1``.
+    The communication plan is accumulated in the same pass (see
+    :class:`_StreamedPlanState`): every version's consumers are known
+    analytically, which removes the global edge sorts entirely.
     """
     if N < 1:
         raise ValueError(f"need at least one tile, got N={N}")
@@ -469,86 +644,155 @@ def compile_cholesky(N: int, b: int, dist: Distribution) -> CompiledGraph:
     f_syrk = kernel_flops("SYRK", b)
     f_gemm = kernel_flops("GEMM", b)
 
-    kinds_p: List[np.ndarray] = []
-    node_p: List[np.ndarray] = []
-    flops_p: List[np.ndarray] = []
-    iter_p: List[np.ndarray] = []
-    nread_p: List[np.ndarray] = []
-    reads_p: List[np.ndarray] = []
+    # Exact output sizes: iteration i has m(m+1)/2 tasks (m = N - i) and
+    # 1 + 2(m-1) + [2 + 3(m-2)](m-1)/2 reads... summed in exact ints.
+    n_tasks = N * (N + 1) * (N + 2) // 6
+    n_reads = sum(
+        1 + 2 * (m - 1) + 2 * (m - 1) + 3 * ((m - 1) * (m - 2) // 2)
+        for m in range(1, N + 1)
+    )
+    kinds = np.empty(n_tasks, dtype=np.int16)
+    node = np.empty(n_tasks, dtype=np.int32)
+    flops = np.empty(n_tasks, dtype=np.float64)
+    iteration = np.empty(n_tasks, dtype=np.int32)
+    read_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+    read_ids = np.empty(n_reads, dtype=np.int32)
     levels: List[Tuple[int, int]] = []
+    plan = _StreamedPlanState(
+        n_tasks, n_init + n_tasks, int(owners.max()) + 1, n_reads
+    )
 
     tid = 0
+    rpos = 0
+    prev_up_d0 = -1  # data id of the previous iteration's first update out
     tril_owner = owners  # owner(i, j) for i >= j is owners[i, j] directly
     for i in range(N):
         m = N - i  # trailing block size including the pivot column
+        base = tid
+        ntasks_i = m * (m + 1) // 2
         rows = np.arange(i + 1, N, dtype=np.int64)
+
+        if i > 0:
+            # Every iteration-i task reads its tile's previous version
+            # (written last iteration, on the same node): one local
+            # consumer per version, in matching ascending order.  These
+            # are the lowest data ids consumed this iteration, so they
+            # must be accumulated before the fan-out groups below.
+            plan.add_single_local(
+                prev_up_d0,
+                np.arange(base, base + ntasks_i, dtype=np.int32),
+            )
 
         # POTRF(i, i): reads the current diagonal version.
         diag_tile = tri_id(np.int64(i), np.int64(i))
-        kinds_p.append(np.full(1, POTRF))
-        node_p.append(owners[i, i][None])
-        flops_p.append(np.full(1, f_potrf))
-        iter_p.append(np.full(1, i))
-        nread_p.append(np.full(1, 1))
-        reads_p.append(cur[diag_tile][None])
+        kinds[tid] = POTRF
+        node[tid] = owners[i, i]
+        flops[tid] = f_potrf
+        iteration[tid] = i
+        read_ptr[tid + 1] = rpos + 1
+        read_ids[rpos] = cur[diag_tile]
+        rpos += 1
         diag_ver = n_init + tid
         cur[diag_tile] = diag_ver
         levels.append((tid, tid + 1))
         tid += 1
 
-        if m == 1:
-            continue
+        if m > 1:
+            # TRSM panel: tiles (j, i), j = i+1..N-1, reads (prev, diag).
+            panel_tiles = tri_id(rows, np.int64(i))
+            trsm_nodes = tril_owner[rows, i]
+            sl = slice(tid, tid + m - 1)
+            kinds[sl] = TRSM
+            node[sl] = trsm_nodes
+            flops[sl] = f_trsm
+            iteration[sl] = i
+            read_ptr[tid + 1 : tid + m] = rpos + 2 * np.arange(
+                1, m, dtype=np.int64
+            )
+            rv = read_ids[rpos : rpos + 2 * (m - 1)]
+            rv[0::2] = cur[panel_tiles]
+            rv[1::2] = diag_ver
+            rpos += 2 * (m - 1)
+            trsm_out0 = n_init + tid  # output id of TRSM(i+1, i)
+            cur[panel_tiles] = trsm_out0 + np.arange(m - 1)
+            levels.append((tid, tid + m - 1))
+            tid += m - 1
 
-        # TRSM panel: tiles (j, i), j = i+1..N-1, reads (prev, diag).
-        panel_tiles = tri_id(rows, np.int64(i))
-        kinds_p.append(np.full(m - 1, TRSM))
-        node_p.append(tril_owner[rows, i])
-        flops_p.append(np.full(m - 1, f_trsm))
-        iter_p.append(np.full(m - 1, i))
-        nread_p.append(np.full(m - 1, 2))
-        trsm_reads = np.empty(2 * (m - 1), dtype=np.int64)
-        trsm_reads[0::2] = cur[panel_tiles]
-        trsm_reads[1::2] = diag_ver
-        reads_p.append(trsm_reads)
-        trsm_out0 = n_init + tid  # output id of TRSM(i+1, i)
-        cur[panel_tiles] = trsm_out0 + np.arange(m - 1)
-        levels.append((tid, tid + m - 1))
-        tid += m - 1
+            # Trailing update: per column k (ascending), SYRK(k, k) then
+            # GEMM(j, k) for j = k+1..N-1 — column-major enumeration of
+            # the trailing lower triangle.
+            lens = (N - rows).astype(np.int64)
+            kk = np.repeat(rows, lens)
+            n_up = len(kk)
+            seg0 = np.zeros(m - 1, dtype=np.int64)
+            np.cumsum(lens[:-1], out=seg0[1:])
+            up_j = np.arange(n_up, dtype=np.int64) - np.repeat(
+                seg0, lens
+            ) + kk
+            is_syrk = up_j == kk
+            up_tiles = tri_id(up_j, kk)
+            a_ki = trsm_out0 + (kk - i - 1)  # TRSM out of col tile (k, i)
+            a_ji = trsm_out0 + (up_j - i - 1)
+            up_base = tid
+            sl = slice(tid, tid + n_up)
+            kinds[sl] = np.where(is_syrk, SYRK, GEMM)
+            up_nodes = tril_owner[up_j, kk]
+            node[sl] = up_nodes
+            flops[sl] = np.where(is_syrk, f_syrk, f_gemm)
+            iteration[sl] = i
+            nread = np.where(is_syrk, 2, 3)
+            starts = np.zeros(n_up, dtype=np.int64)
+            np.cumsum(nread[:-1], out=starts[1:])
+            nr_up = int(starts[-1]) + int(nread[-1])
+            read_ptr[tid + 1 : tid + 1 + n_up] = (
+                rpos + starts + nread
+            )
+            rv = read_ids[rpos : rpos + nr_up]
+            # SYRK reads (prev, a_ki); GEMM reads (prev, a_ji, a_ki).
+            rv[starts] = cur[up_tiles]
+            rv[starts + 1] = np.where(is_syrk, a_ki, a_ji)
+            rv[starts[~is_syrk] + 2] = a_ki[~is_syrk]
+            rpos += nr_up
+            cur[up_tiles] = n_init + tid + np.arange(n_up)
+            levels.append((tid, tid + n_up))
+            tid += n_up
 
-        # Trailing update: per column k (ascending), SYRK(k, k) then
-        # GEMM(j, k) for j = k+1..N-1 — column-major enumeration of the
-        # trailing lower triangle.
-        kk = np.repeat(rows, (N - rows).astype(np.int64))
-        up_j = np.concatenate(
-            [np.arange(k, N, dtype=np.int64) for k in rows]
-        )
-        n_up = len(kk)
-        is_syrk = up_j == kk
-        up_tiles = tri_id(up_j, kk)
-        a_ki = trsm_out0 + (kk - i - 1)  # TRSM output of column tile (k, i)
-        a_ji = trsm_out0 + (up_j - i - 1)
-        kinds_p.append(np.where(is_syrk, SYRK, GEMM))
-        node_p.append(tril_owner[up_j, kk])
-        flops_p.append(np.where(is_syrk, f_syrk, f_gemm))
-        iter_p.append(np.full(n_up, i))
-        nread = np.where(is_syrk, 2, 3)
-        nread_p.append(nread)
-        starts = np.zeros(n_up, dtype=np.int64)
-        np.cumsum(nread[:-1], out=starts[1:])
-        up_reads = np.empty(int(nread.sum()), dtype=np.int64)
-        # SYRK reads (prev, a_ki); GEMM reads (prev, a_ji, a_ki).
-        up_reads[starts] = cur[up_tiles]
-        up_reads[starts + 1] = np.where(is_syrk, a_ki, a_ji)
-        up_reads[starts[~is_syrk] + 2] = a_ki[~is_syrk]
-        reads_p.append(up_reads)
-        cur[up_tiles] = n_init + tid + np.arange(n_up)
-        levels.append((tid, tid + n_up))
-        tid += n_up
+            # Comm plan: the POTRF output fans out to the panel, each
+            # TRSM output to its row/column of the trailing update.
+            q = np.arange(m - 1, dtype=np.int64)
+            off_up = q * (m - 1) - q * (q - 1) // 2  # first task of col k
+            T, Q = q[None, :], q[:, None]
+            # Readers of TRSM output q (column c = i+1+q): GEMM(c, k) for
+            # k < c — position off[t] + (q - t) in column t — then
+            # SYRK(c, c) and GEMM(j, c) at off[q] + (t - q).
+            R = up_base + np.where(T < Q, off_up[T] - T + Q,
+                                   off_up[Q] - Q + T)
+            rel = np.concatenate(
+                [np.zeros(m - 1, dtype=np.int64),
+                 np.repeat(q + 1, m - 1)]
+            )
+            trsm_ids = np.arange(base + 1, base + m, dtype=np.int32)
+            readers = np.concatenate(
+                [trsm_ids, R.astype(np.int32).ravel()]
+            )
+            nodes = np.concatenate(
+                [trsm_nodes, up_nodes[R - up_base].ravel()]
+            )
+            src_of_rel = np.concatenate(
+                [owners[i, i][None], trsm_nodes]
+            )
+            plan.add_fanout(diag_ver, src_of_rel, rel, readers, nodes)
+            miss = np.bincount(
+                readers.astype(np.int64) - base, minlength=ntasks_i
+            ).astype(np.int32)
+        else:
+            miss = np.zeros(1, dtype=np.int32)
 
-    n_tasks = tid
-    read_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
-    np.cumsum(_concat(nread_p, np.int64), out=read_ptr[1:])
-    node = _concat(node_p, np.int32)
+        if i > 0:
+            miss += 1  # the (local, produced) previous-version read
+        plan.missing[base : base + ntasks_i] = miss
+        prev_up_d0 = n_init + base + (m if m > 1 else 1)
+
     data_producer = np.concatenate(
         [np.full(n_init, -1, dtype=np.int32),
          np.arange(n_tasks, dtype=np.int32)]
@@ -564,29 +808,32 @@ def compile_cholesky(N: int, b: int, dist: Distribution) -> CompiledGraph:
         width=0,
         element_size=8,
         kind_names=list(CANONICAL_KINDS),
-        kind_codes=_concat(kinds_p, np.int16),
+        kind_codes=kinds,
         node=node,
-        flops=_concat(flops_p, np.float64),
-        iteration=_concat(iter_p, np.int32),
+        flops=flops,
+        iteration=iteration,
         priority=np.zeros(n_tasks, dtype=np.float64),
         write_id=(n_init + np.arange(n_tasks)).astype(np.int32),
         read_ptr=read_ptr,
-        read_ids=_concat(reads_p, np.int32),
+        read_ids=read_ids,
         n_init=n_init,
         data_producer=data_producer,
         data_source_node=data_source_node,
         data_nbytes=np.full(n_init + n_tasks, b * b * 8, dtype=np.int64),
         data_keys=None,
         level_ranges=levels,
+        _plan=plan.finish(),
     )
 
 
 def compile_lu(N: int, b: int, dist: Distribution) -> CompiledGraph:
-    """Arrays of ``build_lu_graph(N, b, dist)``, built directly.
+    """Arrays of ``build_lu_graph(N, b, dist)``, built streamed.
 
     Same scheme as :func:`compile_cholesky` on the full (nonsymmetric)
     tile grid: GETRF, the L panel (column), the U panel (row), then the
-    trailing GEMM_LU block in row-major order, iteration by iteration.
+    trailing GEMM_LU block in row-major order, iteration by iteration —
+    each batch written straight into preallocated buffers with the
+    communication plan accumulated analytically in the same pass.
     """
     if N < 1:
         raise ValueError(f"need at least one tile, got N={N}")
@@ -603,104 +850,177 @@ def compile_lu(N: int, b: int, dist: Distribution) -> CompiledGraph:
     f_trsm = kernel_flops("TRSM_L", b)
     f_gemm = kernel_flops("GEMM_LU", b)
 
-    kinds_p: List[np.ndarray] = []
-    node_p: List[np.ndarray] = []
-    flops_p: List[np.ndarray] = []
-    iter_p: List[np.ndarray] = []
-    nread_p: List[np.ndarray] = []
-    reads_p: List[np.ndarray] = []
+    # Iteration i has m^2 tasks (m = N - i): 1 + 2(m-1) + (m-1)^2.
+    n_tasks = sum(m * m for m in range(1, N + 1))
+    n_reads = sum(
+        1 + 4 * (m - 1) + 3 * (m - 1) * (m - 1) for m in range(1, N + 1)
+    )
+    kinds = np.empty(n_tasks, dtype=np.int16)
+    node = np.empty(n_tasks, dtype=np.int32)
+    flops = np.empty(n_tasks, dtype=np.float64)
+    iteration = np.empty(n_tasks, dtype=np.int32)
+    read_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
+    read_ids = np.empty(n_reads, dtype=np.int32)
     levels: List[Tuple[int, int]] = []
+    plan = _StreamedPlanState(
+        n_tasks, n_init + n_tasks, int(owners.max()) + 1, n_reads
+    )
 
     tid = 0
+    rpos = 0
+    prev_up_d0 = -1
     for i in range(N):
         m = N - i
+        base = tid
+        ntasks_i = m * m
         rows = np.arange(i + 1, N, dtype=np.int64)
 
+        if i > 0:
+            # Previous versions of the m x m active block, written last
+            # iteration by its GEMM_LU grid in the same row-major order;
+            # all local, one reader each: GETRF / TRSM_U row, then per
+            # trailing row TRSM_L followed by the GEMM_LU row.
+            a_readers = np.empty((m, m), dtype=np.int32)
+            a_readers[0, 0] = base
+            a_readers[0, 1:] = base + m + np.arange(m - 1)
+            a_readers[1:, 0] = base + 1 + np.arange(m - 1)
+            a_readers[1:, 1:] = (
+                base + 2 * m - 1
+                + np.arange((m - 1) * (m - 1)).reshape(m - 1, m - 1)
+            )
+            plan.add_single_local(prev_up_d0, a_readers.ravel())
+
         diag_tile = i * N + i
-        kinds_p.append(np.full(1, GETRF))
-        node_p.append(owners[i, i][None])
-        flops_p.append(np.full(1, f_getrf))
-        iter_p.append(np.full(1, i))
-        nread_p.append(np.full(1, 1))
-        reads_p.append(cur[diag_tile][None])
+        kinds[tid] = GETRF
+        node[tid] = owners[i, i]
+        flops[tid] = f_getrf
+        iteration[tid] = i
+        read_ptr[tid + 1] = rpos + 1
+        read_ids[rpos] = cur[diag_tile]
+        rpos += 1
         diag_ver = n_init + tid
         cur[diag_tile] = diag_ver
         levels.append((tid, tid + 1))
         tid += 1
 
-        if m == 1:
-            continue
+        if m > 1:
+            # L panel: tiles (j, i), reads (prev, diag).
+            l_tiles = rows * N + i
+            l_nodes = owners[rows, i]
+            sl = slice(tid, tid + m - 1)
+            kinds[sl] = TRSM_L
+            node[sl] = l_nodes
+            flops[sl] = f_trsm
+            iteration[sl] = i
+            read_ptr[tid + 1 : tid + m] = rpos + 2 * np.arange(
+                1, m, dtype=np.int64
+            )
+            rv = read_ids[rpos : rpos + 2 * (m - 1)]
+            rv[0::2] = cur[l_tiles]
+            rv[1::2] = diag_ver
+            rpos += 2 * (m - 1)
+            l_out0 = n_init + tid
+            cur[l_tiles] = l_out0 + np.arange(m - 1)
+            levels.append((tid, tid + m - 1))
+            tid += m - 1
 
-        # L panel: tiles (j, i), reads (prev, diag).
-        l_tiles = rows * N + i
-        kinds_p.append(np.full(m - 1, TRSM_L))
-        node_p.append(owners[rows, i])
-        flops_p.append(np.full(m - 1, f_trsm))
-        iter_p.append(np.full(m - 1, i))
-        nread_p.append(np.full(m - 1, 2))
-        l_reads = np.empty(2 * (m - 1), dtype=np.int64)
-        l_reads[0::2] = cur[l_tiles]
-        l_reads[1::2] = diag_ver
-        reads_p.append(l_reads)
-        l_out0 = n_init + tid
-        cur[l_tiles] = l_out0 + np.arange(m - 1)
-        levels.append((tid, tid + m - 1))
-        tid += m - 1
+            # U panel: tiles (i, k), reads (prev, diag).
+            u_tiles = i * N + rows
+            u_nodes = owners[i, rows]
+            sl = slice(tid, tid + m - 1)
+            kinds[sl] = TRSM_U
+            node[sl] = u_nodes
+            flops[sl] = f_trsm
+            iteration[sl] = i
+            read_ptr[tid + 1 : tid + m] = rpos + 2 * np.arange(
+                1, m, dtype=np.int64
+            )
+            rv = read_ids[rpos : rpos + 2 * (m - 1)]
+            rv[0::2] = cur[u_tiles]
+            rv[1::2] = diag_ver
+            rpos += 2 * (m - 1)
+            u_out0 = n_init + tid
+            cur[u_tiles] = u_out0 + np.arange(m - 1)
+            levels.append((tid, tid + m - 1))
+            tid += m - 1
 
-        # U panel: tiles (i, k), reads (prev, diag).
-        u_tiles = i * N + rows
-        kinds_p.append(np.full(m - 1, TRSM_U))
-        node_p.append(owners[i, rows])
-        flops_p.append(np.full(m - 1, f_trsm))
-        iter_p.append(np.full(m - 1, i))
-        nread_p.append(np.full(m - 1, 2))
-        u_reads = np.empty(2 * (m - 1), dtype=np.int64)
-        u_reads[0::2] = cur[u_tiles]
-        u_reads[1::2] = diag_ver
-        reads_p.append(u_reads)
-        u_out0 = n_init + tid
-        cur[u_tiles] = u_out0 + np.arange(m - 1)
-        levels.append((tid, tid + m - 1))
-        tid += m - 1
+            # Trailing block, row-major: (j, k) for j then k ascending;
+            # reads (prev, a_ji, a_ik).
+            up_j = np.repeat(rows, m - 1)
+            up_k = np.tile(rows, m - 1)
+            n_up = (m - 1) * (m - 1)
+            up_tiles = up_j * N + up_k
+            up_base = tid
+            up_nodes = owners[up_j, up_k]
+            sl = slice(tid, tid + n_up)
+            kinds[sl] = GEMM_LU
+            node[sl] = up_nodes
+            flops[sl] = f_gemm
+            iteration[sl] = i
+            read_ptr[tid + 1 : tid + 1 + n_up] = rpos + 3 * np.arange(
+                1, n_up + 1, dtype=np.int64
+            )
+            rv = read_ids[rpos : rpos + 3 * n_up]
+            rv[0::3] = cur[up_tiles]
+            rv[1::3] = l_out0 + (up_j - i - 1)
+            rv[2::3] = u_out0 + (up_k - i - 1)
+            rpos += 3 * n_up
+            cur[up_tiles] = n_init + tid + np.arange(n_up)
+            levels.append((tid, tid + n_up))
+            tid += n_up
 
-        # Trailing block, row-major: (j, k) for j then k ascending;
-        # reads (prev, a_ji, a_ik).
-        up_j = np.repeat(rows, m - 1)
-        up_k = np.tile(rows, m - 1)
-        n_up = len(up_j)
-        up_tiles = up_j * N + up_k
-        kinds_p.append(np.full(n_up, GEMM_LU))
-        node_p.append(owners[up_j, up_k])
-        flops_p.append(np.full(n_up, f_gemm))
-        iter_p.append(np.full(n_up, i))
-        nread_p.append(np.full(n_up, 3))
-        up_reads = np.empty(3 * n_up, dtype=np.int64)
-        up_reads[0::3] = cur[up_tiles]
-        up_reads[1::3] = l_out0 + (up_j - i - 1)
-        up_reads[2::3] = u_out0 + (up_k - i - 1)
-        reads_p.append(up_reads)
-        cur[up_tiles] = n_init + tid + np.arange(n_up)
-        levels.append((tid, tid + n_up))
-        tid += n_up
+            # Comm plan: GETRF output fans out to both panels; L output
+            # j to GEMM_LU row j (consecutive ids); U output k to
+            # GEMM_LU column k (stride m-1).
+            q = np.arange(m - 1, dtype=np.int64)
+            T, Q = q[None, :], q[:, None]
+            grid = up_base + Q * (m - 1) + T  # GEMM_LU id of (row, col)
+            l_ids = np.arange(base + 1, base + m, dtype=np.int32)
+            u_ids = np.arange(base + m, base + 2 * m - 1, dtype=np.int32)
+            grid_nodes = up_nodes.reshape(m - 1, m - 1)
+            rel = np.concatenate(
+                [np.zeros(2 * (m - 1), dtype=np.int64),
+                 np.repeat(q + 1, m - 1),
+                 np.repeat(q + m, m - 1)]
+            )
+            readers = np.concatenate(
+                [l_ids, u_ids,
+                 grid.astype(np.int32).ravel(),
+                 grid.astype(np.int32).T.ravel()]
+            )
+            nodes = np.concatenate(
+                [l_nodes, u_nodes,
+                 grid_nodes.ravel(), grid_nodes.T.ravel()]
+            )
+            src_of_rel = np.concatenate(
+                [owners[i, i][None], l_nodes, u_nodes]
+            )
+            plan.add_fanout(diag_ver, src_of_rel, rel, readers, nodes)
+            miss = np.bincount(
+                readers.astype(np.int64) - base, minlength=ntasks_i
+            ).astype(np.int32)
+        else:
+            miss = np.zeros(1, dtype=np.int32)
 
-    n_tasks = tid
-    read_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
-    np.cumsum(_concat(nread_p, np.int64), out=read_ptr[1:])
-    node = _concat(node_p, np.int32)
+        if i > 0:
+            miss += 1  # the (local, produced) previous-version read
+        plan.missing[base : base + ntasks_i] = miss
+        prev_up_d0 = n_init + base + (2 * m - 1 if m > 1 else 1)
+
     init_home = owners.reshape(-1).astype(np.int32)
     return CompiledGraph(
         b=b,
         width=0,
         element_size=8,
         kind_names=list(CANONICAL_KINDS),
-        kind_codes=_concat(kinds_p, np.int16),
+        kind_codes=kinds,
         node=node,
-        flops=_concat(flops_p, np.float64),
-        iteration=_concat(iter_p, np.int32),
+        flops=flops,
+        iteration=iteration,
         priority=np.zeros(n_tasks, dtype=np.float64),
         write_id=(n_init + np.arange(n_tasks)).astype(np.int32),
         read_ptr=read_ptr,
-        read_ids=_concat(reads_p, np.int32),
+        read_ids=read_ids,
         n_init=n_init,
         data_producer=np.concatenate(
             [np.full(n_init, -1, dtype=np.int32),
@@ -710,4 +1030,5 @@ def compile_lu(N: int, b: int, dist: Distribution) -> CompiledGraph:
         data_nbytes=np.full(n_init + n_tasks, b * b * 8, dtype=np.int64),
         data_keys=None,
         level_ranges=levels,
+        _plan=plan.finish(),
     )

@@ -14,7 +14,17 @@ the loop:
 * the missing-input counters live in one ``bytearray``;
 * the common ``write_id[t] == n_init + t`` layout of the direct compilers
   is detected and replaced by arithmetic, skipping a 10M-entry table;
-* CSR adjacency is sliced from pre-lowered Python lists.
+* CSR adjacency and the numeric per-task/per-pair columns are indexed
+  through zero-copy ``memoryview``s of the plan's contiguous numpy
+  arrays — boxed-number-free storage (8 bytes per entry instead of a
+  pointer to a boxed number each) without duplicating the buffers.
+
+For the lean configuration (direct broadcast, untraced, unsynchronized,
+fault-free, default queue) the serve loop also exists as a flat-array
+kernel in :mod:`._kernel`, numba-compiled when available and selected
+with ``simulate_compiled(..., kernel="auto"|"jit")``; the loop in this
+module is the always-available fallback and the reference for the
+kernel's equality tests.
 
 The transcription is deliberately statement-by-statement faithful to the
 object engine, including the order in which events are pushed (the heap
@@ -58,6 +68,7 @@ def simulate_compiled(
     recorder: Optional[Recorder] = None,
     faults: Optional[FaultPlan] = None,
     scheduler=None,
+    kernel: str = "auto",
 ) -> SimReport:
     """Simulate a compiled graph on ``machine``.
 
@@ -65,6 +76,23 @@ def simulate_compiled(
     that custom task durations are passed as a per-task array
     (``durations``) rather than a callable.  Returns the same
     :class:`SimReport`.
+
+    ``kernel`` selects the implementation of the inner serve loop:
+
+    * ``"numpy"`` — the pure-Python/numpy event loop below (always
+      available, always tested);
+    * ``"jit"`` — the numba-compiled flat-array kernel
+      (:mod:`repro.runtime.simulator._kernel`); raises if numba is not
+      installed or the run needs features the kernel does not cover
+      (trace, ``synchronized``, faults, tree broadcast, aggregation,
+      custom ready queues);
+    * ``"interp"`` — the same flat-array kernel run uncompiled: slow,
+      but lets the suite pin the kernel's event ordering without numba;
+    * ``"auto"`` (default) — ``"jit"`` when numba is importable and the
+      run is kernel-eligible, else ``"numpy"``.
+
+    All kernels produce bit-identical makespan/bytes/messages (asserted
+    against the object engine in ``tests/test_compiled_engine.py``).
 
     ``scheduler`` names a policy from :data:`repro.schedulers.POLICIES`
     (or passes a ``SchedulerInterface`` instance).  Plans are applied to
@@ -88,10 +116,12 @@ def simulate_compiled(
         raise ValueError(
             f"graph uses {cg.nodes_used()} nodes but machine has {machine.nodes}"
         )
+    if kernel not in ("auto", "numpy", "jit", "interp"):
+        raise ValueError(f"unknown kernel {kernel!r}")
     num_nodes = machine.nodes
     if durations is None:
-        kernel = machine.kernel
-        durations = kernel.overhead + cg.flops / kernel.rate(cg.b)
+        mkern = machine.kernel
+        durations = mkern.overhead + cg.flops / mkern.rate(cg.b)
 
     # --- scheduler policy (repro.schedulers) --------------------------------
     # Applied before any lowering so node / priority columns and the comm
@@ -138,6 +168,33 @@ def simulate_compiled(
 
     plan = cg.comm_plan()
 
+    # --- kernel dispatch ----------------------------------------------------
+    # The flat-array kernel covers the lean configuration only — exactly
+    # the runs the numpy path below serves with its inlined loop.
+    want_trace = trace or (recorder is not None and recorder.enabled)
+    kernel_ok = (
+        not want_trace
+        and not synchronized
+        and faults is None
+        and cqueue is None
+        and broadcast == "direct"
+        and not aggregate
+    )
+    if kernel in ("jit", "interp"):
+        if not kernel_ok:
+            raise ValueError(
+                f"kernel={kernel!r} supports only direct-broadcast, "
+                "untraced, unsynchronized, fault-free runs with the "
+                "default ready queue; use kernel='numpy' (or 'auto') "
+                "for this configuration"
+            )
+        return _run_kernel(cg, machine, plan, durations, kernel)
+    if kernel == "auto" and kernel_ok:
+        from . import _kernel as _k
+
+        if _k.numba_available():
+            return _run_kernel(cg, machine, plan, durations, "jit")
+
     # --- lowered per-run state ---------------------------------------------
     # ``bytes``/``bytearray`` columns index ~as fast as lists but without a
     # pointer per entry: at N = 400 the task columns alone would otherwise
@@ -161,9 +218,15 @@ def simulate_compiled(
         )
     )
     write_l = None if write_dense else cg.write_id.tolist()
-    dur_l = durations.tolist()
-    # Ready-queue keys are -priority; pre-negate once.
-    negprio_l = np.negative(cg.priority).tolist()
+    # Numeric columns are indexed through ``memoryview``s of contiguous
+    # numpy arrays: indexing boxes a fresh int/float per access exactly
+    # like ``array.array`` (same speed, measured), but the views are
+    # zero-copy — at N = 400, copying these columns into ``array.array``
+    # buffers would duplicate ~470 MB that the plan already holds.
+    dur_l = memoryview(np.ascontiguousarray(durations, dtype=np.float64))
+    # Ready-queue keys are -priority; pre-negate once (the view keeps the
+    # negated array alive).
+    negprio_l = memoryview(np.negative(cg.priority))
     # A custom ReadyQueue takes the un-negated priority (same argument the
     # object engine hands its queue).
     prio_l = cg.priority.tolist() if cqueue is not None else None
@@ -172,22 +235,19 @@ def simulate_compiled(
         missing = bytearray(mi.astype(np.uint8).tobytes())
     else:
         missing = mi.tolist()
-    lc_ptr = plan.lc_ptr.tolist()
+    lc_ptr = memoryview(np.ascontiguousarray(plan.lc_ptr))
     # kd_ptr is consulted per *message* (rare), but "does this data have
     # remote destinations at all" per *task* (hot): a bytes bitmap answers
     # the hot question in one index with no boxed-int churn.
-    kd_ptr = plan.kd_ptr
-    has_remote = (np.diff(kd_ptr) != 0).astype(np.uint8).tobytes()
-    pair_dst = plan.pair_dst.tolist()
-    rn_start = plan.pair_rn_start.tolist()
-    rn_count = plan.pair_rn_count.tolist()
+    has_remote = (np.diff(plan.kd_ptr) != 0).astype(np.uint8).tobytes()
+    kd_ptr = memoryview(np.ascontiguousarray(plan.kd_ptr))
+    pair_dst = memoryview(np.ascontiguousarray(plan.pair_dst))
+    rn_start = memoryview(np.ascontiguousarray(plan.pair_rn_start))
+    rn_count = memoryview(np.ascontiguousarray(plan.pair_rn_count))
     nbytes_a = cg.data_nbytes
     # Local-consumer ids are sliced per completed task (many, tiny
-    # slices): pre-lower to a Python list once and cache it across runs.
-    lc_ids = getattr(cg, "_lc_ids_list", None)
-    if lc_ids is None:
-        lc_ids = plan.lc_ids.tolist()
-        cg._lc_ids_list = lc_ids
+    # slices); the view shares the plan's buffer.
+    lc_ids = memoryview(np.ascontiguousarray(plan.lc_ids))
     # Remote-needer slices are large (one per message, all the waiting
     # consumers of one tile on one node), so deliveries decrement their
     # counters in bulk with numpy over a view of the ``missing`` buffer.
@@ -218,20 +278,13 @@ def simulate_compiled(
         red = np.maximum.reduceat(cg.priority[rn_arr], starts[order])
         pair_prio_arr = np.empty(n_pairs, dtype=np.float64)
         pair_prio_arr[order] = red
-        pair_prio = pair_prio_arr.tolist()
+        pair_prio = memoryview(pair_prio_arr)
     else:
-        pair_prio = []
-    # data id * num_nodes + destination -> pair index (int keys hash and
-    # compare faster than tuples); shared across runs on the same machine
-    # size (read-only).
-    cached = getattr(cg, "_pair_index", None)
-    if cached is not None and cached[0] == num_nodes:
-        pair_index: Dict[int, int] = cached[1]
-    else:
-        keys = (plan.pair_data.astype(np.int64) * num_nodes
-                + plan.pair_dst).tolist()
-        pair_index = dict(zip(keys, range(n_pairs)))
-        cg._pair_index = (num_nodes, pair_index)
+        pair_prio = memoryview(np.empty(0, dtype=np.float64))
+    # Deliveries resolve (data, dst) -> pair index by scanning the data's
+    # kd slice (a handful of destinations) instead of a dict keyed on
+    # data*num_nodes+dst: a few boxed compares per message in exchange
+    # for dropping the ~n_pairs-entry dict from the working set.
 
     # --- synchronized-mode bookkeeping -------------------------------------
     if synchronized:
@@ -443,7 +496,7 @@ def simulate_compiled(
     for d, home in plan.initial_sources:
         request_transfers(d, home, 0.0)
 
-    delivered_pairs = set()
+    delivered_pairs = bytearray(n_pairs)
 
     # The loop allocates only acyclic temporaries (event tuples, chunks),
     # reclaimed by refcounting; with tens of millions of live ints in the
@@ -662,9 +715,11 @@ def simulate_compiled(
                     dst = tr.dst
                     end = tr.end
                     for d in tr.keys:
-                        p = pair_index[d * num_nodes + dst]
-                        if p not in delivered_pairs:
-                            delivered_pairs.add(p)
+                        p = kd_ptr[d]
+                        while pair_dst[p] != dst:
+                            p += 1
+                        if not delivered_pairs[p]:
+                            delivered_pairs[p] = 1
                             s0 = rn_start[p]
                             s1 = s0 + rn_count[p]
                             if rn_vec:
@@ -838,9 +893,11 @@ def simulate_compiled(
                     dst = tr.dst
                     end = tr.end
                     for d in tr.keys:
-                        p = pair_index[d * num_nodes + dst]
-                        if p not in delivered_pairs:
-                            delivered_pairs.add(p)
+                        p = kd_ptr[d]
+                        while pair_dst[p] != dst:
+                            p += 1
+                        if not delivered_pairs[p]:
+                            delivered_pairs[p] = 1
                             s0 = rn_start[p]
                             s1 = s0 + rn_count[p]
                             if rn_vec:
@@ -954,4 +1011,132 @@ def simulate_compiled(
         trace=rec.task_events if trace else None,
         transfers=rec.transfer_events if trace else None,
         obs=rec if trace else None,
+    )
+
+
+def _run_kernel(
+    cg: CompiledGraph,
+    machine: MachineSpec,
+    plan,
+    durations: np.ndarray,
+    kernel: str,
+) -> SimReport:
+    """Run the lean event loop via :mod:`._kernel` and build the report.
+
+    ``kernel`` is the resolved mode: ``"jit"`` (numba-compiled) or
+    ``"interp"`` (same source, uncompiled).  Eligibility was checked by
+    the caller; priorities and the comm plan are already final.
+    """
+    from . import _kernel
+
+    n_tasks = cg.n_tasks
+    num_nodes = machine.nodes
+    n_pairs = len(plan.pair_dst)
+    n_data = len(cg.data_nbytes)
+
+    # Source node per data id: the producing task's node, or the declared
+    # home for initial data — exactly the ``src`` the numpy path hands
+    # ``request_transfers`` (correct under scheduler reassignment too,
+    # since ``cg.node`` here is the reassigned column).
+    src_of_data = np.zeros(n_data, dtype=np.int64)
+    wmask = cg.write_id >= 0
+    src_of_data[cg.write_id[wmask]] = cg.node[wmask]
+    for d, home in plan.initial_sources:
+        src_of_data[d] = home
+    pair_src = src_of_data[plan.pair_data]
+    pair_nbytes = cg.data_nbytes[plan.pair_data].astype(np.int64, copy=False)
+
+    # Per-pair transfer priority: max over the waiting tasks (same
+    # reduceat as the numpy path's lowering).
+    if n_pairs:
+        starts = plan.pair_rn_start
+        order = np.argsort(starts, kind="stable")
+        red = np.maximum.reduceat(cg.priority[plan.rn_ids], starts[order])
+        pair_prio = np.empty(n_pairs, dtype=np.float64)
+        pair_prio[order] = red
+    else:
+        pair_prio = np.zeros(0, dtype=np.float64)
+
+    # Misplaced initial data kicks off its transfers at t = 0, pairs in
+    # CSR order per data — the numpy path's kick-off sequence.
+    init: List[int] = []
+    kd_ptr = plan.kd_ptr
+    for d, _home in plan.initial_sources:
+        init.extend(range(int(kd_ptr[d]), int(kd_ptr[d + 1])))
+    init_pairs = np.asarray(init, dtype=np.int64)
+
+    dur = np.ascontiguousarray(durations, dtype=np.float64)
+    negprio = np.negative(cg.priority)
+    missing = plan.missing.astype(np.int32)  # private copy, mutated
+
+    net = NetworkSim(machine.network, num_nodes)
+    if kernel == "jit":
+        try:
+            fn = _kernel.jit_serve_loop()
+        except ImportError as exc:
+            raise RuntimeError(
+                "kernel='jit' requires numba, which is not installed; "
+                "kernel='auto' falls back to the numpy path"
+            ) from exc
+    else:
+        fn = _kernel.serve_loop
+
+    now, total_bytes, total_messages, queued = fn(
+        np.ascontiguousarray(cg.node, dtype=np.int32),
+        dur,
+        negprio,
+        np.ascontiguousarray(cg.write_id, dtype=np.int64),
+        missing,
+        plan.lc_ptr,
+        plan.lc_ids,
+        kd_ptr,
+        plan.pair_dst,
+        pair_prio,
+        pair_nbytes,
+        np.ascontiguousarray(pair_src, dtype=np.int64),
+        plan.pair_rn_start,
+        plan.pair_rn_count,
+        plan.rn_ids,
+        init_pairs,
+        num_nodes,
+        machine.cores,
+        int(net.quantum),
+        float(net._bandwidth),
+        float(net._latency),
+    )
+
+    unready = int(np.count_nonzero(missing))
+    queued = int(queued)
+    done = n_tasks - queued - unready
+    if done != n_tasks:
+        raise RuntimeError(
+            f"simulation deadlock: executed {done}/{n_tasks} tasks "
+            f"(0 blocked on barriers)"
+        )
+
+    kind_names = cg.kind_names
+    busy_time = np.bincount(
+        cg.node, weights=durations, minlength=num_nodes
+    ).tolist()
+    counts = np.bincount(cg.kind_codes, minlength=len(kind_names))
+    kt = np.bincount(cg.kind_codes, weights=durations,
+                     minlength=len(kind_names))
+    time_by_kind = {
+        kind_names[c]: float(kt[c])
+        for c in range(len(kind_names))
+        if counts[c]
+    }
+    return SimReport(
+        makespan=float(now),
+        total_flops=cg.total_flops(),
+        num_nodes=machine.nodes,
+        comm_bytes=int(total_bytes),
+        comm_messages=int(total_messages),
+        busy_time=busy_time,
+        time_by_kind=time_by_kind,
+        num_tasks=n_tasks,
+        cores_per_node=machine.cores,
+        trace=None,
+        transfers=None,
+        obs=None,
     )

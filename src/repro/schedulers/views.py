@@ -21,8 +21,9 @@ the adapter construction (a few attribute stores).
 
 from __future__ import annotations
 
+from array import array
 from functools import cached_property
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -115,13 +116,22 @@ class CompiledGraphView(GraphView):
     def n_tasks(self) -> int:
         return self._cg.n_tasks
 
-    @cached_property
-    def durations(self) -> List[float]:
-        return self._durations.tolist()
+    # The scalar columns are ``array.array`` buffers rather than lists of
+    # boxed numbers: indexing and iteration behave identically (policies
+    # see the same ints/floats in the same order as the object plane's
+    # lists), but a paper-scale graph's view costs 8 bytes per entry
+    # instead of ~32 — policy sweeps at N = 400 keep ~1 GB of boxed
+    # numbers off the worker heap.
 
     @cached_property
-    def node(self) -> List[int]:
-        return self._cg.node.tolist()
+    def durations(self) -> Sequence[float]:
+        return array("d", np.ascontiguousarray(
+            self._durations, dtype=np.float64).tobytes())
+
+    @cached_property
+    def node(self) -> Sequence[int]:
+        return array("i", np.ascontiguousarray(
+            self._cg.node, dtype=np.int32).tobytes())
 
     @cached_property
     def kinds(self) -> List[str]:
@@ -129,16 +139,17 @@ class CompiledGraphView(GraphView):
         return [names[c] for c in self._cg.kind_codes.tolist()]
 
     @cached_property
-    def iterations(self) -> List[int]:
-        return self._cg.iteration.tolist()
+    def iterations(self) -> Sequence[int]:
+        return array("i", np.ascontiguousarray(
+            self._cg.iteration, dtype=np.int32).tobytes())
 
     @cached_property
-    def out_bytes(self) -> List[int]:
+    def out_bytes(self) -> Sequence[int]:
         cg = self._cg
         out = np.zeros(cg.n_tasks, dtype=np.int64)
         has = cg.write_id >= 0
         out[has] = cg.data_nbytes[cg.write_id[has]]
-        return out.tolist()
+        return array("q", out.tobytes())
 
     @cached_property
     def consumers(self) -> List[List[int]]:

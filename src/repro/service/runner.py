@@ -24,8 +24,10 @@ metric registry dump alongside the report.
 
 from __future__ import annotations
 
+import resource
+import threading
 import time
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..graph import (
     build_cholesky_graph,
@@ -39,7 +41,7 @@ from ..graph import (
 from ..obs import Recorder
 from ..runtime.faults import SimulatedFailure
 from ..runtime.simulator import SimReport, simulate, simulate_compiled
-from .hashing import config_digest, point_hash, structure_hash
+from .hashing import config_digest, point_hash, structure_hash, structure_key
 from .jobs import JobSpec
 
 __all__ = [
@@ -108,6 +110,50 @@ def _compile(spec: JobSpec):
     return compile_graph(_build_object_graph(spec))
 
 
+# --------------------------------------------------------------------------
+# incremental re-simulation: worker-side compiled-graph cache
+# --------------------------------------------------------------------------
+# Sweeps routinely vary only network/machine constants, fault seeds or
+# scheduler policies across points — the graph structure (and hence the
+# expensive build + comm plan) is identical.  Each worker keeps the last
+# compiled graph keyed by the spec's structure key and hands it to the
+# next matching point instead of rebuilding.  The cache is *checkout-
+# based*: a graph is removed while in use and returned afterwards, so two
+# thread-executor points can never simulate the same (mutable) instance
+# concurrently — the loser of the race compiles fresh, last check-in
+# wins.  Reuse resets the priority column: simulate's auto-priority sweep
+# keys on ``priority.any()``, and a stale plan's priorities must not leak
+# into the next point (scheduler policies and machine constants change
+# the sweep's input).
+
+_graph_cache_lock = threading.Lock()
+_graph_cache: Optional[Tuple[str, Any]] = None
+
+
+def _checkout_graph(spec: JobSpec, skey: str) -> Tuple[Any, bool]:
+    """(compiled graph, reused?) — reuse only on an exact structure match."""
+    global _graph_cache
+    with _graph_cache_lock:
+        cached = _graph_cache
+        if cached is not None and cached[0] == skey:
+            _graph_cache = None
+            cg = cached[1]
+            cg.priority[:] = 0.0
+            return cg, True
+        # A structure mismatch means the cached graph is about to be
+        # replaced anyway — evict it *before* compiling so the old
+        # graph's memory does not inflate the new build's peak RSS
+        # (ascending-N sweeps would otherwise hold both at once).
+        _graph_cache = None
+    return _compile(spec), False
+
+
+def _checkin_graph(skey: str, cg: Any) -> None:
+    global _graph_cache
+    with _graph_cache_lock:
+        _graph_cache = (skey, cg)
+
+
 def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
     """Execute one sweep point; returns the store-ready record body."""
     spec = JobSpec.from_dict(dict(spec_dict))
@@ -115,13 +161,23 @@ def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
     machine = spec.machine_spec()
     recorder = Recorder(source="service") if spec.collect_metrics else None
 
+    graph_reused = False
+    checkin = None
+
     t0 = time.perf_counter()
     if spec.engine == "compiled":
-        cg = _compile(spec)
-        struct = structure_hash(cg)
+        skey = structure_key(spec)
+        cg, graph_reused = _checkout_graph(spec, skey)
+        # The hash covers only structural arrays (not priorities), so a
+        # reused graph's memoized hash is still exact.
+        struct = getattr(cg, "_structure_hash", None)
+        if struct is None:
+            struct = structure_hash(cg)
+            cg._structure_hash = struct
         t1 = time.perf_counter()
         cg.comm_plan()
         t2 = time.perf_counter()
+        checkin = lambda: _checkin_graph(skey, cg)  # noqa: E731
         runner = lambda: simulate_compiled(  # noqa: E731
             cg, machine,
             synchronized=spec.synchronized,
@@ -130,6 +186,7 @@ def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
             recorder=recorder,
             faults=faults,
             scheduler=spec.policy,
+            kernel=spec.kernel,
         )
     else:
         graph = _build_object_graph(spec)
@@ -156,6 +213,9 @@ def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
         # Seeded crash plans fail deterministically: memoize the outcome.
         status = "failed"
         error = str(exc)
+    finally:
+        if checkin is not None:
+            checkin()
     t3 = time.perf_counter()
 
     metrics = None
@@ -170,6 +230,14 @@ def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
         "error": error,
         "report": report,
         "metrics": metrics,
+        # This process's RSS high-water mark (MiB).  run_point executes in
+        # the worker (executor process or thread), so unlike a parent-side
+        # RUSAGE_SELF read this actually covers the simulation; it is
+        # monotone per worker, hence an upper bound when workers are
+        # reused across points.
+        "peak_rss_mb":
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+        "graph_reused": graph_reused,
         "timings": {
             "build_seconds": t1 - t0,
             "plan_seconds": t2 - t1,

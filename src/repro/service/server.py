@@ -72,6 +72,14 @@ class JobResult:
     timings: Dict[str, float]
     metrics: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    #: RSS high-water mark (MiB) of the worker that simulated the point —
+    #: measured inside :func:`repro.service.runner.run_point`, so it is
+    #: meaningful even when points run in executor processes.  None for
+    #: records stored before this field existed.
+    peak_rss_mb: Optional[float] = None
+    #: True when the worker reused its cached compiled graph for this
+    #: point (incremental re-simulation) instead of rebuilding.
+    graph_reused: bool = False
 
     def raise_for_status(self) -> "JobResult":
         if self.status != "ok":
@@ -91,6 +99,8 @@ def _result_from_record(spec: JobSpec, record: Dict[str, Any],
         timings=dict(record.get("timings", {})),
         metrics=record.get("metrics"),
         error=record.get("error"),
+        peak_rss_mb=record.get("peak_rss_mb"),
+        graph_reused=bool(record.get("graph_reused", False)),
     )
 
 
@@ -120,9 +130,18 @@ class SweepServer:
 
     # -- events --------------------------------------------------------------
 
-    def subscribe(self) -> asyncio.Queue:
-        """A queue receiving every :class:`SweepEvent` from now on."""
-        q: asyncio.Queue = asyncio.Queue()
+    def subscribe(self, maxsize: int = 0) -> asyncio.Queue:
+        """A queue receiving every :class:`SweepEvent` from now on.
+
+        ``maxsize`` bounds the queue (0 = unbounded, the historical
+        behaviour).  A bounded queue sheds load with drop-*oldest*
+        semantics: when a slow consumer falls ``maxsize`` events behind,
+        the oldest pending event is discarded to admit the new one —
+        stalled HTTP streamers see a gap, not unbounded server memory.
+        Dropped events are counted in the ``service.events.dropped``
+        metric.
+        """
+        q: asyncio.Queue = asyncio.Queue(maxsize=maxsize)
         self._subscribers.append(q)
         return q
 
@@ -135,7 +154,24 @@ class SweepServer:
         self.metrics.counter("service.events", "job lifecycle events per op") \
             .inc(labels=(op,))
         for q in self._subscribers:
-            q.put_nowait(ev)
+            try:
+                q.put_nowait(ev)
+            except asyncio.QueueFull:
+                # Drop-oldest: make room, then retry once.  Everything
+                # here runs on the event loop, so get/put cannot race a
+                # consumer mid-sequence.
+                try:
+                    q.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - maxsize=0
+                    pass
+                try:
+                    q.put_nowait(ev)
+                except asyncio.QueueFull:  # pragma: no cover - defensive
+                    pass
+                self.metrics.counter(
+                    "service.events.dropped",
+                    "subscriber events shed by bounded queues (drop-oldest)",
+                ).inc(labels=(op,))
 
     # -- counters ------------------------------------------------------------
 

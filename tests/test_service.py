@@ -35,6 +35,7 @@ from repro.service import (
     config_digest,
     report_to_dict,
     run_point,
+    structure_hash,
     structure_key,
 )
 from repro.service.__main__ import main as service_main
@@ -192,6 +193,42 @@ def test_spec_round_trips_through_json():
     assert config_digest(again) == config_digest(s)
 
 
+def test_structure_hash_ignores_kind_registration_order():
+    """Regression: ``compile_graph`` assigns kind codes in first-seen
+    order, so the raw code table depends on what was lowered earlier in
+    the process.  The structure hash must be invariant under any
+    permutation of the table (and must ignore unused entries)."""
+    import dataclasses
+
+    import numpy as np
+
+    cg = compile_cholesky(NT, B, DIST)
+    names = list(cg.kind_names)
+    # Reverse the table (plus a never-used entry) and remap the codes.
+    permuted_names = list(reversed(names)) + ["never-used-kind"]
+    remap = np.array([permuted_names.index(n) for n in names],
+                     dtype=cg.kind_codes.dtype)
+    permuted = dataclasses.replace(
+        cg,
+        kind_names=permuted_names,
+        kind_codes=remap[cg.kind_codes],
+    )
+    assert structure_hash(permuted) == structure_hash(cg)
+    # Sanity: a *semantic* kind change still rotates the hash.
+    flipped = dataclasses.replace(
+        cg, kind_codes=cg.kind_codes[::-1].copy())
+    assert structure_hash(flipped) != structure_hash(cg)
+
+
+def test_kernel_field_rotates_config_but_not_structure():
+    base = spec()
+    explicit = spec(kernel="numpy")
+    assert config_digest(explicit) != config_digest(base)
+    assert structure_key(explicit) == structure_key(base)
+    with pytest.raises(ValueError, match="kernel"):
+        spec(kernel="cython")
+
+
 # --------------------------------------------------------------------------
 # determinism: memoized reports are bit-identical to fresh runs
 # --------------------------------------------------------------------------
@@ -241,6 +278,37 @@ def test_run_point_is_a_pure_function_of_the_spec():
     assert a["report"] == b["report"]
 
 
+def test_worker_reuses_graph_across_structure_matched_points(tmp_path):
+    """Incremental re-simulation: two points sharing a structure key must
+    build the compiled graph once — and the reused run must stay
+    bit-identical to a from-scratch simulation."""
+    # A tile count no other test uses, so this process's worker cache
+    # cannot already hold the structure.
+    import dataclasses
+
+    nt = 9
+    fast = bora(nodes=DIST.num_nodes)
+    slow = dataclasses.replace(fast, network=dataclasses.replace(
+        fast.network, bandwidth=fast.network.bandwidth / 2))
+    with SweepClient(store=tmp_path / "store") as client:
+        cold = client.submit(spec(ntiles=nt, machine=fast)).raise_for_status()
+        warm = client.submit(spec(ntiles=nt, machine=slow)).raise_for_status()
+    assert not cold.graph_reused
+    assert warm.graph_reused, \
+        "same structure key must reuse the worker's cached graph"
+    assert not warm.cached and warm.hash != cold.hash
+    fresh = simulate_compiled(compile_cholesky(nt, B, DIST), slow)
+    assert report_to_dict(warm.report) == report_to_dict(fresh)
+
+
+def test_result_records_worker_peak_rss(tmp_path):
+    with SweepClient(store=tmp_path / "store") as client:
+        res = client.submit(spec()).raise_for_status()
+    assert res.peak_rss_mb is not None and res.peak_rss_mb > 0.0
+    record = run_point(spec().to_dict())
+    assert record["peak_rss_mb"] > 0.0
+
+
 # --------------------------------------------------------------------------
 # server pipeline: dedup, events, status
 # --------------------------------------------------------------------------
@@ -283,6 +351,36 @@ def test_event_stream_and_status(tmp_path):
         "submitted", "cache-hit",             # warm
     ]
     assert len({e.key for e in events}) == 1  # all about one config digest
+
+
+def test_bounded_subscriber_drops_oldest(tmp_path):
+    """A stalled subscriber with ``maxsize`` set must see the *newest*
+    events (a gap, not unbounded memory), and the shed events must be
+    counted."""
+
+    async def scenario():
+        server = SweepServer(ResultStore(tmp_path / "store"))
+        bounded = server.subscribe(maxsize=2)
+        firehose = server.subscribe()  # unbounded control
+        await server.submit(spec())                 # 3 events
+        await server.submit(spec())                 # 2 more
+        await server.close()
+        return server, bounded, firehose
+
+    server, bounded, firehose = \
+        asyncio.new_event_loop().run_until_complete(scenario())
+    kept = []
+    while not bounded.empty():
+        kept.append(bounded.get_nowait())
+    everything = []
+    while not firehose.empty():
+        everything.append(firehose.get_nowait())
+    assert [e.op for e in everything] == [
+        "submitted", "started", "completed", "submitted", "cache-hit"]
+    # The bounded queue holds exactly the last two events.
+    assert [e.op for e in kept] == ["submitted", "cache-hit"]
+    dropped = server.metrics.get("service.events.dropped")
+    assert dropped is not None and int(dropped.total()) == 3
 
 
 def test_sweep_survives_a_raising_point(tmp_path):
