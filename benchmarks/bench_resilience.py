@@ -1,13 +1,21 @@
-"""Fault-sensitivity sweep: SBC vs 2DBC makespan inflation under faults.
+"""Platform-sensitivity sweeps: SBC vs 2DBC inflation off the happy path.
 
 The paper's headline is that the symmetric block-cyclic distribution
 moves fewer bytes than 2D block-cyclic; this bench asks how that
-advantage holds up when the platform misbehaves.  It sweeps a straggler
-slowdown factor crossed with a transient message-loss rate (seeded
-:class:`repro.runtime.faults.FaultPlan`, so every cell is deterministic
-and reproducible) over both distributions on the same node count, and
-reports each cell's makespan inflation relative to its own fault-free
-baseline plus the retransmitted-message overhead.
+advantage holds up when the platform misbehaves.  Two sweeps:
+
+* **faults** — a straggler slowdown factor crossed with a transient
+  message-loss rate (seeded :class:`repro.runtime.faults.FaultPlan`, so
+  every cell is deterministic and reproducible) over both distributions
+  on the same node count, reporting each cell's makespan inflation
+  relative to its own fault-free baseline plus the retransmitted-message
+  overhead;
+* **topology x heterogeneity** — the same two layouts over routed
+  interconnects (clique / 2D mesh / oversubscribed fat tree, see
+  :mod:`repro.topology`) crossed with per-node speed heterogeneity,
+  reporting inflation relative to the homogeneous clique.  Fewer bytes
+  on the wire should mean less exposure to constrained fabrics — this
+  sweep measures exactly how much.
 
 Since the sweep-service PR this bench is a *thin client*: every cell is
 a :class:`repro.service.JobSpec` submitted through a
@@ -153,6 +161,145 @@ def test_resilience_sweep(run_once, tmp_path):
             "config": {"b": B, "N": N, "sbc_r": SBC_R, "bc_grid": BC_GRID,
                        "seed": SEED, "slowdowns": SLOWDOWNS,
                        "loss_rates": LOSS_RATES, "machine": "bora"},
+            "host": {"python": platform.python_version(),
+                     "machine": platform.machine()},
+            "rows": rows,
+        }
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out}")
+
+
+# --------------------------------------------------------------------------
+# topology x heterogeneity sweep
+# --------------------------------------------------------------------------
+
+#: Interconnect shapes at the bench's node count, built with the bora
+#: effective link constants so the uniform clique reproduces the scalar
+#: network model bit-exactly (the sweep's natural baseline).
+def _topologies(P: int):
+    from repro import topology as tp
+    from repro.config import BORA_EFFECTIVE_NETWORK as net
+
+    bw, lat = net.bandwidth, net.latency
+    return [
+        ("clique", tp.clique(P, bw, lat)),
+        ("mesh-4x7", tp.grid(4, 7, bw, lat)),
+        ("fat-tree-2:1", tp.fat_tree(P, arity=7, bandwidth=bw, latency=lat,
+                                     uplink_bandwidth=3.5 * bw)),
+    ]
+
+
+#: Heterogeneity levels: homogeneous, and every 4th node at half speed.
+def _hetero_levels(P: int):
+    from repro.topology import Heterogeneity
+
+    return [
+        ("homog", None),
+        ("mixed", Heterogeneity.alternating(P, slow_speed=0.5, period=4)),
+    ]
+
+
+def _topo_cells():
+    """(dist, topo_name, hetero_name, JobSpec) in sweep order."""
+    from dataclasses import replace
+
+    sbc = SymmetricBlockCyclic(SBC_R)
+    bc = BlockCyclic2D(*BC_GRID)
+    P = sbc.num_nodes
+    machine = bora(nodes=P)
+    out = []
+    for dist in (sbc, bc):
+        for tname, topo in _topologies(P):
+            for hname, het in _hetero_levels(P):
+                routed = topo if het is None else topo.with_heterogeneity(het)
+                spec = JobSpec.make(
+                    "cholesky", N, B, dist,
+                    replace(machine, topology=routed), engine="compiled",
+                )
+                out.append((dist, tname, hname, spec))
+    return out
+
+
+def topo_sweep(client: SweepClient):
+    """Submit every topology cell; rows with inflation vs clique/homog."""
+    cells = _topo_cells()
+    results = client.sweep([spec for _, _, _, spec in cells])
+    rows = []
+    for (dist, tname, hname, _), res in zip(cells, results):
+        rep = res.raise_for_status().report
+        rows.append({
+            "dist": dist.name,
+            "topology": tname,
+            "hetero": hname,
+            "N": N,
+            "makespan_seconds": rep.makespan,
+            "comm_bytes": rep.comm_bytes,
+            "comm_messages": rep.comm_messages,
+        })
+    base = {r["dist"]: r["makespan_seconds"] for r in rows
+            if r["topology"] == "clique" and r["hetero"] == "homog"}
+    for r in rows:
+        r["inflation"] = r["makespan_seconds"] / base[r["dist"]]
+    return rows
+
+
+def test_topology_heterogeneity_sweep(run_once, tmp_path):
+    store = os.environ.get("REPRO_SWEEP_STORE") or str(tmp_path / "sweep-store")
+    client = SweepClient(store=store)
+    try:
+        rows = run_once(topo_sweep, client)
+        sims_first = client.simulations_run()
+        print_header(
+            f"Makespan inflation across interconnects, POTRF N={N}, b={B}, "
+            f"P={SymmetricBlockCyclic(SBC_R).num_nodes}",
+            f"{'dist':>22} {'topology':>14} {'hetero':>7} {'inflation':>10}",
+        )
+        for r in rows:
+            print(f"{r['dist']:>22} {r['topology']:>14} {r['hetero']:>7} "
+                  f"{r['inflation']:>10.3f}")
+        print(f"(sweep service: {sims_first} simulations, store {store})")
+
+        by_cell = {(r["dist"], r["topology"], r["hetero"]): r for r in rows}
+        dists = sorted({r["dist"] for r in rows})
+        sbc_name = SymmetricBlockCyclic(SBC_R).name
+        bc_name = BlockCyclic2D(*BC_GRID).name
+        for r in rows:
+            # Routing and slow nodes can only add time over the clique
+            # baseline; owner-computes traffic is topology-independent.
+            assert r["inflation"] >= 1.0 - 1e-12
+            clean = by_cell[(r["dist"], "clique", "homog")]
+            assert r["comm_bytes"] == clean["comm_bytes"]
+            assert r["comm_messages"] == clean["comm_messages"]
+        for d in dists:
+            # Multi-hop fabrics and stragglers must actually bite.
+            assert by_cell[(d, "mesh-4x7", "homog")]["inflation"] > 1.0
+            assert by_cell[(d, "clique", "mixed")]["inflation"] > 1.0
+        # The paper's volume advantage is preserved verbatim: SBC moves
+        # fewer bytes than 2DBC in every cell of the matrix.
+        for (_, tname, hname), r in by_cell.items():
+            if r["dist"] == sbc_name:
+                assert r["comm_bytes"] < by_cell[(bc_name, tname,
+                                                  hname)]["comm_bytes"]
+        # Warm-cache re-run: identical rows, zero new simulations.
+        again = topo_sweep(client)
+        assert again == rows
+        assert client.simulations_run() == sims_first, \
+            "warm-cache re-run must perform zero new simulations"
+    finally:
+        client.close()
+
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        out = f"{out}.topology.json"  # don't clobber the faults sweep's dump
+        doc = {
+            "bench": "resilience-topology",
+            "config": {"b": B, "N": N, "sbc_r": SBC_R, "bc_grid": BC_GRID,
+                       "machine": "bora",
+                       "topologies": [t for t, _ in _topologies(
+                           SymmetricBlockCyclic(SBC_R).num_nodes)],
+                       "hetero_levels": ["homog", "mixed"]},
             "host": {"python": platform.python_version(),
                      "machine": platform.machine()},
             "rows": rows,

@@ -30,6 +30,7 @@ from .schedule import (
     verify_compiled,
     verify_sbc,
     verify_theorem1,
+    verify_topology_capacity,
 )
 
 __all__ = [
@@ -39,6 +40,7 @@ __all__ = [
     "verify_compiled",
     "verify_sbc",
     "verify_theorem1",
+    "verify_topology_capacity",
     "verify_all",
     "kahn_order",
     "detect_races",

@@ -34,7 +34,12 @@ from ..obs.events import Recorder
 from ..runtime.simulator.engine import simulate
 from .findings import Report, Severity
 from .races import compare_traces, detect_races
-from .schedule import verify_compiled, verify_sbc, verify_theorem1
+from .schedule import (
+    verify_compiled,
+    verify_sbc,
+    verify_theorem1,
+    verify_topology_capacity,
+)
 
 __all__ = ["Mutant", "MutationOutcome", "build_baseline", "run_mutation_harness",
            "self_test"]
@@ -258,6 +263,27 @@ class _FakeSBC(SymmetricBlockCyclic):
         return (i + 2 * j) % self.num_nodes
 
 
+def _capacity_mutants(base: Baseline) -> list[Mutant]:
+    from ..topology import chain
+
+    net = base.machine.network
+    routed = replace(
+        base.machine,
+        topology=chain(base.machine.nodes, bandwidth=net.bandwidth,
+                       latency=net.latency),
+    )
+
+    def infeasible_makespan() -> Report:
+        # Claim the schedule finished in 1 ns: the routed chain links
+        # could not even have carried the traffic's wire time.
+        return verify_topology_capacity(base.cg, routed, 1e-9, name="mutant")
+
+    return [
+        Mutant("infeasible-makespan", "capacity-violation", "SCHED-TOPO-CAP",
+               infeasible_makespan),
+    ]
+
+
 def _distribution_mutants(base: Baseline) -> list[Mutant]:
     N, r = base.N, base.dist.r
 
@@ -382,8 +408,10 @@ def run_mutation_harness(
     clean.extend(verify_sbc(base.dist, base.N, name="baseline"))
     clean.extend(detect_races(base.recorder, base.cg, name="baseline"))
     rerun = Recorder(source="simulator")
-    simulate(base.graph, base.machine, trace=True, recorder=rerun)
+    rep = simulate(base.graph, base.machine, trace=True, recorder=rerun)
     clean.extend(compare_traces(base.recorder, rerun, name="baseline"))
+    clean.extend(verify_topology_capacity(base.cg, base.machine,
+                                          rep.makespan, name="baseline"))
     gate.note_pass("mutation-baseline", 1)
     for f in clean.by_severity(Severity.ERROR):
         gate.add("MUT-FALSE-POSITIVE", Severity.ERROR,
@@ -391,8 +419,8 @@ def run_mutation_harness(
                  f.location,
                  "an analyzer reports defects on a verified-clean run")
 
-    mutants = (_graph_mutants(base, rng) + _distribution_mutants(base)
-               + _trace_mutants(base, rng))
+    mutants = (_graph_mutants(base, rng) + _capacity_mutants(base)
+               + _distribution_mutants(base) + _trace_mutants(base, rng))
     outcomes: list[MutationOutcome] = []
     for m in mutants:
         found = m.run()

@@ -28,6 +28,13 @@ and scales to the paper's 10.7M-task N = 400 compiled graphs.  Rules:
   respect the graph's data placement — identical to the owner-computes
   ``node`` column — unless the policy declares ``migrates = True``, and
   even a migrating policy must stay inside the machine's node range;
+* ``SCHED-TOPO-CAP`` — physical link capacity: route the communication
+  plan over the machine's interconnect (the attached
+  :class:`repro.topology.Topology`, or the per-port clique model when
+  none) and require the bytes each directed link / switch backplane
+  carries to fit in ``bandwidth x makespan``.  A violated link proves
+  the claimed makespan infeasible on that machine — the schedule's
+  traffic cannot physically drain in the time reported;
 * ``SCHED-SBC-SYM`` — SBC symmetry (§III of the paper): the owner map is
   symmetric and, per pattern position ``d``, the row-``d`` and
   column-``d`` broadcast peer sets coincide;
@@ -63,6 +70,7 @@ __all__ = [
     "verify_compiled",
     "verify_sbc",
     "verify_theorem1",
+    "verify_topology_capacity",
     "verify_policy_placement",
     "verify_all",
     "kahn_order",
@@ -415,6 +423,122 @@ def verify_theorem1(dist: SymmetricBlockCyclic, N: int,
             f"POTRF volume {counted} tiles <= S*({fanout}) = {bound:.0f} "
             f"(margin {bound - counted:.0f} tiles, edge effects)",
             f"{label}:N={N}",
+        )
+    return rep
+
+
+def verify_topology_capacity(
+    cg: CompiledGraph,
+    machine: MachineSpec,
+    makespan: float,
+    name: str = "graph",
+) -> Report:
+    """SCHED-TOPO-CAP: routed per-link bytes fit in capacity x makespan.
+
+    ``makespan`` is a *claimed* execution time (typically
+    ``SimReport.makespan``).  The rule lower-bounds each physical
+    channel's busy time by the bytes the communication plan forces
+    through it: with a :class:`repro.topology.Topology` attached, every
+    message's bytes are charged to each directed edge of its static
+    route (and to every finite switch backplane it crosses); without
+    one, to its source's egress and destination's ingress port.  Any
+    channel asked to carry more than ``bandwidth x makespan`` proves the
+    claim infeasible — no event ordering can drain that traffic in the
+    reported time.  The converse does not hold (a passing claim may
+    still be unachievable), so the rule reports violations, not
+    certificates; an INFO finding records the peak utilization.
+    """
+    rep = Report()
+    rep.note_pass("topology-capacity")
+    if makespan <= 0.0:
+        rep.add(
+            "SCHED-TOPO-CAP", Severity.ERROR,
+            f"claimed makespan {makespan!r} is not positive",
+            f"{name}:makespan",
+            "capacity checks need the execution time the schedule claims",
+        )
+        return rep
+    plan = cg.comm_plan()
+    if len(plan.pair_data) == 0:
+        return rep
+    nbytes = cg.data_nbytes[plan.pair_data].astype(np.float64)
+    src = cg.data_source_node[plan.pair_data].astype(np.int64)
+    dst = plan.pair_dst.astype(np.int64)
+    topo = machine.topology
+
+    checks: list[tuple[str, float, np.ndarray]] = []
+    if topo is None:
+        # Scalar clique: each node owns one egress and one ingress port
+        # of the uniform bandwidth (the NetworkSim serialization points).
+        bw = machine.network.bandwidth
+        sent = np.bincount(src, weights=nbytes, minlength=machine.nodes)
+        recv = np.bincount(dst, weights=nbytes, minlength=machine.nodes)
+        for kind, per_node in (("egress port", sent), ("ingress port", recv)):
+            for i in np.flatnonzero(per_node > bw * makespan)[
+                    :MAX_FINDINGS_PER_RULE]:
+                checks.append((
+                    f"node {int(i)} {kind}", bw, per_node[int(i):int(i) + 1]))
+        peak = float(max(float(sent.max()), float(recv.max()))
+                     / (bw * makespan))
+    else:
+        ct = topo.compiled()
+        arrays = ct.as_arrays()
+        ptr = arrays["path_ptr"]
+        eid = arrays["path_eid"]
+        edge_bw = arrays["edge_bw"]
+        edge_sw = arrays["edge_sw"]
+        sw_bw = arrays["switch_bw"]
+        pidx = src * ct.num_nodes + dst
+        starts = ptr[pidx]
+        counts = ptr[pidx + 1] - starts
+        total = int(counts.sum())
+        cum = np.zeros(len(counts), dtype=np.int64)
+        np.cumsum(counts[:-1], out=cum[1:])
+        edges = eid[np.repeat(starts - cum, counts)
+                    + np.arange(total, dtype=np.int64)]
+        per_edge = np.bincount(
+            edges, weights=np.repeat(nbytes, counts), minlength=ct.n_edges)
+        edge_cap = edge_bw * makespan
+        for e in np.flatnonzero(per_edge > edge_cap)[:MAX_FINDINGS_PER_RULE]:
+            checks.append((
+                f"link {ct.edge_u[int(e)]}->{ct.edge_v[int(e)]}",
+                float(edge_bw[int(e)]), per_edge[int(e):int(e) + 1]))
+        # Switch backplanes: bytes of every routed edge whose source
+        # vertex is a finite-bandwidth switch serialize on it.
+        sw_of_edges = edge_sw[edges]
+        on_switch = sw_of_edges >= 0
+        if bool(on_switch.any()) and ct.n_switches:
+            per_sw = np.bincount(
+                sw_of_edges[on_switch],
+                weights=np.repeat(nbytes, counts)[on_switch],
+                minlength=ct.n_switches)
+            finite = np.isfinite(sw_bw)
+            over_sw = np.flatnonzero(
+                finite & (per_sw > sw_bw * makespan))
+            for s in over_sw[:MAX_FINDINGS_PER_RULE]:
+                checks.append((
+                    f"switch {int(s)} backplane", float(sw_bw[int(s)]),
+                    per_sw[int(s):int(s) + 1]))
+        with np.errstate(invalid="ignore"):
+            util = per_edge / edge_cap
+        peak = float(util.max()) if len(util) else 0.0
+    for label, bw, carried in checks:
+        need = float(carried[0])
+        rep.add(
+            "SCHED-TOPO-CAP", Severity.ERROR,
+            f"{label} must carry {need:.0f} B but fits only "
+            f"{bw * makespan:.0f} B in the claimed makespan "
+            f"({makespan:.6g} s at {bw:.3g} B/s — "
+            f"{need / (bw * makespan):.2f}x capacity)",
+            f"{name}:{label}",
+            "the claimed makespan is physically infeasible: wire time "
+            "on this channel alone exceeds it",
+        )
+    if not checks:
+        rep.add(
+            "SCHED-TOPO-CAP", Severity.INFO,
+            f"peak channel utilization {peak:.2f} of capacity x makespan",
+            f"{name}:topology",
         )
     return rep
 

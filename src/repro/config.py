@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .topology import Topology
 
 __all__ = [
     "NetworkSpec",
@@ -46,7 +49,20 @@ class NetworkSpec:
     latency: float = 1.5e-6  # seconds per message
 
     def transfer_time(self, nbytes: float) -> float:
-        """Occupancy time of one channel for a message of ``nbytes``."""
+        """Occupancy time of one channel for a message of ``nbytes``:
+        ``latency + nbytes / bandwidth``, the analytic single-message
+        cost (the simulator serves messages in quanta, charging the
+        latency once, on the first quantum — same total).
+
+        Which *constants* feed this model is a per-experiment choice:
+        :data:`BORA_EFFECTIVE_NETWORK` (4 GB/s, 30 us — what StarPU-MPI
+        actually achieves end to end, the default of :func:`bora`) for
+        reproducing the paper's measured regime, or
+        :data:`BORA_WIRE_NETWORK` (12.5 GB/s, 1.5 us — the raw OmniPath
+        fabric) for wire-level what-if studies via
+        ``bora(P, effective_network=False)``.  See
+        ``docs/network-model.md`` ("Calibration").
+        """
         return self.latency + nbytes / self.bandwidth
 
 
@@ -87,19 +103,56 @@ class KernelModel:
 
 @dataclass(frozen=True)
 class MachineSpec:
-    """A homogeneous cluster: ``nodes`` nodes of ``cores`` workers each."""
+    """A cluster of ``nodes`` nodes with ``cores`` workers each.
+
+    By default the interconnect is the scalar clique of ``network``
+    (uniform bandwidth/latency between every pair) and every node is
+    identical.  An optional :class:`repro.topology.Topology` replaces
+    the clique with an arbitrary routed interconnect and may overlay
+    per-node speed/core heterogeneity; ``topology=None`` keeps today's
+    behaviour bit-exactly.  ``network`` stays authoritative for the
+    kernel/efficiency model either way.
+    """
 
     nodes: int
     cores: int = 34
     network: NetworkSpec = field(default_factory=NetworkSpec)
     kernel: KernelModel = field(default_factory=KernelModel)
     element_size: int = 8  # double precision
+    #: Optional interconnect topology + heterogeneity (None = the scalar
+    #: clique model of ``network``, bit-identical to the pre-topology
+    #: engines).
+    topology: Optional[Topology] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
             raise ValueError(f"need at least one node, got {self.nodes}")
         if self.cores < 1:
             raise ValueError(f"need at least one core per node, got {self.cores}")
+        if self.topology is not None and self.topology.num_nodes != self.nodes:
+            raise ValueError(
+                f"topology has {self.topology.num_nodes} nodes "
+                f"but machine has {self.nodes}")
+
+    def cores_for(self, node: int) -> int:
+        """Worker count of ``node`` (topology override or the uniform value)."""
+        t = self.topology
+        if t is not None and t.cores:
+            return t.cores[node]
+        return self.cores
+
+    def speed_for(self, node: int) -> float:
+        """Compute-speed multiplier of ``node`` (1.0 when homogeneous)."""
+        t = self.topology
+        if t is not None and t.speed:
+            return t.speed[node]
+        return 1.0
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when the topology declares per-node speed/core overrides."""
+        t = self.topology
+        return t is not None and (bool(t.speed) or bool(t.cores))
 
     def with_nodes(self, nodes: int) -> "MachineSpec":
         """Copy of this spec with a different node count."""

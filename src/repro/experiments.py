@@ -27,7 +27,7 @@ from .comm import (
 )
 from .config import bora
 from .distributions import BlockCyclic2D, SymmetricBlockCyclic, TwoDotFiveD
-from .graph import build_cholesky_graph, build_cholesky_graph_25d
+from .graph import build_cholesky_graph
 from .runtime import critical_path_breakdown, simulate
 
 __all__ = [
@@ -59,25 +59,45 @@ def fig8_volumes(
 
 
 def fig9_performance(
-    sizes: Sequence[int] = (30, 60, 100), b: int = B_DEFAULT
+    sizes: Sequence[int] = (30, 60, 100), b: int = B_DEFAULT,
+    store=None,
 ) -> Dict[str, List[float]]:
-    """Figure 9 series: simulated GFlop/s per node for the P~28 configs."""
+    """Figure 9 series: simulated GFlop/s per node for the P~28 configs.
+
+    Runs as a thin client of the sweep service
+    (:class:`repro.service.SweepClient`): every point is a content-
+    addressed :class:`~repro.service.JobSpec`, so re-runs against the
+    same ``store`` (a path, a ``ResultStore``, or None for
+    ``$REPRO_SWEEP_STORE`` / a temp directory) are pure cache hits — 0
+    simulations.  Results are bit-identical to the direct ``simulate``
+    calls this replaced (the engines are equality-pinned).
+    """
+    from .service import JobSpec, SweepClient
+
     configs = [
-        ("2D SBC r=8", 28, lambda N: build_cholesky_graph(N, b, SymmetricBlockCyclic(8)), {}),
-        ("2DBC 7x4", 28, lambda N: build_cholesky_graph(N, b, BlockCyclic2D(7, 4)), {}),
+        ("2D SBC r=8", 28, SymmetricBlockCyclic(8), {}),
+        ("2DBC 7x4", 28, BlockCyclic2D(7, 4), {}),
         ("2.5D SBC c=3", 24,
-         lambda N: build_cholesky_graph_25d(
-             N, b, TwoDotFiveD(SymmetricBlockCyclic(4, variant="basic"), 3)), {}),
-        ("2.5D BC c=3", 27,
-         lambda N: build_cholesky_graph_25d(N, b, TwoDotFiveD(BlockCyclic2D(3, 3), 3)), {}),
-        ("COnfCHOX-like", 32, lambda N: build_cholesky_graph(N, b, BlockCyclic2D(8, 4)),
-         {"synchronized": True}),
+         TwoDotFiveD(SymmetricBlockCyclic(4, variant="basic"), 3), {}),
+        ("2.5D BC c=3", 27, TwoDotFiveD(BlockCyclic2D(3, 3), 3), {}),
+        ("COnfCHOX-like", 32, BlockCyclic2D(8, 4), {"synchronized": True}),
     ]
+    specs = [
+        JobSpec.make(algorithm="cholesky", ntiles=N, b=b, dist=dist,
+                     machine=bora(P), **kw)
+        for _name, P, dist, kw in configs
+        for N in sizes
+    ]
+    client = SweepClient(store=store)
+    try:
+        results = client.sweep(specs)
+    finally:
+        client.close()
     out: Dict[str, List[float]] = {}
-    for name, P, builder, kw in configs:
-        machine = bora(P)
+    it = iter(results)
+    for name, _P, _dist, _kw in configs:
         out[name] = [
-            simulate(builder(N), machine, **kw).gflops_per_node for N in sizes
+            next(it).raise_for_status().report.gflops_per_node for _ in sizes
         ]
     return out
 
@@ -98,18 +118,32 @@ def theorem1_table(ntiles: int = 240) -> List[Tuple[str, int, int, float]]:
     return rows
 
 
-def strong_scaling(ntiles: int = 72, b: int = B_DEFAULT) -> List[Tuple[str, int, float]]:
-    """Figure 11 rows: (config, P, GFlop/s per node) at fixed matrix size."""
-    rows = []
-    for r in (6, 7, 8, 9):
-        d = SymmetricBlockCyclic(r)
-        rep = simulate(build_cholesky_graph(ntiles, b, d), bora(d.num_nodes))
-        rows.append((d.name, d.num_nodes, rep.gflops_per_node))
-    for p, q in ((4, 4), (5, 4), (7, 4), (6, 6)):
-        d = BlockCyclic2D(p, q)
-        rep = simulate(build_cholesky_graph(ntiles, b, d), bora(d.num_nodes))
-        rows.append((d.name, d.num_nodes, rep.gflops_per_node))
-    return rows
+def strong_scaling(ntiles: int = 72, b: int = B_DEFAULT,
+                   store=None) -> List[Tuple[str, int, float]]:
+    """Figure 11 rows: (config, P, GFlop/s per node) at fixed matrix size.
+
+    A sweep-service thin client like :func:`fig9_performance`: pass
+    ``store=`` (or set ``$REPRO_SWEEP_STORE``) to make repeat runs pure
+    cache hits.
+    """
+    from .service import JobSpec, SweepClient
+
+    dists = [SymmetricBlockCyclic(r) for r in (6, 7, 8, 9)]
+    dists += [BlockCyclic2D(p, q) for p, q in ((4, 4), (5, 4), (7, 4), (6, 6))]
+    specs = [
+        JobSpec.make(algorithm="cholesky", ntiles=ntiles, b=b, dist=d,
+                     machine=bora(d.num_nodes))
+        for d in dists
+    ]
+    client = SweepClient(store=store)
+    try:
+        results = client.sweep(specs)
+    finally:
+        client.close()
+    return [
+        (d.name, d.num_nodes, res.raise_for_status().report.gflops_per_node)
+        for d, res in zip(dists, results)
+    ]
 
 
 def spine_breakdown(r: int = 8, ntiles: int = 60, b: int = B_DEFAULT):
@@ -169,6 +203,9 @@ def main(argv: Sequence[str] = None) -> int:
     parser.add_argument("--trace-path", default=None, metavar="PATH",
                         help="write a Perfetto/chrome://tracing JSON of the "
                              "traced run (trace experiment)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="sweep-service result store for fig9/scaling "
+                             "(default: $REPRO_SWEEP_STORE or a temp dir)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -186,8 +223,8 @@ def main(argv: Sequence[str] = None) -> int:
         return 0
     if args.experiment == "fig9":
         sizes = args.sizes or [30, 60]
-        _print_series(fig9_performance(sizes, args.b), sizes, args.b,
-                      "GFlop/s per node")
+        _print_series(fig9_performance(sizes, args.b, store=args.store),
+                      sizes, args.b, "GFlop/s per node")
         return 0
     if args.experiment == "theorem1":
         for name, counted, formula, ratio in theorem1_table(args.ntiles or 240):
@@ -195,7 +232,8 @@ def main(argv: Sequence[str] = None) -> int:
                   f"ratio {ratio:.3f}")
         return 0
     if args.experiment == "scaling":
-        for name, P, gf in strong_scaling(args.ntiles or 72, args.b):
+        for name, P, gf in strong_scaling(args.ntiles or 72, args.b,
+                                          store=args.store):
             print(f"{name:>18} P={P:<3} {gf:>8.1f} GFlop/s/node")
         return 0
     if args.experiment == "breakdown":

@@ -9,7 +9,11 @@ goes wrong during one execution:
   kernel);
 * :class:`LinkDegradation` — per-link bandwidth degradation: wire time of
   every quantum crossing a matching (src, dst) link inside the window is
-  multiplied by ``factor``;
+  multiplied by ``factor``.  With a routed topology attached
+  (``MachineSpec(topology=...)``) the hook fires per *physical hop*: the
+  endpoints it sees are the directed edge's vertices (switch vertices
+  included), so degrading edge (u, v) slows every route crossing it —
+  not just the u→v message pair;
 * ``loss_rate`` — transient transfer loss: a delivered message is dropped
   with probability ``loss_rate`` and retransmitted ``retransmit_timeout``
   seconds later (simulated time in the engines; recovered by the
@@ -28,6 +32,11 @@ link (src, dst) carries a deterministic attempt counter and the n-th
 delivery attempt on a link is dropped iff ``mix(seed, src, dst, n)``
 falls below the loss rate (:class:`LossState`).  Both engines process
 deliveries in the same order, so the n-th attempt is the same message.
+Under a routed topology the counters live on the route's directed
+edges: every hop of a delivery rolls its own edge counter
+(:meth:`repro.topology.CompiledTopology.roll_loss`) and the message is
+lost when *any* hop drops — a lossy shared link affects every route
+crossing it, and single-hop cliques reduce to the (src, dst) roll.
 
 :class:`RetryPolicy` parameterizes the distributed executor's per-message
 ack tracking: initial ack timeout, exponential backoff factor, and the
@@ -94,7 +103,12 @@ class SlowdownWindow:
 @dataclass(frozen=True)
 class LinkDegradation:
     """Bandwidth degradation: wire time on matching links is multiplied by
-    ``factor`` inside [start, end).  ``src``/``dst`` of -1 match any node."""
+    ``factor`` inside [start, end).  ``src``/``dst`` of -1 match any node.
+
+    With a routed topology the match is evaluated against each directed
+    edge a quantum traverses (endpoints may be switch vertices, i.e.
+    ids >= ``num_nodes``), so (src, dst) names a physical topology edge
+    rather than a message's (source, destination) pair."""
 
     factor: float
     src: int = -1

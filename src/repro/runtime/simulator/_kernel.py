@@ -13,9 +13,14 @@ ways:
   machines without numba.
 
 The transcription covers the lean configuration only (direct broadcast,
-no trace/synchronized/faults/aggregation/custom queue) — exactly the
-cases the numpy path serves with its own inlined loop; anything else
-stays on the numpy path.  Event ordering is preserved by construction:
+no trace/synchronized/faults/aggregation/custom queue); anything else
+stays on the numpy path.  Routed topologies and heterogeneous nodes ARE
+covered: per-node core counts arrive as an array, and with ``topo_on``
+set each quantum walks its pair's pre-gathered route (per-link occupancy,
+switch backplane contention) with the exact float operations of
+``NetworkSim._serve`` — fault hooks stay excluded, so the walk skips the
+wire-factor branch the shared code guards with ``is not None``.  Event
+ordering is preserved by construction:
 the event heap is keyed (time, push-sequence) and every push increments
 the sequence counter at the same program point as the numpy path, so the
 two runs pop identical event streams and produce identical makespans,
@@ -159,10 +164,17 @@ def serve_loop(
     rn_ids,          # int32[]
     init_pairs,      # int64[] pairs of misplaced initial data, kick order
     num_nodes,       # int
-    cores,           # int
+    cores,           # int64[num_nodes] workers per node
     quantum,         # int (bytes)
-    bandwidth,       # float
-    latency,         # float
+    bandwidth,       # float (scalar clique model, ignored when topo_on)
+    latency,         # float (scalar clique model, ignored when topo_on)
+    topo_on,         # int: 1 = walk routed topology, 0 = scalar model
+    tp_lat,          # float64[n_pairs] per-pair route latency
+    tp_ptr,          # int64[n_pairs + 1] per-pair route CSR
+    tp_eid,          # int64[] directed-edge ids along each pair's route
+    edge_bw,         # float64[n_edges] per-directed-edge bandwidth
+    edge_sw,         # int64[n_edges] switch at each edge's source, -1 none
+    sw_bw,           # float64[n_switches] backplane bandwidth (inf = none)
 ):
     """Run the lean event loop; returns the aggregate counters.
 
@@ -175,7 +187,9 @@ def serve_loop(
     n_pairs = pair_dst.shape[0]
 
     # --- arenas -------------------------------------------------------------
-    ev_cap = num_nodes * (cores + 1) + n_pairs + 8
+    ev_cap = num_nodes + n_pairs + 8
+    for n in range(num_nodes):
+        ev_cap += cores[n]
     ev_t = np.empty(ev_cap, dtype=np.float64)
     ev_s = np.empty(ev_cap, dtype=np.int64)
     ev_k = np.empty(ev_cap, dtype=np.int8)
@@ -206,9 +220,12 @@ def serve_loop(
     tr_started = np.zeros(n_pairs, dtype=np.uint8)
     tr_end = np.full(n_pairs, -1.0, dtype=np.float64)
 
-    free = np.full(num_nodes, cores, dtype=np.int64)
+    free = cores.copy()
     egress_busy = np.zeros(num_nodes, dtype=np.uint8)
     ingress_free = np.zeros(num_nodes, dtype=np.float64)
+    # Per-run occupancy state of the routed topology (empty when scalar).
+    link_free = np.zeros(edge_bw.shape[0], dtype=np.float64)
+    switch_free = np.zeros(sw_bw.shape[0], dtype=np.float64)
 
     seq = 0
     net_seq = 0
@@ -246,13 +263,45 @@ def serve_loop(
             size = quantum if quantum < remaining else remaining
             remaining -= size
             tr_remaining[p2] = remaining
-            wire = size / bandwidth
-            occupancy = wire if tr_started[p2] == 1 else wire + latency
-            tr_started[p2] = 1
-            egress_done = occupancy
             dstn = pair_dst[p2]
-            ingress = ingress_free[dstn] + wire
-            delivery = egress_done if egress_done > ingress else ingress
+            if topo_on == 0:
+                wire = size / bandwidth
+                occupancy = wire if tr_started[p2] == 1 else wire + latency
+                tr_started[p2] = 1
+                egress_done = occupancy
+                ingress = ingress_free[dstn] + wire
+                delivery = egress_done if egress_done > ingress else ingress
+            else:
+                # Store-and-forward walk over the pair's route — the
+                # float-for-float transcription of NetworkSim._serve's
+                # topology branch (no fault hook: such runs never reach
+                # the kernel).
+                q0 = tp_ptr[p2]
+                q1 = tp_ptr[p2 + 1]
+                wire = size / edge_bw[tp_eid[q0]]
+                occupancy = (wire if tr_started[p2] == 1
+                             else wire + tp_lat[p2])
+                tr_started[p2] = 1
+                egress_done = occupancy
+                t_ = egress_done
+                last_wire = wire
+                if q1 - q0 > 1:
+                    for qk in range(q0 + 1, q1):
+                        e = tp_eid[qk]
+                        s_ = edge_sw[e]
+                        if s_ >= 0:
+                            sbw = sw_bw[s_]
+                            if sbw != np.inf:
+                                sf = switch_free[s_]
+                                t_ = (t_ if t_ > sf else sf) + size / sbw
+                                switch_free[s_] = t_
+                        hw = size / edge_bw[e]
+                        lf = link_free[e]
+                        t_ = (t_ if t_ > lf else lf) + hw
+                        link_free[e] = t_
+                        last_wire = hw
+                ingress = ingress_free[dstn] + last_wire
+                delivery = t_ if t_ > ingress else ingress
             ingress_free[dstn] = delivery
             egress_busy[src] = 1
             if remaining:
@@ -327,15 +376,44 @@ def serve_loop(
                         size = quantum if quantum < remaining else remaining
                         remaining -= size
                         tr_remaining[p2] = remaining
-                        wire = size / bandwidth
-                        occupancy = (wire if tr_started[p2] == 1
-                                     else wire + latency)
-                        tr_started[p2] = 1
-                        egress_done = now + occupancy
                         dstn = pair_dst[p2]
-                        ingress = ingress_free[dstn] + wire
-                        delivery = (egress_done if egress_done > ingress
-                                    else ingress)
+                        if topo_on == 0:
+                            wire = size / bandwidth
+                            occupancy = (wire if tr_started[p2] == 1
+                                         else wire + latency)
+                            tr_started[p2] = 1
+                            egress_done = now + occupancy
+                            ingress = ingress_free[dstn] + wire
+                            delivery = (egress_done if egress_done > ingress
+                                        else ingress)
+                        else:
+                            q0 = tp_ptr[p2]
+                            q1 = tp_ptr[p2 + 1]
+                            wire = size / edge_bw[tp_eid[q0]]
+                            occupancy = (wire if tr_started[p2] == 1
+                                         else wire + tp_lat[p2])
+                            tr_started[p2] = 1
+                            egress_done = now + occupancy
+                            t_ = egress_done
+                            last_wire = wire
+                            if q1 - q0 > 1:
+                                for qk in range(q0 + 1, q1):
+                                    e = tp_eid[qk]
+                                    s_ = edge_sw[e]
+                                    if s_ >= 0:
+                                        sbw = sw_bw[s_]
+                                        if sbw != np.inf:
+                                            sf = switch_free[s_]
+                                            t_ = ((t_ if t_ > sf else sf)
+                                                  + size / sbw)
+                                            switch_free[s_] = t_
+                                    hw = size / edge_bw[e]
+                                    lf = link_free[e]
+                                    t_ = (t_ if t_ > lf else lf) + hw
+                                    link_free[e] = t_
+                                    last_wire = hw
+                            ingress = ingress_free[dstn] + last_wire
+                            delivery = t_ if t_ > ingress else ingress
                         ingress_free[dstn] = delivery
                         egress_busy[n] = 1
                         if remaining:
@@ -363,13 +441,41 @@ def serve_loop(
             size = quantum if quantum < remaining else remaining
             remaining -= size
             tr_remaining[p2] = remaining
-            wire = size / bandwidth
-            occupancy = wire if tr_started[p2] == 1 else wire + latency
-            tr_started[p2] = 1
-            egress_done = now + occupancy
             dstn = pair_dst[p2]
-            ingress = ingress_free[dstn] + wire
-            delivery = egress_done if egress_done > ingress else ingress
+            if topo_on == 0:
+                wire = size / bandwidth
+                occupancy = wire if tr_started[p2] == 1 else wire + latency
+                tr_started[p2] = 1
+                egress_done = now + occupancy
+                ingress = ingress_free[dstn] + wire
+                delivery = egress_done if egress_done > ingress else ingress
+            else:
+                q0 = tp_ptr[p2]
+                q1 = tp_ptr[p2 + 1]
+                wire = size / edge_bw[tp_eid[q0]]
+                occupancy = (wire if tr_started[p2] == 1
+                             else wire + tp_lat[p2])
+                tr_started[p2] = 1
+                egress_done = now + occupancy
+                t_ = egress_done
+                last_wire = wire
+                if q1 - q0 > 1:
+                    for qk in range(q0 + 1, q1):
+                        e = tp_eid[qk]
+                        s_ = edge_sw[e]
+                        if s_ >= 0:
+                            sbw = sw_bw[s_]
+                            if sbw != np.inf:
+                                sf = switch_free[s_]
+                                t_ = (t_ if t_ > sf else sf) + size / sbw
+                                switch_free[s_] = t_
+                        hw = size / edge_bw[e]
+                        lf = link_free[e]
+                        t_ = (t_ if t_ > lf else lf) + hw
+                        link_free[e] = t_
+                        last_wire = hw
+                ingress = ingress_free[dstn] + last_wire
+                delivery = t_ if t_ > ingress else ingress
             ingress_free[dstn] = delivery
             if remaining:
                 net_seq += 1

@@ -172,7 +172,15 @@ def simulate(
     if duration_fn is None:
         b = graph.b
         kernel = machine.kernel
-        duration_fn = lambda t: kernel.duration(t.flops, b)  # noqa: E731
+        topo = machine.topology
+        if topo is not None and topo.speed:
+            # Heterogeneous nodes: the per-node speed multiplier divides
+            # the homogeneous duration.  The compiled engine evaluates the
+            # identical IEEE expression vectorized, keeping bit-equality.
+            speed = topo.speed
+            duration_fn = lambda t: kernel.duration(t.flops, b) / speed[t.node]  # noqa: E731
+        else:
+            duration_fn = lambda t: kernel.duration(t.flops, b)  # noqa: E731
 
     queue = None
     saved_nodes: Optional[List[int]] = None
@@ -301,9 +309,19 @@ def _simulate(
         faults.link_factor if faults is not None and faults.links else None
     )
 
-    nodes = [_NodeState(machine.cores) for _ in range(num_nodes)]
+    nodes = [_NodeState(machine.cores_for(i)) for i in range(num_nodes)]
+    ctopo = (machine.topology.compiled()
+             if machine.topology is not None else None)
     net = NetworkSim(machine.network, num_nodes, aggregate=aggregate,
-                     wire_factor=wire_factor)
+                     wire_factor=wire_factor, topology=ctopo)
+    if loss is None:
+        lost_fn = None
+    elif ctopo is None:
+        lost_fn = loss.lost
+    else:
+        # Loss targets topology edges: roll every hop of the pair's
+        # deterministic route (single-hop cliques reduce to loss.lost).
+        lost_fn = lambda s, d: ctopo.roll_loss(loss, s, d)  # noqa: E731
 
     # --- event loop ---------------------------------------------------------
     events: list = []  # (time, seq, kind, payload)
@@ -517,7 +535,7 @@ def _simulate(
                 launch(started)
         else:  # transfer delivered at the destination
             tr = payload
-            if loss is not None and loss.lost(tr.src, tr.dst):
+            if lost_fn is not None and lost_fn(tr.src, tr.dst):
                 # Transient loss: the message evaporates in flight; the
                 # sender retransmits after the plan's timeout (the lost
                 # bytes stayed on the wire and remain counted).

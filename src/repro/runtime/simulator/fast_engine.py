@@ -122,6 +122,15 @@ def simulate_compiled(
     if durations is None:
         mkern = machine.kernel
         durations = mkern.overhead + cg.flops / mkern.rate(cg.b)
+        mtopo = machine.topology
+        if mtopo is not None and mtopo.speed:
+            # Heterogeneous nodes: elementwise division by the per-node
+            # speed multiplier — the identical IEEE expression the object
+            # engine's default duration_fn evaluates per task.  A caller-
+            # supplied ``durations`` array is used verbatim (like a custom
+            # ``duration_fn`` on the object engine).
+            speed = np.asarray(mtopo.speed, dtype=np.float64)
+            durations = durations / speed[cg.node]
 
     # --- scheduler policy (repro.schedulers) --------------------------------
     # Applied before any lowering so node / priority columns and the comm
@@ -167,10 +176,15 @@ def simulate_compiled(
         cg.priority[:] = compiled_critical_path_priorities(cg, durations)
 
     plan = cg.comm_plan()
+    ctopo = (machine.topology.compiled()
+             if machine.topology is not None else None)
 
     # --- kernel dispatch ----------------------------------------------------
     # The flat-array kernel covers the lean configuration only — exactly
     # the runs the numpy path below serves with its inlined loop.
+    # Topology runs ARE kernel-eligible: the kernel lowers the routing
+    # tables to flat arrays and walks them with the same float ops as
+    # ``NetworkSim._serve`` (fault hooks stay excluded).
     want_trace = trace or (recorder is not None and recorder.enabled)
     kernel_ok = (
         not want_trace
@@ -299,7 +313,7 @@ def simulate_compiled(
     iter_blocked: Dict[int, List[int]] = defaultdict(list)
     released_idx = 0
 
-    free = [machine.cores] * num_nodes
+    free = [machine.cores_for(i) for i in range(num_nodes)]
     # Per-node ready queue as a bucket queue: a FIFO deque per distinct
     # -priority plus a small heap of the distinct -priorities present.
     # Pop order (highest priority, FIFO within ties) is identical to the
@@ -329,7 +343,15 @@ def simulate_compiled(
     tbk_acc = [0.0] * len(cg.kind_names) if fault_slow else None
 
     net = NetworkSim(machine.network, num_nodes, aggregate=aggregate,
-                     wire_factor=wire_factor)
+                     wire_factor=wire_factor, topology=ctopo)
+    if loss is None:
+        lost_fn = None
+    elif ctopo is None:
+        lost_fn = loss.lost
+    else:
+        # Loss targets topology edges: roll every hop of the pair's
+        # deterministic route (single-hop cliques reduce to loss.lost).
+        lost_fn = lambda s, d: ctopo.roll_loss(loss, s, d)  # noqa: E731
     # The per-quantum server is transcribed inline in the event loop (the
     # single hottest network path); bind its state once.
     net_queues = net._queues
@@ -508,7 +530,8 @@ def simulate_compiled(
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        if trace or synchronized or faults is not None or cqueue is not None:
+        if (trace or synchronized or faults is not None or cqueue is not None
+                or ctopo is not None):
             while events:
                 now, _evseq, kind, payload = heappop(events)
                 if kind == 0:  # task completion
@@ -623,10 +646,11 @@ def simulate_compiled(
                         iter_remaining[ipos[t]] -= 1
                         release_iterations(now)
                 elif kind == 1:  # source egress channel freed
-                    if faults is not None:
-                        # Fault runs take the shared NetworkSim path so the
-                        # injected wire factors apply identically to both
-                        # engines (the transcription below skips the hook).
+                    if faults is not None or ctopo is not None:
+                        # Fault and topology runs take the shared NetworkSim
+                        # path so the injected wire factors / routed walks
+                        # apply identically to both engines (the
+                        # transcription below skips both).
                         nxt = net.egress_freed(payload, now)
                         if nxt is not None:
                             launch(nxt)
@@ -685,7 +709,7 @@ def simulate_compiled(
                         launch(started)
                 else:  # transfer delivered at the destination
                     tr = payload
-                    if loss is not None and loss.lost(tr.src, tr.dst):
+                    if lost_fn is not None and lost_fn(tr.src, tr.dst):
                         # Transient loss: the message evaporates in flight;
                         # the sender retransmits after the plan's timeout.
                         if trace:
@@ -1069,6 +1093,46 @@ def _run_kernel(
     negprio = np.negative(cg.priority)
     missing = plan.missing.astype(np.int32)  # private copy, mutated
 
+    cores_arr = np.asarray(
+        [machine.cores_for(i) for i in range(num_nodes)], dtype=np.int64
+    )
+
+    # --- topology lowering --------------------------------------------------
+    # The compiled routing tables are indexed (src, dst); the kernel works
+    # per transfer pair, so gather each pair's route into its own CSR slice
+    # (and its route latency) once, here, instead of per quantum.
+    ctopo = (machine.topology.compiled()
+             if machine.topology is not None else None)
+    if ctopo is None:
+        topo_on = 0
+        tp_lat = np.zeros(0, dtype=np.float64)
+        tp_ptr = np.zeros(1, dtype=np.int64)
+        tp_eid = np.zeros(0, dtype=np.int64)
+        edge_bw = np.zeros(0, dtype=np.float64)
+        edge_sw = np.zeros(0, dtype=np.int64)
+        sw_bw = np.zeros(0, dtype=np.float64)
+    else:
+        topo_on = 1
+        ta = ctopo.as_arrays()
+        edge_bw = ta["edge_bw"]
+        edge_sw = ta["edge_sw"]
+        sw_bw = ta["switch_bw"]
+        pidx = pair_src.astype(np.int64) * num_nodes \
+            + plan.pair_dst.astype(np.int64)
+        tp_lat = ta["pair_lat"][pidx]
+        starts64 = ta["path_ptr"][pidx]
+        counts = ta["path_ptr"][pidx + 1] - starts64
+        tp_ptr = np.zeros(n_pairs + 1, dtype=np.int64)
+        np.cumsum(counts, out=tp_ptr[1:])
+        total = int(tp_ptr[-1])
+        if total:
+            # tp_eid[j] for j in [tp_ptr[i], tp_ptr[i+1]) maps to
+            # path_eid[starts64[i] + (j - tp_ptr[i])].
+            off = np.repeat(starts64 - tp_ptr[:-1], counts)
+            tp_eid = ta["path_eid"][np.arange(total, dtype=np.int64) + off]
+        else:
+            tp_eid = np.zeros(0, dtype=np.int64)
+
     net = NetworkSim(machine.network, num_nodes)
     if kernel == "jit":
         try:
@@ -1099,10 +1163,17 @@ def _run_kernel(
         plan.rn_ids,
         init_pairs,
         num_nodes,
-        machine.cores,
+        cores_arr,
         int(net.quantum),
         float(net._bandwidth),
         float(net._latency),
+        topo_on,
+        tp_lat,
+        tp_ptr,
+        tp_eid,
+        edge_bw,
+        edge_sw,
+        sw_bw,
     )
 
     unready = int(np.count_nonzero(missing))

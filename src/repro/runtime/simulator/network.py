@@ -18,6 +18,16 @@ delivered at ``max(egress_done, ingress_free + quantum_time)``, so an idle
 receiver takes delivery at wire speed while in-cast queues fairly on the
 receiving port without stalling senders.  A message is delivered when its
 last quantum lands.
+
+With a :class:`repro.topology.CompiledTopology` attached, each quantum
+is additionally walked store-and-forward over its pair's static route:
+the first hop occupies the source's egress port (plus the route's total
+latency on the message's first quantum), every further directed link
+serializes quanta on its own free time, every switch with a finite
+backplane serializes its contention group, and the final hop serializes
+on the destination ingress as before.  On a uniform single-hop topology
+the walk degenerates to exactly the arithmetic above — the engines'
+bit-equality pin for default (clique) runs.
 """
 
 from __future__ import annotations
@@ -32,6 +42,8 @@ __all__ = ["NetworkSim", "Transfer", "Chunk"]
 
 #: Default service quantum: a quarter of the paper's 2 MB tiles.
 DEFAULT_QUANTUM = 512 * 1024
+
+_INF = float("inf")
 
 
 class Transfer:
@@ -67,7 +79,8 @@ class NetworkSim:
 
     def __init__(self, spec: NetworkSpec, num_nodes: int,
                  quantum: int = DEFAULT_QUANTUM, aggregate: bool = False,
-                 wire_factor: Optional[Callable[[int, int, float], float]] = None):
+                 wire_factor: Optional[Callable[[int, int, float], float]] = None,
+                 topology=None):
         if quantum < 1:
             raise ValueError(f"quantum must be positive, got {quantum}")
         self.spec = spec
@@ -77,6 +90,22 @@ class NetworkSim:
         # at paper scale); avoid the dataclass attribute chain.
         self._bandwidth = spec.bandwidth
         self._latency = spec.latency
+        #: Optional :class:`repro.topology.CompiledTopology`: quanta are
+        #: then walked over per-pair routes with per-link occupancy and
+        #: switch contention instead of the scalar single-hop model.  The
+        #: compiled tables are static and shared; the per-run occupancy
+        #: state (link/switch free times) lives here.
+        self._topo = topology
+        if topology is not None:
+            if topology.num_nodes != num_nodes:
+                raise ValueError(
+                    f"topology has {topology.num_nodes} nodes but the "
+                    f"network serves {num_nodes}")
+            self._link_free = [0.0] * topology.n_edges
+            self._switch_free = [0.0] * topology.n_switches
+        else:
+            self._link_free = None
+            self._switch_free = None
         #: Fault-injection hook (repro.runtime.faults): multiplies the wire
         #: time of each quantum served on (src, dst) at a given time.  The
         #: fast engine's inlined _serve transcription does NOT apply it —
@@ -169,15 +198,62 @@ class NetworkSim:
         size = quantum if quantum < remaining else remaining
         remaining -= size
         tr.remaining = remaining
-        wire = size / self._bandwidth
-        if self._wire_factor is not None:
-            wire *= self._wire_factor(src, tr.dst, now)
-        occupancy = wire if tr.started else wire + self._latency
-        tr.started = True
-        egress_done = now + occupancy
         dst = tr.dst
-        ingress = self._ingress_free[dst] + wire
-        delivery = egress_done if egress_done > ingress else ingress
+        topo = self._topo
+        if topo is None:
+            wire = size / self._bandwidth
+            if self._wire_factor is not None:
+                wire *= self._wire_factor(src, dst, now)
+            occupancy = wire if tr.started else wire + self._latency
+            tr.started = True
+            egress_done = now + occupancy
+            ingress = self._ingress_free[dst] + wire
+            delivery = egress_done if egress_done > ingress else ingress
+        else:
+            # Store-and-forward walk over the pair's static route.  On a
+            # uniform single-hop topology every statement reduces to the
+            # scalar branch above (the bit-equality pin for cliques); the
+            # serve-loop kernel transcribes this walk statement for
+            # statement (minus the fault hook, which keeps such runs off
+            # the kernel entirely).
+            pi = src * topo.num_nodes + dst
+            path_eid = topo.path_eid
+            edge_bw = topo.edge_bw
+            p0 = topo.path_ptr[pi]
+            p1 = topo.path_ptr[pi + 1]
+            e0 = path_eid[p0]
+            wire = size / edge_bw[e0]
+            wf = self._wire_factor
+            if wf is not None:
+                wire *= wf(topo.edge_u[e0], topo.edge_v[e0], now)
+            occupancy = wire if tr.started else wire + topo.pair_lat[pi]
+            tr.started = True
+            egress_done = now + occupancy
+            t = egress_done
+            last_wire = wire
+            if p1 - p0 > 1:
+                edge_sw = topo.edge_sw
+                sw_bw = topo.switch_bw
+                link_free = self._link_free
+                switch_free = self._switch_free
+                for k in range(p0 + 1, p1):
+                    e = path_eid[k]
+                    s = edge_sw[e]
+                    if s >= 0:
+                        sbw = sw_bw[s]
+                        if sbw != _INF:
+                            sf = switch_free[s]
+                            t = (t if t > sf else sf) + size / sbw
+                            switch_free[s] = t
+                    hw = size / edge_bw[e]
+                    if wf is not None:
+                        hw *= wf(topo.edge_u[e], topo.edge_v[e], now)
+                    lf = link_free[e]
+                    t = (t if t > lf else lf) + hw
+                    link_free[e] = t
+                    last_wire = hw
+            ingress = self._ingress_free[dst] + last_wire
+            delivery = t if t > ingress else ingress
         self._ingress_free[dst] = delivery
         self._egress_busy[src] = True
         self.busy_time[src] += occupancy

@@ -45,6 +45,9 @@ class ObjectGraphView(GraphView):
         self.cores = machine.cores
         self.bandwidth = machine.network.bandwidth
         self.latency = machine.network.latency
+        #: Optional repro.topology.Topology — policies may inspect the
+        #: routed interconnect / heterogeneity (None = uniform clique).
+        self.topology = machine.topology
 
     @property
     def n_tasks(self) -> int:
@@ -111,6 +114,9 @@ class CompiledGraphView(GraphView):
         self.cores = machine.cores
         self.bandwidth = machine.network.bandwidth
         self.latency = machine.network.latency
+        #: Optional repro.topology.Topology — policies may inspect the
+        #: routed interconnect / heterogeneity (None = uniform clique).
+        self.topology = machine.topology
 
     @property
     def n_tasks(self) -> int:

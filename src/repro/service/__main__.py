@@ -148,7 +148,7 @@ def _add_job_flags(p: argparse.ArgumentParser) -> None:
 
 
 async def _serve(args: argparse.Namespace) -> int:
-    store = ResultStore(args.store)
+    store = ResultStore(args.store, max_bytes=args.max_store_bytes or None)
     server = SweepServer(store, workers=args.workers)
     svc = await serve_http(server, args.host, args.port)
     print(f"sweep service on http://{svc.host}:{svc.port} "
@@ -176,6 +176,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8642)
     p_serve.add_argument("--workers", type=int, default=0)
+    p_serve.add_argument("--max-store-bytes", type=int, default=0,
+                         metavar="N",
+                         help="LRU-evict cached results past N bytes "
+                              "(0 = unbounded)")
 
     p_submit = sub.add_parser("submit", help="submit one point, print result")
     _add_endpoint_flags(p_submit)

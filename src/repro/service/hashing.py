@@ -46,7 +46,11 @@ __all__ = [
 #: v3: JobSpec grew the ``kernel`` field, and the structure hash now
 #: canonicalizes the kind table (codes remapped through sorted used-kind
 #: names) — old structure hashes depended on kind registration order.
-SCHEMA_VERSION = 3
+#: v4: machine specs grew the ``topology`` key (routed interconnect +
+#: per-node heterogeneity, ``None`` for the historic clique) — it feeds
+#: the config digest, since topology changes simulated timings but not
+#: the task graph.
+SCHEMA_VERSION = 4
 
 
 def _h(*parts: bytes) -> str:

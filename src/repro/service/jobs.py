@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..config import KernelModel, MachineSpec, NetworkSpec
+from ..topology import topology_from_spec, topology_to_spec
 from ..distributions import (
     BlockCyclic2D,
     Distribution,
@@ -114,7 +115,14 @@ def dist_from_spec(spec: Mapping[str, Any]) -> Union[Distribution, TwoDotFiveD]:
 # --------------------------------------------------------------------------
 
 def machine_to_spec(machine: MachineSpec) -> Dict[str, Any]:
-    """Flatten a :class:`repro.config.MachineSpec` to a canonical dict."""
+    """Flatten a :class:`repro.config.MachineSpec` to a canonical dict.
+
+    The interconnect topology (when attached) is embedded under
+    ``"topology"`` via :func:`repro.topology.topology_to_spec` — it
+    changes simulated timings, so it must reach the config digest;
+    ``topology=None`` serializes as ``None`` and reproduces the historic
+    spec shape plus one constant key.
+    """
     return {
         "nodes": machine.nodes,
         "cores": machine.cores,
@@ -125,11 +133,14 @@ def machine_to_spec(machine: MachineSpec) -> Dict[str, Any]:
         "b_half": machine.kernel.b_half,
         "overhead": machine.kernel.overhead,
         "element_size": machine.element_size,
+        "topology": (None if machine.topology is None
+                     else topology_to_spec(machine.topology)),
     }
 
 
 def machine_from_spec(spec: Mapping[str, Any]) -> MachineSpec:
     """Rebuild a :class:`MachineSpec` from its flattened dict."""
+    tspec = spec.get("topology")
     return MachineSpec(
         nodes=int(spec["nodes"]),
         cores=int(spec["cores"]),
@@ -140,6 +151,7 @@ def machine_from_spec(spec: Mapping[str, Any]) -> MachineSpec:
                            b_half=float(spec["b_half"]),
                            overhead=float(spec["overhead"])),
         element_size=int(spec["element_size"]),
+        topology=None if tspec is None else topology_from_spec(tspec),
     )
 
 

@@ -23,6 +23,14 @@ re-runs idempotent; :meth:`ResultStore.compact` rewrites each file with
 one line per live key.  Concurrent *processes* should not share a store
 directory for writing (the service owns its store); concurrent readers
 are safe.
+
+An optional size cap (``max_bytes=``) bounds the live result payload:
+when an append pushes past it, least-recently-used records are evicted
+(reads refresh recency, so a warm sweep's working set survives) and the
+log is compacted so the evicted lines physically disappear.  The log is
+also compacted opportunistically once dead appends (last-wins
+duplicates) dominate the file.  Evicting a record only costs a future
+recompute — the store is a cache, not the system of record.
 """
 
 from __future__ import annotations
@@ -78,18 +86,35 @@ class ResultStore:
     #: few points after a crash (appends are idempotent, so that is safe).
     FSYNC_MODES = ("always", "batch")
 
-    def __init__(self, root: os.PathLike, fsync: str = "always"):
+    def __init__(self, root: os.PathLike, fsync: str = "always",
+                 max_bytes: Optional[int] = None):
         if fsync not in self.FSYNC_MODES:
             raise ValueError(
                 f"fsync must be one of {self.FSYNC_MODES}, got {fsync!r}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
+        #: Cap on the live result payload (sealed-line bytes); None =
+        #: unbounded (the historic behaviour).
+        self.max_bytes = max_bytes
         #: envelope lines skipped at load time (corruption indicator)
         self.corrupt_entries = 0
+        #: records dropped by the LRU cap over this store's lifetime
+        self.evictions = 0
+        # Insertion order doubles as the LRU order: get() re-inserts on
+        # hit, so the first key is always the coldest.
         self._results: Dict[str, Dict[str, Any]] = {}
         self._structures: Dict[str, str] = {}
+        # Sealed-line size per live record (+1 for the newline) and the
+        # running totals used by the cap / compaction heuristics.
+        self._sizes: Dict[str, int] = {}
+        self._live_bytes = 0
+        self._log_bytes = 0
         self._load()
+        if max_bytes is not None:
+            self._enforce_cap()
 
     # -- loading ------------------------------------------------------------
 
@@ -105,11 +130,19 @@ class ResultStore:
 
     def _load(self) -> None:
         for line in self._lines(self.RESULTS):
+            self._log_bytes += len(line) + 1
             body = _open_valid(line)
             if body is None or "hash" not in body:
                 self.corrupt_entries += 1
                 continue
-            self._results[body["hash"]] = body
+            h = body["hash"]
+            old = self._sizes.get(h)
+            if old is not None:
+                self._live_bytes -= old
+                self._results.pop(h, None)  # last-wins refreshes recency
+            self._sizes[h] = len(line) + 1
+            self._live_bytes += len(line) + 1
+            self._results[h] = body
         for line in self._lines(self.STRUCTURES):
             body = _open_valid(line)
             if body is None or "key" not in body or "structure" not in body:
@@ -121,16 +154,30 @@ class ResultStore:
 
     def get(self, point_hash: str) -> Optional[Dict[str, Any]]:
         """The stored record for ``point_hash``, or None when uncached."""
-        return self._results.get(point_hash)
+        body = self._results.get(point_hash)
+        if body is not None:
+            # Refresh LRU recency: re-insert at the warm end.
+            self._results[point_hash] = self._results.pop(point_hash)
+        return body
 
     def put(self, record: Mapping[str, Any]) -> None:
         """Append one completed-point record (must carry ``hash``)."""
         if "hash" not in record:
             raise ValueError("result record needs a 'hash' field")
         body = dict(record)
-        self._append(self.RESULTS, _seal(body))
+        line = _seal(body)
+        self._append(self.RESULTS, line)
         body["schema"] = SCHEMA_VERSION
-        self._results[body["hash"]] = body
+        h = body["hash"]
+        old = self._sizes.get(h)
+        if old is not None:
+            self._live_bytes -= old
+            self._results.pop(h, None)
+        self._sizes[h] = len(line) + 1
+        self._live_bytes += len(line) + 1
+        self._results[h] = body
+        if self.max_bytes is not None:
+            self._enforce_cap()
 
     # -- structure-hash memo -------------------------------------------------
 
@@ -152,6 +199,27 @@ class ResultStore:
             fh.flush()
             if self.fsync == "always":
                 os.fsync(fh.fileno())
+        if name == self.RESULTS:
+            self._log_bytes += len(line) + 1
+
+    def _enforce_cap(self) -> None:
+        """Evict cold records past ``max_bytes``; compact once dead
+        appends dominate the log (amortized O(1) per put)."""
+        cap = self.max_bytes
+        if cap is None:
+            return
+        evicted = False
+        while self._live_bytes > cap and len(self._results) > 1:
+            h = next(iter(self._results))  # coldest entry
+            del self._results[h]
+            self._live_bytes -= self._sizes.pop(h)
+            self.evictions += 1
+            evicted = True
+        # Eviction is in-memory; the dead lines stay on disk until the
+        # log doubles past the live payload (so compaction cost spreads
+        # over at least as many appends as records kept).
+        if evicted and self._log_bytes > max(2 * self._live_bytes, cap):
+            self.compact()
 
     def sync(self) -> None:
         """Force both logs to stable storage (a no-op worth calling only
@@ -163,7 +231,8 @@ class ResultStore:
                     os.fsync(fh.fileno())
 
     def compact(self) -> None:
-        """Rewrite both logs with one line per live key."""
+        """Rewrite both logs with one line per live key (LRU order for
+        results, so a reload reconstructs the same eviction order)."""
         for name, items in (
             (self.RESULTS, list(self._results.values())),
             (self.STRUCTURES, [
@@ -179,6 +248,7 @@ class ResultStore:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, self.root / name)
+        self._log_bytes = self._live_bytes
 
     def __len__(self) -> int:
         return len(self._results)

@@ -1,0 +1,156 @@
+"""Builders for the common interconnect shapes.
+
+Each builder returns an immutable :class:`~repro.topology.model.Topology`
+over ``P`` compute nodes; all links share one ``bandwidth``/``latency``
+unless noted.  Pass a :class:`~repro.topology.model.Heterogeneity` as
+``hetero=`` to overlay per-node speed/core differences on any shape.
+
+The shapes follow the esds exemplar (clique/chain/ring/grid/star
+adjacency) plus a two-level fat tree:
+
+* :func:`clique` — every pair directly linked (the paper's platform; a
+  *uniform* clique reproduces the engines' scalar network model
+  bit-exactly);
+* :func:`chain` — a line ``0 - 1 - ... - P-1``;
+* :func:`ring` — the chain closed into a cycle;
+* :func:`grid` — a ``rows x cols`` 2D mesh;
+* :func:`star` — every node hangs off one central switch (optionally
+  with a finite shared backplane);
+* :func:`fat_tree` — leaf switches of ``arity`` nodes each under one
+  core switch, with configurable (oversubscribable) uplinks.
+
+Remember the transport is store-and-forward per quantum: a two-hop
+route (e.g. through a star's hub) pays each hop's wire time, so its
+effective end-to-end bandwidth is half a direct link's even before any
+contention — matching how shared fabrics actually degrade the paper's
+"fewer communications" advantage.  See ``docs/topology.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .model import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_LATENCY,
+    Heterogeneity,
+    Link,
+    Topology,
+)
+
+__all__ = ["clique", "chain", "ring", "grid", "star", "fat_tree"]
+
+
+def _finish(topo: Topology, hetero: Optional[Heterogeneity]) -> Topology:
+    return topo if hetero is None else topo.with_heterogeneity(hetero)
+
+
+def clique(num_nodes: int, bandwidth: float = DEFAULT_BANDWIDTH,
+           latency: float = DEFAULT_LATENCY,
+           hetero: Optional[Heterogeneity] = None) -> Topology:
+    """Every node pair directly linked (the paper's switched fabric)."""
+    links = tuple(
+        Link(u, v, bandwidth, latency)
+        for u in range(num_nodes) for v in range(u + 1, num_nodes)
+    )
+    return _finish(Topology(num_nodes, links, kind="clique"), hetero)
+
+
+def chain(num_nodes: int, bandwidth: float = DEFAULT_BANDWIDTH,
+          latency: float = DEFAULT_LATENCY,
+          hetero: Optional[Heterogeneity] = None) -> Topology:
+    """A line ``0 - 1 - ... - P-1``; traffic funnels through the middle."""
+    links = tuple(
+        Link(i, i + 1, bandwidth, latency) for i in range(num_nodes - 1)
+    )
+    return _finish(Topology(num_nodes, links, kind="chain"), hetero)
+
+
+def ring(num_nodes: int, bandwidth: float = DEFAULT_BANDWIDTH,
+         latency: float = DEFAULT_LATENCY,
+         hetero: Optional[Heterogeneity] = None) -> Topology:
+    """The chain closed into a cycle (needs at least 3 nodes)."""
+    if num_nodes < 3:
+        raise ValueError(f"a ring needs at least 3 nodes, got {num_nodes}")
+    links = tuple(
+        Link(i, (i + 1) % num_nodes, bandwidth, latency)
+        for i in range(num_nodes)
+    )
+    return _finish(Topology(num_nodes, links, kind="ring"), hetero)
+
+
+def grid(rows: int, cols: int, bandwidth: float = DEFAULT_BANDWIDTH,
+         latency: float = DEFAULT_LATENCY,
+         hetero: Optional[Heterogeneity] = None) -> Topology:
+    """A ``rows x cols`` 2D mesh; node ``(r, c)`` is vertex ``r*cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid dimensions must be positive, got {rows}x{cols}")
+    links = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                links.append(Link(u, u + 1, bandwidth, latency))
+            if r + 1 < rows:
+                links.append(Link(u, u + cols, bandwidth, latency))
+    return _finish(Topology(rows * cols, tuple(links), kind="grid"), hetero)
+
+
+def star(num_nodes: int, bandwidth: float = DEFAULT_BANDWIDTH,
+         latency: float = DEFAULT_LATENCY,
+         switch_bandwidth: float = math.inf,
+         hetero: Optional[Heterogeneity] = None) -> Topology:
+    """Every node hangs off one central switch (vertex ``P``).
+
+    Each message crosses two links (in, out), so end-to-end bandwidth is
+    half a link's; a finite ``switch_bandwidth`` additionally serializes
+    *all* traffic on the hub's backplane — the harshest contention model.
+    """
+    links = tuple(
+        Link(i, num_nodes, bandwidth, latency) for i in range(num_nodes)
+    )
+    return _finish(
+        Topology(num_nodes, links, num_switches=1,
+                 switch_bandwidth=(switch_bandwidth,), kind="star"),
+        hetero,
+    )
+
+
+def fat_tree(num_nodes: int, arity: int = 4,
+             bandwidth: float = DEFAULT_BANDWIDTH,
+             latency: float = DEFAULT_LATENCY,
+             uplink_bandwidth: Optional[float] = None,
+             switch_bandwidth: float = math.inf,
+             hetero: Optional[Heterogeneity] = None) -> Topology:
+    """A two-level tree: leaf switches of ``arity`` nodes under one core.
+
+    Nodes ``0..P-1`` attach to leaf switch ``P + i // arity``; every leaf
+    uplinks to the core switch (the last vertex).  ``uplink_bandwidth``
+    defaults to ``arity * bandwidth`` (non-blocking); pass less to model
+    oversubscription.  With ``P <= arity`` there is a single switch and
+    the shape degenerates to a :func:`star`.
+    """
+    if arity < 1:
+        raise ValueError(f"arity must be >= 1, got {arity}")
+    n_leaves = (num_nodes + arity - 1) // arity
+    if n_leaves <= 1:
+        return _finish(
+            star(num_nodes, bandwidth, latency, switch_bandwidth), hetero)
+    if uplink_bandwidth is None:
+        uplink_bandwidth = arity * bandwidth
+    core = num_nodes + n_leaves
+    links = [
+        Link(i, num_nodes + i // arity, bandwidth, latency)
+        for i in range(num_nodes)
+    ]
+    links.extend(
+        Link(num_nodes + s, core, uplink_bandwidth, latency)
+        for s in range(n_leaves)
+    )
+    return _finish(
+        Topology(num_nodes, tuple(links), num_switches=n_leaves + 1,
+                 switch_bandwidth=(switch_bandwidth,) * (n_leaves + 1),
+                 kind="fat_tree"),
+        hetero,
+    )

@@ -436,3 +436,82 @@ def test_cli_trace_diff_detects_divergence(tmp_path, capsys, monkeypatch):
     write_jsonl(bad, pb)
     assert analyze_main(["--races", str(pa), str(pb), "-q"]) == 1
     assert analyze_main(["--races", str(pa), str(pa), "-q"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# SCHED-TOPO-CAP: per-link capacity vs claimed makespan
+# ---------------------------------------------------------------------------
+
+
+class TestTopologyCapacity:
+    def _setup(self, topo=None):
+        from dataclasses import replace
+
+        dist = BlockCyclic2D(2, 3)
+        cg = compile_graph(build_cholesky_graph(10, 32, dist))
+        m = laptop(nodes=6, cores=2)
+        if topo is not None:
+            m = replace(m, topology=topo)
+        return cg, m
+
+    def test_true_makespan_is_clean(self):
+        from repro.analyze import verify_topology_capacity
+        from repro.runtime.simulator import simulate_compiled
+        from repro.topology import chain
+
+        for topo in (None, chain(6, 1e9, 10e-6)):
+            cg, m = self._setup(topo)
+            rep = simulate_compiled(cg, m)
+            found = verify_topology_capacity(cg, m, rep.makespan)
+            assert not found.by_severity(Severity.ERROR), topo
+            assert "SCHED-TOPO-CAP" in found.rules_hit()  # the INFO note
+
+    def test_impossible_makespan_is_flagged_clique(self):
+        from repro.analyze import verify_topology_capacity
+
+        cg, m = self._setup()
+        found = verify_topology_capacity(cg, m, 1e-12)
+        errors = found.by_severity(Severity.ERROR)
+        assert errors and all(f.rule == "SCHED-TOPO-CAP" for f in errors)
+
+    def test_impossible_makespan_is_flagged_on_routed_edges(self):
+        from repro.analyze import verify_topology_capacity
+        from repro.topology import chain, star
+
+        for topo in (chain(6, 1e9, 10e-6),
+                     star(6, 1e9, 10e-6, switch_bandwidth=2e9)):
+            cg, m = self._setup(topo)
+            found = verify_topology_capacity(cg, m, 1e-12)
+            assert found.by_severity(Severity.ERROR), topo.kind
+
+    def test_nonpositive_makespan_rejected(self):
+        from repro.analyze import verify_topology_capacity
+
+        cg, m = self._setup()
+        found = verify_topology_capacity(cg, m, 0.0)
+        assert found.by_severity(Severity.ERROR)
+
+    def test_chain_needs_more_time_than_clique(self):
+        """The routed check is strictly stronger: a makespan feasible for
+        the clique's per-port model can violate a chain bottleneck."""
+        from repro.analyze import verify_topology_capacity
+        from repro.topology import chain
+
+        cg, m_clique = self._setup()
+        cg2, m_chain = self._setup(chain(6, m_clique.network.bandwidth,
+                                         m_clique.network.latency))
+        # Scan makespans between the two lower bounds: a chain funnels
+        # the all-pairs traffic through its middle link, so its capacity
+        # bound exceeds any single node's per-port bound.
+        probe = None
+        for k in range(60):
+            t = 1e-6 * (1e4 ** (k / 59))
+            clique_ok = not verify_topology_capacity(
+                cg, m_clique, t).by_severity(Severity.ERROR)
+            chain_bad = bool(verify_topology_capacity(
+                cg2, m_chain, t).by_severity(Severity.ERROR))
+            if clique_ok and chain_bad:
+                probe = t
+                break
+        assert probe is not None, \
+            "expected a makespan feasible per-port but chain-infeasible"

@@ -261,6 +261,153 @@ class TestFastEngineApi:
         assert r1.busy_time == r2.busy_time
 
 
+def _routed_machine(topo, cores=2):
+    from dataclasses import replace
+
+    return replace(laptop(nodes=topo.num_nodes, cores=cores), topology=topo)
+
+
+def _topology_matrix():
+    from repro import topology as tp
+
+    bw, lat = 1e9, 10e-6
+    het = tp.Heterogeneity(speed=(0.5, 1.0, 1.5, 1.0, 2.0, 1.0),
+                           cores=(1, 2, 2, 3, 2, 2))
+    return [
+        tp.clique(6, bw, lat),
+        tp.chain(6, bw, lat),
+        tp.ring(6, bw, lat),
+        tp.grid(2, 3, bw, lat),
+        tp.star(6, bw, lat, switch_bandwidth=2e9),
+        tp.fat_tree(6, arity=3, bandwidth=bw, latency=lat,
+                    uplink_bandwidth=1.5e9),
+        tp.grid(2, 3, bw, lat, hetero=het),
+    ]
+
+
+class TestTopologyEquality:
+    """Routed interconnects and heterogeneity keep the two-engine (and
+    every-kernel) bit-equality contract; a uniform clique topology is
+    indistinguishable from no topology at all."""
+
+    TOPOLOGIES = _topology_matrix()
+
+    @pytest.mark.parametrize("topo", TOPOLOGIES,
+                             ids=lambda t: t.kind + ("-het" if t.heterogeneous
+                                                     else ""))
+    def test_engines_agree_on_routed_interconnects(self, topo):
+        dist = BlockCyclic2D(2, 3)
+        g = build_cholesky_graph(12, 32, dist)
+        cg = compile_graph(g)
+        m = _routed_machine(topo)
+        ref = simulate(g, m)
+        fast = simulate_compiled(cg, m)
+        assert_reports_equal(ref, fast)
+        kernels = ["interp"] + (["jit"] if _numba_available() else [])
+        for kern in kernels:
+            rep = simulate_compiled(cg, m, kernel=kern)
+            assert rep.makespan == ref.makespan, (topo.kind, kern)
+            assert rep.comm_bytes == ref.comm_bytes, (topo.kind, kern)
+            assert rep.comm_messages == ref.comm_messages, (topo.kind, kern)
+
+    def test_uniform_clique_topology_is_bit_identical_to_none(self):
+        """topology=clique(P, network.bw, network.lat) must reproduce the
+        scalar model float-for-float on both engines."""
+        from repro.topology import clique
+
+        dist = SymmetricBlockCyclic(4)
+        g = build_cholesky_graph(12, 32, dist)
+        cg = compile_graph(g)
+        m = laptop(nodes=dist.num_nodes, cores=2)
+        topo = clique(m.nodes, bandwidth=m.network.bandwidth,
+                      latency=m.network.latency)
+        mt = _routed_machine(topo)
+        for base, routed in ((simulate(g, m), simulate(g, mt)),
+                             (simulate_compiled(cg, m),
+                              simulate_compiled(cg, mt))):
+            assert routed.makespan == base.makespan
+            assert routed.comm_bytes == base.comm_bytes
+            assert routed.comm_messages == base.comm_messages
+            assert routed.busy_time == base.busy_time
+
+    def test_constrained_topology_slows_the_run_down(self):
+        """A chain is strictly worse than the clique for all-pairs
+        traffic — the routed model must actually bite."""
+        from repro.topology import chain, clique
+
+        dist = BlockCyclic2D(2, 3)
+        cg = compile_graph(build_cholesky_graph(12, 32, dist))
+        fast_clique = simulate_compiled(
+            cg, _routed_machine(clique(6, 1e9, 10e-6)))
+        fast_chain = simulate_compiled(
+            cg, _routed_machine(chain(6, 1e9, 10e-6)))
+        assert fast_chain.makespan > fast_clique.makespan
+
+    def test_heterogeneous_nodes_change_the_schedule(self):
+        from dataclasses import replace
+
+        from repro.topology import Heterogeneity, clique
+
+        dist = BlockCyclic2D(2, 3)
+        g = build_cholesky_graph(12, 32, dist)
+        cg = compile_graph(g)
+        m = laptop(nodes=6, cores=2)
+        slow = replace(m, topology=clique(
+            6, m.network.bandwidth, m.network.latency,
+            hetero=Heterogeneity(speed=(0.25,) + (1.0,) * 5)))
+        ref = simulate(g, slow)
+        fast = simulate_compiled(cg, slow)
+        assert_reports_equal(ref, fast)
+        assert ref.makespan > simulate(g, m).makespan
+
+    @pytest.mark.parametrize("broadcast", ["direct", "tree"])
+    @pytest.mark.parametrize("aggregate", [False, True])
+    def test_fault_plan_on_topology_edges(self, broadcast, aggregate):
+        """Degradation, loss and slowdowns target routed edges (including
+        switch hops); runs stay deterministic and engine-equal."""
+        from repro.runtime.faults import (
+            FaultPlan,
+            LinkDegradation,
+            SlowdownWindow,
+        )
+        from repro.topology import grid
+
+        dist = BlockCyclic2D(2, 3)
+        g = build_cholesky_graph(12, 32, dist)
+        cg = compile_graph(g)
+        m = _routed_machine(grid(2, 3, 1e9, 10e-6))
+        plan = FaultPlan(
+            seed=11,
+            slowdowns=(SlowdownWindow(node=1, factor=2.0),),
+            links=(LinkDegradation(factor=3.0, src=0),),
+            loss_rate=0.05,
+        )
+        ref = simulate(g, m, broadcast=broadcast, aggregate=aggregate,
+                       faults=plan)
+        again = simulate(g, m, broadcast=broadcast, aggregate=aggregate,
+                         faults=plan)
+        assert again.makespan == ref.makespan  # seeded => deterministic
+        fast = simulate_compiled(cg, m, broadcast=broadcast,
+                                 aggregate=aggregate, faults=plan)
+        assert_reports_equal(ref, fast)
+
+    def test_topology_run_with_trace_and_sync(self):
+        """The general (non-kernel) fast-engine loop carries topologies
+        through trace/synchronized modes too."""
+        from repro.topology import ring
+
+        dist = BlockCyclic2D(2, 3)
+        g = build_cholesky_graph(10, 32, dist)
+        cg = compile_graph(g)
+        m = _routed_machine(ring(6, 1e9, 10e-6))
+        ref = simulate(g, m, synchronized=True)
+        fast = simulate_compiled(cg, m, synchronized=True)
+        assert_reports_equal(ref, fast)
+        rep = simulate_compiled(cg, m, trace=True)
+        assert rep.trace is not None
+        assert len(rep.transfers) == rep.comm_messages
+
+
 class TestPolicyConformance:
     """Every scheduler policy keeps the two-engine equality contract,
     and the default policy is bit-exactly the pre-framework engine."""

@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.config import KernelModel, MachineSpec, NetworkSpec, bora, laptop
+from repro.config import (
+    BORA_EFFECTIVE_NETWORK,
+    BORA_WIRE_NETWORK,
+    KernelModel,
+    MachineSpec,
+    NetworkSpec,
+    bora,
+    laptop,
+)
+from repro.topology import Heterogeneity, chain, clique
 
 
 class TestNetworkSpec:
@@ -71,3 +80,43 @@ class TestMachineSpec:
     def test_laptop_preset(self):
         m = laptop()
         assert m.nodes >= 1 and m.cores >= 1
+
+
+class TestBoraNetworkConstants:
+    """Pin the calibration constants (docs/network-model.md): experiment
+    hashes and the simulated regime silently move if these drift."""
+
+    def test_effective_network(self):
+        assert BORA_EFFECTIVE_NETWORK == NetworkSpec(bandwidth=4e9,
+                                                     latency=30e-6)
+        assert bora(4).network == BORA_EFFECTIVE_NETWORK
+
+    def test_wire_network(self):
+        assert BORA_WIRE_NETWORK == NetworkSpec(bandwidth=12.5e9,
+                                                latency=1.5e-6)
+        assert bora(4, effective_network=False).network == BORA_WIRE_NETWORK
+
+
+class TestMachineTopology:
+    def test_node_count_must_match(self):
+        with pytest.raises(ValueError, match="topology"):
+            MachineSpec(nodes=4, topology=chain(3))
+
+    def test_default_is_homogeneous_clique(self):
+        m = laptop(nodes=3)
+        assert m.topology is None and not m.heterogeneous
+        assert m.cores_for(1) == m.cores
+        assert m.speed_for(1) == 1.0
+
+    def test_topology_overrides_cores_and_speed(self):
+        het = Heterogeneity(speed=(0.5, 1.0, 2.0), cores=(1, 2, 3))
+        m = MachineSpec(nodes=3, cores=4, topology=clique(3, hetero=het))
+        assert m.heterogeneous
+        assert [m.cores_for(i) for i in range(3)] == [1, 2, 3]
+        assert [m.speed_for(i) for i in range(3)] == [0.5, 1.0, 2.0]
+
+    def test_with_nodes_drops_no_topology_silently(self):
+        """A topology pins the node count, so resizing must re-validate."""
+        m = MachineSpec(nodes=3, topology=chain(3))
+        with pytest.raises(ValueError, match="topology"):
+            m.with_nodes(5)

@@ -511,3 +511,111 @@ def test_http_round_trip(tmp_path):
         loop.call_soon_threadsafe(loop.stop)
         thread.join(10)
         loop.close()
+
+
+# --------------------------------------------------------------------------
+# size cap: LRU eviction and opportunistic compaction
+# --------------------------------------------------------------------------
+
+
+def _rec(i, pad=200):
+    return {"hash": f"h{i:04d}", "status": "ok", "pad": "x" * pad}
+
+
+def test_store_cap_evicts_least_recently_used(tmp_path):
+    store = ResultStore(tmp_path / "store", max_bytes=1200)
+    for i in range(8):
+        store.put(_rec(i))
+    assert len(store) < 8 and store.evictions > 0
+    assert store.get("h0000") is None  # coldest went first
+    assert store.get(f"h{7:04d}") is not None  # warmest survived
+
+
+def test_store_get_refreshes_recency(tmp_path):
+    store = ResultStore(tmp_path / "store", max_bytes=1200)
+    store.put(_rec(0))
+    store.put(_rec(1))
+    assert store.get("h0000") is not None  # warm h0000 back up
+    i = 2
+    while store.evictions == 0:
+        store.put(_rec(i))
+        i += 1
+    assert store.get("h0000") is not None, \
+        "a read must protect the record from eviction"
+    assert store.get("h0001") is None, "the cold record goes first"
+
+
+def test_store_cap_survives_reload(tmp_path):
+    root = tmp_path / "store"
+    store = ResultStore(root, max_bytes=1200)
+    for i in range(8):
+        store.put(_rec(i))
+    live = sorted(store.hashes())
+    # The capped log physically dropped evicted lines via compaction, so
+    # a reload (even uncapped) sees only the live working set.
+    reopened = ResultStore(root, max_bytes=1200)
+    assert sorted(reopened.hashes()) == live
+    assert reopened.corrupt_entries == 0
+
+
+def test_store_cap_validation_and_unbounded_default(tmp_path):
+    with pytest.raises(ValueError):
+        ResultStore(tmp_path / "a", max_bytes=0)
+    store = ResultStore(tmp_path / "b")
+    for i in range(50):
+        store.put(_rec(i))
+    assert len(store) == 50 and store.evictions == 0
+
+
+def test_store_cap_never_evicts_the_only_record(tmp_path):
+    store = ResultStore(tmp_path / "store", max_bytes=16)
+    store.put(_rec(0, pad=500))  # one oversized record stays usable
+    assert len(store) == 1 and store.get("h0000") is not None
+
+
+# --------------------------------------------------------------------------
+# topology participates in the content hash
+# --------------------------------------------------------------------------
+
+
+def test_topology_rotates_config_digest_not_structure():
+    from dataclasses import replace
+
+    from repro.topology import chain
+
+    m_chain = replace(MACHINE, topology=chain(
+        MACHINE.nodes, MACHINE.network.bandwidth, MACHINE.network.latency))
+    a, b = spec(), spec(machine=m_chain)
+    assert structure_key(a) == structure_key(b), \
+        "topology must not invalidate structure-level memoization"
+    assert config_digest(a) != config_digest(b)
+
+
+def test_topology_spec_round_trips_through_json(tmp_path):
+    from dataclasses import replace
+
+    from repro.topology import Heterogeneity, star
+
+    topo = star(MACHINE.nodes, switch_bandwidth=2e9,
+                hetero=Heterogeneity(speed=(0.5,) * MACHINE.nodes))
+    s = spec(machine=replace(MACHINE, topology=topo))
+    text = json.dumps(s.to_dict())
+    assert "Infinity" not in text
+    back = JobSpec.from_dict(json.loads(text))
+    assert back == s
+    assert back.machine_spec().topology == topo
+
+
+def test_topology_point_is_cached_like_any_other(tmp_path):
+    from dataclasses import replace
+
+    from repro.topology import chain
+
+    m = replace(MACHINE, topology=chain(
+        MACHINE.nodes, MACHINE.network.bandwidth, MACHINE.network.latency))
+    with SweepClient(store=tmp_path / "store") as client:
+        cold = client.submit(spec(machine=m)).raise_for_status()
+        assert not cold.cached and client.simulations_run() == 1
+        warm = client.submit(spec(machine=m)).raise_for_status()
+        assert warm.cached and client.simulations_run() == 1
+        assert report_to_dict(warm.report) == report_to_dict(cold.report)

@@ -1,0 +1,183 @@
+"""Tests for the interconnect topology / heterogeneity layer.
+
+Pins the properties the engines' bit-equality contract rests on:
+deterministic minimum-hop routing (lowest-id tie-break), canonical link
+normalization, value-equal spec round-trips (the sweep service hashes
+the spec), and route-deterministic loss rolls.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.runtime.faults import FaultPlan
+from repro.topology import (
+    Heterogeneity,
+    Link,
+    Topology,
+    chain,
+    clique,
+    fat_tree,
+    grid,
+    ring,
+    star,
+    topology_from_spec,
+    topology_to_spec,
+)
+
+
+class TestBuilders:
+    def test_clique_links_every_pair(self):
+        t = clique(5)
+        assert len(t.links) == 5 * 4 // 2
+        assert t.num_switches == 0 and t.kind == "clique"
+
+    def test_chain_and_ring_shapes(self):
+        assert len(chain(6).links) == 5
+        assert len(ring(6).links) == 6
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_grid_link_count(self):
+        t = grid(3, 4)
+        assert t.num_nodes == 12
+        assert len(t.links) == 3 * 3 + 2 * 4  # horizontal + vertical
+        with pytest.raises(ValueError):
+            grid(0, 4)
+
+    def test_star_routes_through_the_hub(self):
+        t = star(4)
+        assert t.num_switches == 1
+        ct = t.compiled()
+        assert all(len(ct.pair_edges(s, d)) == 2
+                   for s in range(4) for d in range(4) if s != d)
+
+    def test_fat_tree_degenerates_to_star(self):
+        assert fat_tree(4, arity=8).num_switches == 1
+        t = fat_tree(6, arity=3)
+        assert t.num_switches == 3  # two leaves + core
+        ct = t.compiled()
+        assert len(ct.pair_edges(0, 1)) == 2  # same leaf: up, down
+        assert len(ct.pair_edges(0, 5)) == 4  # cross leaf: via the core
+
+
+class TestTopologyModel:
+    def test_links_are_canonicalized(self):
+        t = Topology(3, (Link(2, 1), Link(1, 0)))
+        assert [(ln.u, ln.v) for ln in t.links] == [(0, 1), (1, 2)]
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            Link(1, 1)  # self loop
+        with pytest.raises(ValueError):
+            Link(0, 1, bandwidth=0.0)
+        with pytest.raises(ValueError):
+            Topology(2, (Link(0, 1), Link(1, 0)))  # duplicate
+        with pytest.raises(ValueError):
+            Topology(2, (Link(0, 5),))  # out of range
+        with pytest.raises(ValueError):
+            Topology(2, (Link(0, 1),), speed=(1.0,))  # wrong length
+        with pytest.raises(ValueError):
+            Topology(2, (Link(0, 1),), cores=(2, 0))
+        with pytest.raises(ValueError):
+            Topology(2, (Link(0, 1),), num_switches=1,
+                     switch_bandwidth=(1e9, 1e9))
+
+    def test_disconnected_topology_rejected(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            Topology(3, (Link(0, 1),)).compiled()
+
+    def test_heterogeneity_overlay(self):
+        het = Heterogeneity.alternating(4, slow_speed=0.5)
+        t = chain(4, hetero=het)
+        assert t.speed == (0.5, 1.0, 0.5, 1.0)
+        assert t.heterogeneous
+        assert not chain(4).heterogeneous
+        with pytest.raises(ValueError):
+            chain(3).with_heterogeneity(het)  # length mismatch
+        with pytest.raises(ValueError):
+            Heterogeneity(speed=(0.0,))
+        with pytest.raises(ValueError):
+            Heterogeneity.alternating(4, period=0)
+
+
+class TestRouting:
+    def test_chain_routes_walk_the_line(self):
+        ct = chain(5, latency=2e-6).compiled()
+        assert len(ct.pair_edges(0, 4)) == 4
+        assert ct.pair_lat[0 * 5 + 4] == pytest.approx(4 * 2e-6)
+        assert ct.max_hops == 4
+
+    def test_ring_tie_breaks_toward_lowest_id(self):
+        # 0 -> 2 on a 4-ring has two 2-hop routes (via 1 or via 3); the
+        # ascending-id BFS must deterministically pick the one via 1.
+        ct = ring(4).compiled()
+        hops = ct.pair_edges(0, 2)
+        assert len(hops) == 2
+        assert ct.edge_v[hops[0]] == 1
+
+    def test_routes_are_deterministic_across_compiles(self):
+        a, b = grid(3, 3).compiled(), grid(3, 3).compiled()
+        assert a.path_eid == b.path_eid and a.path_ptr == b.path_ptr
+
+    def test_uniform_clique_is_single_hop(self):
+        ct = clique(4, bandwidth=1e9, latency=1e-6).compiled()
+        for s in range(4):
+            for d in range(4):
+                if s != d:
+                    (e,) = ct.pair_edges(s, d)
+                    assert ct.edge_bw[e] == 1e9
+                    assert ct.pair_lat[s * 4 + d] == 1e-6
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("topo", [
+        clique(3),
+        chain(4, bandwidth=1e9, latency=5e-6),
+        star(4, switch_bandwidth=2e9),
+        star(4),  # inf backplane -> null in JSON
+        fat_tree(6, arity=3, uplink_bandwidth=1.5e9),
+        grid(2, 3, hetero=Heterogeneity(speed=(0.5, 1, 1, 1, 2, 1),
+                                        cores=(1, 2, 2, 3, 2, 2))),
+    ], ids=lambda t: t.kind)
+    def test_value_equal_round_trip(self, topo):
+        spec = topology_to_spec(topo)
+        s = json.dumps(spec)
+        assert "Infinity" not in s  # inf must travel as null
+        assert topology_from_spec(json.loads(s)) == topo
+
+    def test_none_stays_none(self):
+        assert topology_to_spec(None) is None
+        assert topology_from_spec(None) is None
+
+    def test_inf_switch_bandwidth_round_trips(self):
+        spec = topology_to_spec(star(3))
+        assert spec["switch_bandwidth"] == [None]
+        back = topology_from_spec(spec)
+        assert back.switch_bandwidth == (math.inf,)
+
+
+class TestRollLoss:
+    def test_loss_stream_depends_only_on_the_route(self):
+        plan = FaultPlan(seed=7, loss_rate=0.3)
+        ct = chain(4).compiled()
+        rolls1 = [ct.roll_loss(plan.loss_state(), 0, 3) for _ in range(1)]
+        state = plan.loss_state()
+        rolls2 = [ct.roll_loss(state, 0, 3)]
+        assert rolls1 == rolls2  # fresh counters => identical stream
+
+    def test_single_hop_equals_scalar_loss(self):
+        plan = FaultPlan(seed=3, loss_rate=0.5)
+        ct = clique(3).compiled()
+        a, b = plan.loss_state(), plan.loss_state()
+        for _ in range(32):
+            assert ct.roll_loss(a, 0, 2) == b.lost(0, 2)
+
+    def test_multi_hop_rolls_every_edge(self):
+        plan = FaultPlan(seed=5, loss_rate=0.4)
+        ct = chain(3).compiled()
+        state = plan.loss_state()
+        ct.roll_loss(state, 0, 2)
+        # Both hops' counters advanced exactly once.
+        assert state._counts == {(0, 1): 1, (1, 2): 1}
