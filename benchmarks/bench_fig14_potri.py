@@ -46,7 +46,8 @@ def test_fig14_potri(run_once):
     series = run_once(sweep)
     print_header(
         "Figure 14: POTRI GFlop/s per node and volume (GB), P=28",
-        f"{'n':>8} {'2DBC':>9} {'SBC':>9} {'remap':>9} | {'vol 2DBC':>9} {'vol SBC':>9} {'vol remap':>9}",
+        f"{'n':>8} {'2DBC':>9} {'SBC':>9} {'remap':>9} | "
+        f"{'vol 2DBC':>9} {'vol SBC':>9} {'vol remap':>9}",
     )
     for i, N in enumerate(NS):
         print(

@@ -92,8 +92,37 @@ def sweep(client: SweepClient):
     return rows
 
 
+#: Cached model-checking certificates (one small-scope sweep per process).
+_CERTS = None
+
+
+def _certified():
+    """Deadlock/starvation-freedom certificates for the whole zoo.
+
+    The tournament refuses to rank policies the small-scope model
+    checker (``repro.analyze.mc``) has not certified: a policy that can
+    deadlock or starve a ready task would win rankings vacuously.
+    Raises RuntimeError when any certificate fails verification.
+    """
+    global _CERTS
+    if _CERTS is None:
+        from repro.analyze import require_certificates
+
+        _CERTS = require_certificates(sorted(POLICIES))
+    return _CERTS
+
+
 def _rankings(rows):
-    """Per (dist, faults) group: policies ordered by makespan and volume."""
+    """Per (dist, faults) group: policies ordered by makespan and volume.
+
+    Ranking is gated on :func:`_certified` — every participating policy
+    must hold a valid model-checking certificate first.
+    """
+    certs = _certified()
+    missing = sorted({r["policy"] for r in rows} - set(certs))
+    if missing:
+        raise RuntimeError(
+            f"policies without model-check certificates: {missing}")
     groups = {}
     for r in rows:
         groups.setdefault((r["dist"], r["faults"]), []).append(r)

@@ -1,6 +1,6 @@
 """Static analysis over graphs, schedules, traces, and the codebase.
 
-Three passes, one findings model, one CLI (``python -m repro.analyze``):
+Five passes, one findings model, one CLI (``python -m repro.analyze``):
 
 * :mod:`repro.analyze.schedule` — proves well-formedness of a compiled
   schedule (acyclicity, single-writer, owner-computes, byte
@@ -11,19 +11,46 @@ Three passes, one findings model, one CLI (``python -m repro.analyze``):
   deliveries, stale retransmits, run-to-run determinism;
 * :mod:`repro.analyze.lint` — AST rules over the repository itself
   (no unseeded randomness, no wall-clock in the simulator, TaskEvent
-  coverage of every runtime, engine-equality test coverage).
+  coverage of every runtime, engine-equality test coverage);
+* :mod:`repro.analyze.flow` — a CFG + intraprocedural dataflow engine
+  over the repository source: blocking calls reachable on the event
+  loop, coroutines never awaited, unlocked loop/worker shared state,
+  set-iteration order feeding schedule decisions, and int32 index
+  overflow in the compiled-graph hot paths (FLOW-* rules);
+* :mod:`repro.analyze.mc` — a small-scope explicit-state model checker
+  that exhaustively explores every scheduler policy on small compiled
+  graphs and emits per-policy deadlock/starvation-freedom certificates
+  (MC-* rules) that the policy tournament requires before ranking.
 
 :mod:`repro.analyze.mutate` keeps all of the above honest: a seeded
-harness injects known-bad schedules and traces and fails loudly unless
-every injected defect class is detected.
+harness injects known-bad schedules, traces, source snippets, and
+scheduler disciplines, and fails loudly unless every injected defect
+class is detected.  :mod:`repro.analyze.sarif` renders any findings
+report as SARIF 2.1.0 for GitHub code scanning.
 
 The rule catalogue and severity contract live in ``docs/analyze.md``.
 """
 
-from .findings import Finding, Report, Severity
+from .findings import (
+    REPORT_VERSION,
+    Finding,
+    Report,
+    Severity,
+    severity_rank,
+)
+from .flow import flow_module, flow_sources
 from .lint import lint_repo, lint_sources
+from .mc import (
+    ModelCheckResult,
+    certify_policies,
+    model_check,
+    require_certificates,
+    small_scope_cases,
+    verify_certificate,
+)
 from .mutate import build_baseline, run_mutation_harness, self_test
 from .races import compare_traces, detect_races
+from .sarif import to_sarif, write_sarif
 from .schedule import (
     kahn_order,
     verify_all,
@@ -37,6 +64,8 @@ __all__ = [
     "Finding",
     "Report",
     "Severity",
+    "REPORT_VERSION",
+    "severity_rank",
     "verify_compiled",
     "verify_sbc",
     "verify_theorem1",
@@ -47,6 +76,16 @@ __all__ = [
     "compare_traces",
     "lint_repo",
     "lint_sources",
+    "flow_module",
+    "flow_sources",
+    "model_check",
+    "ModelCheckResult",
+    "small_scope_cases",
+    "certify_policies",
+    "verify_certificate",
+    "require_certificates",
+    "to_sarif",
+    "write_sarif",
     "build_baseline",
     "run_mutation_harness",
     "self_test",

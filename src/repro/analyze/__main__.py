@@ -7,6 +7,12 @@ Modes (combinable; ``--all`` turns everything on):
   schedule verifier on each, including SBC symmetry and the Theorem 1
   volume bound where the distribution is an SBC;
 * ``--lint`` — AST invariant rules over ``src/`` + ``tests/``;
+* ``--flow`` — CFG + dataflow concurrency/determinism rules (FLOW-*)
+  over ``src/repro`` (event-loop blocking, lost coroutines, unlocked
+  shared state, set-order hazards, int32 index overflow);
+* ``--mc`` — small-scope explicit-state model checker: every scheduler
+  policy is exhaustively explored on the small-scope graph matrix and
+  certified deadlock-free / starvation-free (MC-*);
 * ``--races [TRACE [TRACE2]]`` — with no path, run a seeded traced
   simulation and race-check it (plus a replay determinism check); with
   one JSONL trace, race-check it against the graph named by
@@ -15,8 +21,13 @@ Modes (combinable; ``--all`` turns everything on):
   class must be detected (the no-false-negative gate).
 
 ``--report PATH`` writes the machine-readable findings document that CI
-publishes as an artifact.  Exit status is 0 iff no error-severity
-finding was produced (``--strict`` also fails on warnings).
+publishes as an artifact; ``--sarif PATH`` writes the same findings as
+SARIF 2.1.0 for GitHub code scanning; ``--certificates DIR`` stores the
+per-policy model-checking certificates ``--mc`` proves.  Compiled-graph
+builds are memoized for the whole invocation under the sweep service's
+structure keys, so ``--all`` builds each distinct graph once.  Exit
+status is 0 iff no error-severity finding was produced (``--strict``
+also fails on warnings).
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ import argparse
 import sys
 from collections.abc import Callable
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 from ..distributions.base import Distribution
 from ..distributions.block_cyclic import BlockCyclic2D
@@ -47,9 +58,12 @@ from ..obs.events import Recorder
 from ..obs.export import read_jsonl
 from ..runtime.simulator.engine import simulate
 from .findings import Report, Severity
+from .flow import flow_sources
 from .lint import lint_sources
-from .mutate import build_baseline, self_test
+from .mc import certify_policies
+from .mutate import Baseline, build_baseline, self_test
 from .races import compare_traces, detect_races
+from .sarif import write_sarif
 from .schedule import verify_all, verify_policy_placement
 
 #: One row of the builder verification matrix:
@@ -57,8 +71,62 @@ from .schedule import verify_all, verify_policy_placement
 #: or None, tile count for the SBC rules)).
 Case = tuple[str, Callable[[], tuple[Any, ...]]]
 
+AnyDist = Union[Distribution, TwoDotFiveD]
 
-def _matrix() -> list[Case]:
+
+class _GraphMemo:
+    """In-run graph cache keyed by the sweep service's structure keys.
+
+    ``--graphs`` historically rebuilt every graph from scratch in each
+    pass: the 14-case builder matrix, then the policy zoo over the same
+    Cholesky graphs again.  The service already defines the canonical
+    identity of a built graph — ``structure_key(JobSpec)``, the key its
+    store memoizes structures under — so the CLI reuses that exact key
+    (namespaced ``object:`` / ``compiled:`` for the two build layers).
+
+    Graphs the service cannot describe (POSV/POTRI, remap variants)
+    fall through unmemoized, and the *direct* compilers
+    (``compile_cholesky`` / ``compile_lu``) are deliberately never
+    served from the memo: those matrix rows exist to cross-check an
+    independently built plan against the generic lowering.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[str, Any] = {}
+        self.hits = 0
+        self.builds = 0
+
+    def _skey(self, algorithm: str, ntiles: int, b: int,
+              dist: AnyDist) -> Optional[str]:
+        from ..config import laptop
+        from ..service import JobSpec, structure_key
+
+        if algorithm not in ("cholesky", "lu"):
+            return None
+        try:
+            spec = JobSpec.make(algorithm, ntiles, b, dist, laptop())
+        except (TypeError, ValueError):
+            return None
+        return structure_key(spec)
+
+    def fetch(self, namespace: str, algorithm: str, ntiles: int, b: int,
+              dist: AnyDist, build: Callable[[], Any]) -> Any:
+        skey = self._skey(algorithm, ntiles, b, dist)
+        if skey is None:
+            return build()
+        key = f"{namespace}:{skey}"
+        if key in self._cache:
+            self.hits += 1
+        else:
+            self.builds += 1
+            self._cache[key] = build()
+        return self._cache[key]
+
+    def stats(self) -> str:
+        return f"{self.hits} reuse(s), {self.builds} memoized build(s)"
+
+
+def _matrix(memo: Optional[_GraphMemo] = None) -> list[Case]:
     """Every shipped graph builder × the distributions it supports.
 
     Sizes are chosen so the whole matrix verifies in seconds while still
@@ -66,34 +134,51 @@ def _matrix() -> list[Case]:
     """
     N, b = 8, 32
     Ninv = 6
+    memo = memo if memo is not None else _GraphMemo()
+
+    def object_graph(algorithm: str, n: int, dist: AnyDist) -> TaskGraph:
+        builders = {"cholesky": build_cholesky_graph, "lu": build_lu_graph}
+        graph: TaskGraph = memo.fetch(
+            "object", algorithm, n, b, dist,
+            lambda: builders[algorithm](n, b, dist))
+        return graph
+
+    def generic(algorithm: str, n: int, dist: AnyDist) -> CompiledGraph:
+        g = object_graph(algorithm, n, dist)
+        cg: CompiledGraph = memo.fetch(
+            "compiled", algorithm, n, b, dist, lambda: compile_graph(g))
+        return cg
 
     def cholesky(
         dist: Distribution, n: int = N
     ) -> tuple[CompiledGraph, Distribution, TaskGraph, int]:
-        g = build_cholesky_graph(n, b, dist)
-        return compile_graph(g), dist, g, n
+        return (generic("cholesky", n, dist), dist,
+                object_graph("cholesky", n, dist), n)
 
     def cholesky_direct(
         dist: Distribution, n: int = N
     ) -> tuple[CompiledGraph, Distribution, TaskGraph, int]:
         # The direct compiler has no DataKey table; cross-check its plan
-        # against the object graph built with identical parameters.
-        g = build_cholesky_graph(n, b, dist)
+        # against the object graph built with identical parameters.  The
+        # direct build itself must stay un-memoized — it is the
+        # independent half of the comparison.
+        g = object_graph("cholesky", n, dist)
         return compile_cholesky(n, b, dist), dist, g, n
 
     def cholesky_25d(c: int) -> tuple[CompiledGraph, None, TaskGraph, int]:
         d25 = TwoDotFiveD(BlockCyclic2D(2, 2), c)
         g = build_cholesky_graph_25d(N, b, d25)
         # 2.5D runs tasks on slice copies: no single owner per tile, so
-        # the distribution-level rules do not apply (dist=None).
+        # the distribution-level rules do not apply (dist=None).  The
+        # 2.5D builders also have their own graph shape — not the
+        # service's `cholesky` structure — so they bypass the memo.
         return compile_graph(g), None, g, N
 
     def lu(dist: Distribution) -> tuple[CompiledGraph, Distribution, TaskGraph, int]:
-        g = build_lu_graph(N, b, dist)
-        return compile_graph(g), dist, g, N
+        return generic("lu", N, dist), dist, object_graph("lu", N, dist), N
 
     def lu_direct(dist: Distribution) -> tuple[CompiledGraph, Distribution, TaskGraph, int]:
-        g = build_lu_graph(N, b, dist)
+        g = object_graph("lu", N, dist)
         return compile_lu(N, b, dist), dist, g, N
 
     def lu_25d(c: int) -> tuple[CompiledGraph, None, TaskGraph, int]:
@@ -133,10 +218,11 @@ def _matrix() -> list[Case]:
     ]
 
 
-def run_graphs(quiet: bool = False) -> Report:
+def run_graphs(quiet: bool = False,
+               memo: Optional[_GraphMemo] = None) -> Report:
     """Verify the full builder matrix."""
     rep = Report()
-    for name, thunk in _matrix():
+    for name, thunk in _matrix(memo):
         cg, dist, graph, n, *extra = thunk()
         # A remap graph spans two distributions; the valid node range is
         # their union.
@@ -153,20 +239,27 @@ def run_graphs(quiet: bool = False) -> Report:
     return rep
 
 
-def run_policies(quiet: bool = False) -> Report:
+def run_policies(quiet: bool = False,
+                 memo: Optional[_GraphMemo] = None) -> Report:
     """SCHED-PLACE over the scheduler policy zoo.
 
     Every registered policy plans a Cholesky graph on an SBC and a 2DBC
     distribution; non-migrating policies must keep every task on its
-    owner-computes node, migrating ones must stay on the machine.
+    owner-computes node, migrating ones must stay on the machine.  The
+    graphs are the same two the builder matrix verifies, so with a
+    shared memo this pass performs no builds at all.
     """
     from ..config import laptop
     from ..schedulers import POLICIES
 
     N, b = 8, 32
+    memo = memo if memo is not None else _GraphMemo()
     rep = Report()
     for dist in (SymmetricBlockCyclic(4), BlockCyclic2D(2, 4)):
-        cg = compile_graph(build_cholesky_graph(N, b, dist))
+        cg: CompiledGraph = memo.fetch(
+            "compiled", "cholesky", N, b, dist,
+            lambda dist=dist: compile_graph(  # type: ignore[misc]
+                build_cholesky_graph(N, b, dist)))
         machine = laptop(nodes=dist.num_nodes, cores=2)
         name = f"cholesky/{dist.name}"
         for pname in sorted(POLICIES):
@@ -178,9 +271,10 @@ def run_policies(quiet: bool = False) -> Report:
     return rep
 
 
-def run_traced_races(quiet: bool = False) -> Report:
+def run_traced_races(quiet: bool = False,
+                     base: Optional[Baseline] = None) -> Report:
     """Simulate the baseline with tracing on; race- and replay-check it."""
-    base = build_baseline()
+    base = base if base is not None else build_baseline()
     rep = detect_races(base.recorder, base.cg, name="simulated")
     rerun = Recorder(source="simulator")
     simulate(base.graph, base.machine, trace=True, recorder=rerun)
@@ -215,9 +309,10 @@ def _trace_graph(spec: str) -> tuple[CompiledGraph, TaskGraph]:
     return compile_graph(g), g
 
 
-def run_races(paths: list[str], spec: str, quiet: bool = False) -> Report:
+def run_races(paths: list[str], spec: str, quiet: bool = False,
+              base: Optional[Baseline] = None) -> Report:
     if not paths:
-        return run_traced_races(quiet=quiet)
+        return run_traced_races(quiet=quiet, base=base)
     if len(paths) == 1:
         cg, _ = _trace_graph(spec)
         rec = read_jsonl(paths[0])
@@ -238,18 +333,51 @@ def run_lint(root: Path, quiet: bool = False) -> Report:
     return rep
 
 
+def run_flow(root: Path, quiet: bool = False) -> Report:
+    rep = flow_sources(src_root=root / "src")
+    if not quiet:
+        state = "ok" if rep.ok() else "FAIL"
+        print(f"  {state:4s} flow ({rep.passes.get('flow', 0)} files)")
+    return rep
+
+
+def run_mc(quiet: bool = False,
+           out_dir: Optional[str] = None) -> Report:
+    """Certify every registered policy on the small-scope matrix."""
+    certs, rep = certify_policies(out_dir=out_dir)
+    if not quiet:
+        for name in sorted(certs):
+            cert = certs[name]
+            state = "ok" if cert["all_ok"] else "FAIL"
+            states = sum(c["states"] for c in cert["cases"])
+            print(f"  {state:4s} {name:26s} "
+                  f"({len(cert['cases'])} cases, {states} states)")
+        if out_dir is not None:
+            print(f"  certificates written to {out_dir}/")
+    return rep
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro.analyze",
-        description="Schedule verifier, trace race detector, and "
+        description="Schedule verifier, trace race detector, dataflow "
+                    "concurrency linter, scheduler model checker, and "
                     "codebase invariant linter.",
     )
     ap.add_argument("--all", action="store_true",
-                    help="run every pass (graphs, lint, races, self-test)")
+                    help="run every pass (graphs, lint, flow, mc, races, "
+                         "self-test)")
     ap.add_argument("--graphs", action="store_true",
                     help="verify every shipped graph builder")
     ap.add_argument("--lint", action="store_true",
                     help="AST invariant rules over src/ and tests/")
+    ap.add_argument("--flow", action="store_true",
+                    help="dataflow concurrency rules (FLOW-*) over src/")
+    ap.add_argument("--mc", action="store_true",
+                    help="model-check every scheduler policy (MC-*)")
+    ap.add_argument("--certificates", metavar="DIR", default=None,
+                    help="write per-policy model-check certificates here "
+                         "(implies --mc)")
     ap.add_argument("--races", nargs="*", metavar="TRACE", default=None,
                     help="race-check a trace (none: simulate one; one: "
                          "JSONL vs --trace-graph; two: determinism diff)")
@@ -263,8 +391,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                     help="mutation-harness seed (default %(default)s)")
     ap.add_argument("--report", metavar="PATH",
                     help="write the JSON findings document here")
+    ap.add_argument("--sarif", metavar="PATH",
+                    help="write the findings as SARIF 2.1.0 here")
     ap.add_argument("--root", default=".",
-                    help="repository root for --lint (default: cwd)")
+                    help="repository root for --lint/--flow (default: cwd)")
     ap.add_argument("--strict", action="store_true",
                     help="exit nonzero on warnings too")
     ap.add_argument("-q", "--quiet", action="store_true",
@@ -273,25 +403,44 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     do_graphs = args.all or args.graphs
     do_lint = args.all or args.lint
+    do_flow = args.all or args.flow
+    do_mc = args.all or args.mc or args.certificates is not None
     do_races = args.all or args.races is not None
     do_selftest = args.all or args.self_test
-    if not (do_graphs or do_lint or do_races or do_selftest):
+    if not (do_graphs or do_lint or do_flow or do_mc or do_races
+            or do_selftest):
         ap.print_help()
         return 2
 
     rep = Report()
+    memo = _GraphMemo()
+    # --races (traced mode) and --self-test both start from the seeded
+    # baseline simulation; under --all build it once and share it.
+    base: Optional[Baseline] = None
+    if do_selftest and do_races and not args.races:
+        base = build_baseline()
     if do_graphs:
         if not args.quiet:
             print("[schedule] verifying graph builders")
-        rep.extend(run_graphs(quiet=args.quiet))
+        rep.extend(run_graphs(quiet=args.quiet, memo=memo))
         if not args.quiet:
             print("[schedule] verifying scheduler-policy placement")
-        rep.extend(run_policies(quiet=args.quiet))
+        rep.extend(run_policies(quiet=args.quiet, memo=memo))
+        if not args.quiet:
+            print(f"  graph memo: {memo.stats()}")
+    if do_flow:
+        if not args.quiet:
+            print("[flow] dataflow concurrency rules")
+        rep.extend(run_flow(Path(args.root), quiet=args.quiet))
+    if do_mc:
+        if not args.quiet:
+            print("[mc] model-checking scheduler policies")
+        rep.extend(run_mc(quiet=args.quiet, out_dir=args.certificates))
     if do_races:
         if not args.quiet:
             print("[races] happens-before analysis")
         rep.extend(run_races(args.races or [], args.trace_graph,
-                             quiet=args.quiet))
+                             quiet=args.quiet, base=base))
     if do_lint:
         if not args.quiet:
             print("[lint] codebase invariants")
@@ -299,12 +448,17 @@ def main(argv: Optional[list[str]] = None) -> int:
     if do_selftest:
         if not args.quiet:
             print("[self-test] mutation harness")
-        rep.extend(self_test(seed=args.seed, verbose=not args.quiet))
+        rep.extend(self_test(seed=args.seed, verbose=not args.quiet,
+                             base=base))
 
     if args.report:
         rep.write(args.report)
         if not args.quiet:
             print(f"findings report written to {args.report}")
+    if args.sarif:
+        write_sarif(rep, args.sarif)
+        if not args.quiet:
+            print(f"SARIF report written to {args.sarif}")
     interesting = [f for f in rep
                    if f.severity != Severity.INFO or not rep.ok()]
     if interesting or not args.quiet:

@@ -23,10 +23,17 @@ from collections.abc import Iterable, Iterator
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-__all__ = ["Severity", "Finding", "Report", "SEVERITIES"]
+__all__ = [
+    "Severity", "Finding", "Report", "SEVERITIES", "REPORT_VERSION",
+    "severity_rank",
+]
 
 #: Recognized severity levels, most severe first.
 SEVERITIES = ("error", "warning", "info")
+
+#: Schema version of :meth:`Report.to_dict`.  Version 2 added the
+#: per-rule ``rules`` summary; :meth:`Report.from_dict` accepts 1 and 2.
+REPORT_VERSION = 2
 
 
 class Severity:
@@ -35,6 +42,18 @@ class Severity:
     ERROR = "error"
     WARNING = "warning"
     INFO = "info"
+
+
+def severity_rank(severity: str) -> int:
+    """Stable ordering key: 0 = error, 1 = warning, 2 = info.
+
+    Unknown severities sort last so a forward-compatible reader never
+    promotes them above real errors.
+    """
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        return len(SEVERITIES)
 
 
 @dataclass(frozen=True)
@@ -108,6 +127,11 @@ class Report:
             seen.setdefault(f.rule, None)
         return list(seen)
 
+    def ordered(self) -> list[Finding]:
+        """Findings sorted by severity (errors first), stably: findings
+        of equal severity keep their discovery order."""
+        return sorted(self.findings, key=lambda f: severity_rank(f.severity))
+
     @property
     def num_errors(self) -> int:
         return len(self.by_severity(Severity.ERROR))
@@ -128,14 +152,24 @@ class Report:
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> dict[str, object]:
+        rules: dict[str, dict[str, object]] = {}
+        for f in self.findings:
+            row = rules.setdefault(
+                f.rule, {"id": f.rule, "count": 0,
+                         "max_severity": f.severity})
+            row["count"] = int(row["count"]) + 1  # type: ignore[call-overload]
+            if severity_rank(f.severity) < severity_rank(
+                    str(row["max_severity"])):
+                row["max_severity"] = f.severity
         return {
-            "version": 1,
+            "version": REPORT_VERSION,
             "passes": dict(self.passes),
             "summary": {
                 "errors": self.num_errors,
                 "warnings": self.num_warnings,
                 "info": len(self.by_severity(Severity.INFO)),
             },
+            "rules": [rules[r] for r in sorted(rules)],
             "findings": [asdict(f) for f in self.findings],
         }
 
@@ -150,6 +184,12 @@ class Report:
 
     @classmethod
     def from_dict(cls, doc: dict[str, object]) -> "Report":
+        """Parse a serialized report.  Accepts schema versions 1 and 2
+        (the v2 ``rules`` summary is derived, so it is recomputed rather
+        than trusted)."""
+        version = doc.get("version", 1)
+        if version not in (1, REPORT_VERSION):
+            raise ValueError(f"unsupported report version {version!r}")
         rep = cls()
         passes = doc.get("passes", {})
         if isinstance(passes, dict):

@@ -1,0 +1,696 @@
+"""Pass 5: small-scope explicit-state model checker for scheduler policies.
+
+Where the schedule verifier proves properties of one *static* plan and
+the race detector checks one *recorded* interleaving, this pass checks
+**all** interleavings: it explores every reachable state of the untimed
+scheduling semantics shared by both simulator engines — ready tasks
+start immediately on a free worker, backlog waits in the policy's
+:class:`~repro.schedulers.ReadyQueue`, a completion releases its
+consumers and re-pops the freed worker — for every
+:class:`~repro.schedulers.SchedulerInterface` policy against a matrix
+of small compiled graphs (N <= 8, P <= 4, clique + chain + grid
+interconnects).  Task durations are abstracted away, so the only
+nondeterminism is *which running task completes next*; exhausting those
+choices covers every schedule either engine (or a real runtime with
+jittery kernels) can produce.
+
+Properties proved per policy, for all interleavings:
+
+* ``MC-DEADLOCK`` — deadlock-freedom: no reachable state has unfinished
+  tasks but nothing running (a queue that strands or drops tasks);
+* ``MC-STARVE``   — starvation-freedom: a free worker and a non-empty
+  node backlog always yield an assignment (``pop`` may not refuse);
+  with finite graphs and eager dispatch this, plus deadlock-freedom,
+  implies every ready task is eventually assigned on every path;
+* ``MC-QUEUE``    — queue accounting: ``depth``/``total`` agree with
+  the model's push/pop ledger and ``pop`` only returns tasks it was
+  given, on the node it was given them;
+* ``MC-PLACE``    — owner-computes / migration-declaration safety: a
+  plan's assignment stays on the data's node unless the policy declares
+  ``migrates = True``, and always inside the machine;
+* ``MC-SCOPE``    — the state cap was hit before the space was
+  exhausted (the certificate is then *not* issued).
+
+The exploration memoizes canonical state fingerprints and applies a
+partial-order reduction for native-queue policies: when a running
+task's *node footprint* (its own node plus every consumer's node) is
+disjoint from every other running task's, its completion commutes with
+theirs — per-node worker counters, per-node heaps and disjoint
+missing-counter decrements — so it is expanded as a singleton ample
+set.  Foreign ``ReadyQueue`` disciplines (work stealing, seeded
+mutants) get no reduction: their internal state may couple nodes, so
+every interleaving is explored.
+
+Each policy's run is summarised in a machine-checkable **certificate**
+(JSON, sha256 content digest; :func:`verify_certificate` re-checks it)
+that ``benchmarks/bench_scheduler_tournament.py`` requires before a
+policy may be ranked, via :func:`require_certificates`.
+
+Run via ``python -m repro.analyze --mc`` (or ``--all``); wired into CI
+as a blocking step.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import heapq
+import json
+import pickle
+from dataclasses import replace
+from pathlib import Path
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+from .findings import Report
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..config import MachineSpec
+    from ..graph.compiled import CompiledGraph
+    from ..schedulers import SchedulerInterface
+
+__all__ = [
+    "CERT_SCHEMA",
+    "ModelCheckResult",
+    "certify_policies",
+    "model_check",
+    "require_certificates",
+    "small_scope_cases",
+    "verify_certificate",
+]
+
+#: Certificate document schema version.
+CERT_SCHEMA = 1
+
+#: Default per-case explored-state budget; exceeding it raises
+#: ``MC-SCOPE`` and withholds the certificate.
+DEFAULT_MAX_STATES = 200_000
+
+
+# ---------------------------------------------------------------------------
+# Queue models
+# ---------------------------------------------------------------------------
+
+class _NativeQueue:
+    """Bit-exact model of the engines' native ready discipline.
+
+    ``repro.runtime.simulator.engine._NodeState`` keeps one max-priority
+    heap per node with FIFO tie-breaking via a push sequence number;
+    this mirrors it (and the compiled engine's vectorized equivalent).
+    """
+
+    __slots__ = ("heaps", "seq")
+
+    def __init__(self, nodes: int) -> None:
+        self.heaps: list[list[tuple[float, int, int]]] = [[] for _ in range(nodes)]
+        self.seq = 0
+
+    def push(self, node: int, task: int, priority: float) -> None:
+        self.seq += 1
+        heapq.heappush(self.heaps[node], (-priority, self.seq, task))
+
+    def pop(self, node: int) -> Optional[int]:
+        if not self.heaps[node]:
+            return None
+        return heapq.heappop(self.heaps[node])[2]
+
+    def depth(self, node: int) -> int:
+        return len(self.heaps[node])
+
+    def total(self) -> int:
+        return sum(len(h) for h in self.heaps)
+
+    def clone(self) -> "_NativeQueue":
+        q = _NativeQueue(0)
+        q.heaps = [list(h) for h in self.heaps]
+        q.seq = self.seq
+        return q
+
+    def fingerprint(self) -> tuple[tuple[tuple[float, int, int], ...], ...]:
+        """Canonical content: sorted heap entries with sequence numbers
+        renumbered in pop order, so two histories with identical pop
+        behaviour share one fingerprint."""
+        out = []
+        for heap in self.heaps:
+            entries = sorted(heap)
+            out.append(tuple((p, i, t) for i, (p, _, t) in enumerate(entries)))
+        return tuple(out)
+
+
+class _ForeignQueue:
+    """Adapter over a policy-supplied :class:`ReadyQueue` instance."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: Any) -> None:
+        self.queue = queue
+
+    def push(self, node: int, task: int, priority: float) -> None:
+        self.queue.push(node, task, priority)
+
+    def pop(self, node: int) -> Optional[int]:
+        tid = self.queue.pop(node)
+        return None if tid is None else int(tid)
+
+    def depth(self, node: int) -> int:
+        return int(self.queue.depth(node))
+
+    def total(self) -> int:
+        return int(self.queue.total())
+
+    def clone(self) -> "_ForeignQueue":
+        try:
+            # pickle round-trips 2-5x faster than deepcopy for the
+            # plain-container state real ReadyQueues keep.
+            return _ForeignQueue(pickle.loads(pickle.dumps(self.queue)))
+        except Exception:
+            return _ForeignQueue(copy.deepcopy(self.queue))
+
+    def fingerprint(self) -> Any:
+        state = vars(self.queue)
+        try:
+            return pickle.dumps(
+                (type(self.queue).__name__, sorted(state.items())))
+        except Exception:
+            return repr(sorted(state.items(), key=lambda kv: kv[0]))
+
+
+# ---------------------------------------------------------------------------
+# The untimed scheduling model
+# ---------------------------------------------------------------------------
+
+class _CaseError(Exception):
+    """One finding aborts the current case (properties already false)."""
+
+    def __init__(self, rule: str, message: str, hint: str) -> None:
+        super().__init__(message)
+        self.rule = rule
+        self.hint = hint
+
+
+class _Model:
+    """Shared-semantics transition system for one (graph, machine, plan)."""
+
+    def __init__(
+        self,
+        cg: "CompiledGraph",
+        machine: "MachineSpec",
+        placement: Sequence[int],
+        priorities: Sequence[float],
+        synchronized: bool,
+        queue_proto: Union[_NativeQueue, _ForeignQueue],
+    ) -> None:
+        n = cg.n_tasks
+        self.n_tasks = n
+        self.nodes = machine.nodes
+        self.cores = machine.cores
+        self.node_of = [int(x) for x in placement]
+        self.prio = [float(x) for x in priorities]
+        self.synchronized = synchronized
+        self.queue_proto = queue_proto
+        self.all_done = (1 << n) - 1
+
+        read_ptr = cg.read_ptr
+        read_ids = cg.read_ids
+        producer = cg.data_producer
+        deps_mask = [0] * n
+        consumers: list[list[int]] = [[] for _ in range(n)]
+        for t in range(n):
+            for e in range(int(read_ptr[t]), int(read_ptr[t + 1])):
+                p = int(producer[int(read_ids[e])])
+                if p >= 0 and p != t:
+                    if not (deps_mask[t] >> p) & 1:
+                        deps_mask[t] |= 1 << p
+                        consumers[p].append(t)
+        self.deps_mask = deps_mask
+        self.consumers = [tuple(c) for c in consumers]
+
+        iters = sorted({int(i) for i in cg.iteration})
+        iter_pos = {it: i for i, it in enumerate(iters)}
+        self.iter_of = [iter_pos[int(i)] for i in cg.iteration]
+        iter_masks = [0] * len(iters)
+        for t in range(n):
+            iter_masks[self.iter_of[t]] |= 1 << t
+        self.iter_masks = iter_masks
+
+        #: node footprint per task, for the partial-order reduction.
+        self.footprint = [
+            frozenset([self.node_of[t]]
+                      + [self.node_of[c] for c in self.consumers[t]])
+            for t in range(n)
+        ]
+
+    # -- semantics --------------------------------------------------------
+
+    def _released_iter(self, done: int) -> int:
+        r = 0
+        masks = self.iter_masks
+        while r + 1 < len(masks) and (done & masks[r]) == masks[r]:
+            r += 1
+        return r
+
+    def _eligible(self, done: int, busy: frozenset[int],
+                  queued: frozenset[int],
+                  candidates: Sequence[int]) -> list[int]:
+        released = self._released_iter(done) if self.synchronized else -1
+        out = []
+        for c in candidates:
+            if (done >> c) & 1 or c in busy or c in queued:
+                continue
+            if (done & self.deps_mask[c]) != self.deps_mask[c]:
+                continue
+            if self.synchronized and self.iter_of[c] > released:
+                continue
+            out.append(c)
+        return sorted(out)
+
+    def initial(self) -> tuple[int, frozenset[int], tuple[int, ...],
+                               frozenset[int],
+                               Union[_NativeQueue, _ForeignQueue]]:
+        queue = self.queue_proto.clone()
+        free = [self.cores] * self.nodes
+        running: set = set()
+        queued: set = set()
+        ready = self._eligible(0, frozenset(), frozenset(),
+                               range(self.n_tasks))
+        self._dispatch(ready, free, running, queued, queue)
+        self._drain(0, free, running, queued, queue)
+        self._check_ledger(queued, queue)
+        return (0, frozenset(running), tuple(free), frozenset(queued), queue)
+
+    def _dispatch(self, ready: Sequence[int], free: list[int],
+                  running: set, queued: set,
+                  queue: Union[_NativeQueue, _ForeignQueue]) -> None:
+        """A ready task starts immediately on a free worker of its node;
+        only the backlog goes through the policy's queue (this is the
+        engines' contract — the queue arbitrates contention)."""
+        for c in ready:
+            n = self.node_of[c]
+            if free[n] > 0:
+                free[n] -= 1
+                running.add(c)
+            else:
+                queue.push(n, c, self.prio[c])
+                queued.add(c)
+
+    def _drain(self, done: int, free: list[int], running: set, queued: set,
+               queue: Union[_NativeQueue, _ForeignQueue]) -> None:
+        for n in range(self.nodes):
+            while free[n] > 0 and queue.depth(n) > 0:
+                tid = queue.pop(n)
+                if tid is None:
+                    raise _CaseError(
+                        "MC-STARVE",
+                        f"queue refuses node {n}: pop() returned None "
+                        f"with depth {queue.depth(n)} and a free worker",
+                        "pop(node) must return a task whenever "
+                        "depth(node) > 0",
+                    )
+                if tid not in queued:
+                    raise _CaseError(
+                        "MC-QUEUE",
+                        f"queue served task {tid} on node {n} which was "
+                        "never pushed (or already popped)",
+                        "a ReadyQueue must return each pushed task "
+                        "exactly once",
+                    )
+                if self.node_of[tid] != n:
+                    raise _CaseError(
+                        "MC-QUEUE",
+                        f"queue served task {tid} (node "
+                        f"{self.node_of[tid]}) to node {n}, breaking "
+                        "owner-computes placement",
+                        "pop(node) may only return tasks pushed for "
+                        "that node",
+                    )
+                queued.discard(tid)
+                free[n] -= 1
+                running.add(tid)
+
+    def _check_ledger(self, queued: set,
+                      queue: Union[_NativeQueue, _ForeignQueue]) -> None:
+        total = queue.total()
+        if total != len(queued):
+            raise _CaseError(
+                "MC-QUEUE",
+                f"queue total() reports {total} but holds "
+                f"{len(queued)} undrained task(s)",
+                "depth()/total() must reflect exactly the pushed-but-"
+                "not-popped tasks",
+            )
+
+    def complete(
+        self,
+        state: tuple[int, frozenset[int], tuple[int, ...], frozenset[int],
+                     Union[_NativeQueue, _ForeignQueue]],
+        t: int,
+    ) -> tuple[int, frozenset[int], tuple[int, ...], frozenset[int],
+               Union[_NativeQueue, _ForeignQueue]]:
+        done, running_f, free_t, queued_f, queue0 = state
+        queue = queue0.clone()
+        done |= 1 << t
+        running = set(running_f)
+        running.discard(t)
+        queued = set(queued_f)
+        free = list(free_t)
+        free[self.node_of[t]] += 1
+        candidates: Sequence[int]
+        if self.synchronized:
+            candidates = range(self.n_tasks)  # a barrier may open
+        else:
+            candidates = self.consumers[t]
+        ready = self._eligible(done, frozenset(running), frozenset(queued),
+                               candidates)
+        self._dispatch(ready, free, running, queued, queue)
+        self._drain(done, free, running, queued, queue)
+        self._check_ledger(queued, queue)
+        return (done, frozenset(running), tuple(free), frozenset(queued),
+                queue)
+
+    def fingerprint(self, state: tuple[int, frozenset[int], tuple[int, ...],
+                                       frozenset[int],
+                                       Union[_NativeQueue, _ForeignQueue]],
+                    ) -> bytes:
+        done, running, free, queued, queue = state
+        return pickle.dumps(
+            (done, tuple(sorted(running)), free, tuple(sorted(queued)),
+             queue.fingerprint()))
+
+
+class ModelCheckResult:
+    """Exploration summary of one (policy, case) pair."""
+
+    __slots__ = ("label", "states", "transitions", "reduced", "properties",
+                 "n_tasks")
+
+    def __init__(self, label: str, n_tasks: int) -> None:
+        self.label = label
+        self.n_tasks = n_tasks
+        self.states = 0
+        self.transitions = 0
+        self.reduced = 0
+        self.properties = {
+            "deadlock_free": True,
+            "starvation_free": True,
+            "queue_consistent": True,
+            "placement_safe": True,
+            "exhaustive": True,
+        }
+
+    def ok(self) -> bool:
+        return all(self.properties.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "case": self.label,
+            "n_tasks": self.n_tasks,
+            "states": self.states,
+            "transitions": self.transitions,
+            "por_reductions": self.reduced,
+            "properties": dict(self.properties),
+        }
+
+
+_RULE_PROPERTY = {
+    "MC-DEADLOCK": "deadlock_free",
+    "MC-STARVE": "starvation_free",
+    "MC-QUEUE": "queue_consistent",
+    "MC-PLACE": "placement_safe",
+    "MC-SCOPE": "exhaustive",
+}
+
+
+def model_check(
+    cg: "CompiledGraph",
+    machine: "MachineSpec",
+    policy: Union[str, "SchedulerInterface"],
+    label: str = "graph",
+    max_states: int = DEFAULT_MAX_STATES,
+    rep: Optional[Report] = None,
+) -> tuple[ModelCheckResult, Report]:
+    """Exhaustively explore one policy on one small compiled graph."""
+    from ..schedulers import CompiledGraphView, get_policy
+
+    rep = rep if rep is not None else Report()
+    pol = get_policy(policy)
+    result = ModelCheckResult(label, cg.n_tasks)
+    loc = f"mc:{label}[{pol.name}]"
+
+    kernel = machine.kernel
+    durations = kernel.overhead + cg.flops / kernel.rate(cg.b)
+    splan = pol.plan(CompiledGraphView(cg, machine, durations))
+
+    # Static placement / migration-declaration safety (MC-PLACE).
+    placement = [int(x) for x in cg.node]
+    if splan.assignment is not None:
+        asg = [int(x) for x in splan.assignment]
+        bad = len(asg) != cg.n_tasks or any(
+            a < 0 or a >= machine.nodes for a in asg)
+        moved = not bad and not pol.migrates and any(
+            a != p for a, p in zip(asg, placement))
+        if bad:
+            result.properties["placement_safe"] = False
+            rep.add("MC-PLACE", "error",
+                    f"policy {pol.name!r} returned an out-of-range or "
+                    f"mis-sized assignment ({len(asg)} entries for "
+                    f"{cg.n_tasks} tasks)", loc,
+                    "assignments must cover every task with a valid node")
+            return result, rep
+        if moved:
+            result.properties["placement_safe"] = False
+            rep.add("MC-PLACE", "error",
+                    f"policy {pol.name!r} migrates tasks without "
+                    "declaring migrates = True", loc,
+                    "declare migrates = True or return assignment=None")
+            return result, rep
+        placement = asg
+
+    priorities: Sequence[float]
+    if splan.priorities is not None:
+        priorities = [float(p) for p in splan.priorities]
+    else:
+        priorities = [0.0] * cg.n_tasks
+
+    native = splan.queue_factory is None
+    proto: Union[_NativeQueue, _ForeignQueue]
+    if native:
+        proto = _NativeQueue(machine.nodes)
+    else:
+        proto = _ForeignQueue(splan.queue_factory(machine.nodes,
+                                                  machine.cores))
+    synchronized = bool(splan.synchronized)
+    model = _Model(cg, machine, placement, priorities, synchronized, proto)
+    use_por = native and not synchronized
+
+    try:
+        init = model.initial()
+    except _CaseError as exc:
+        result.properties[_RULE_PROPERTY[exc.rule]] = False
+        rep.add(exc.rule, "error", f"{exc} (initial dispatch)", loc, exc.hint)
+        return result, rep
+
+    seen = {model.fingerprint(init)}
+    stack = [init]
+    try:
+        while stack:
+            state = stack.pop()
+            done, running = state[0], state[1]
+            if not running:
+                if done != model.all_done:
+                    left = model.all_done & ~done
+                    n_left = bin(left).count("1")
+                    queued = len(state[3])
+                    raise _CaseError(
+                        "MC-DEADLOCK",
+                        f"reachable deadlock: {n_left} task(s) "
+                        f"unfinished, {queued} stranded in the queue, "
+                        "no worker running",
+                        "the queue must eventually serve every pushed "
+                        "task and may not drop any",
+                    )
+                continue
+            enabled: Sequence[int] = sorted(running)
+            if use_por and len(enabled) > 1:
+                for t in enabled:
+                    fp = model.footprint[t]
+                    if all(fp.isdisjoint(model.footprint[u])
+                           for u in enabled if u != t):
+                        result.reduced += len(enabled) - 1
+                        enabled = [t]
+                        break
+            for t in enabled:
+                succ = model.complete(state, t)
+                result.transitions += 1
+                key = model.fingerprint(succ)
+                if key not in seen:
+                    seen.add(key)
+                    if len(seen) > max_states:
+                        raise _CaseError(
+                            "MC-SCOPE",
+                            f"state budget of {max_states} exhausted "
+                            f"after {result.transitions} transitions",
+                            "shrink the case or raise max_states; no "
+                            "certificate without exhaustion",
+                        )
+                    stack.append(succ)
+    except _CaseError as exc:
+        result.properties[_RULE_PROPERTY[exc.rule]] = False
+        rep.add(exc.rule, "error", str(exc), loc, exc.hint)
+    result.states = len(seen)
+    return result, rep
+
+
+# ---------------------------------------------------------------------------
+# The small-scope matrix
+# ---------------------------------------------------------------------------
+
+def small_scope_cases() -> list[tuple[str, "CompiledGraph", "MachineSpec"]]:
+    """The default exploration matrix: N <= 8 tile graphs on P <= 4
+    nodes over clique, chain and grid interconnects.
+
+    Sizes are picked so one policy explores the whole matrix in a few
+    seconds while still covering multi-core contention, a non-square
+    node count and both Cholesky and LU task structures.
+    """
+    from ..config import laptop
+    from ..distributions.block_cyclic import BlockCyclic2D
+    from ..distributions.sbc import SymmetricBlockCyclic
+    from ..graph.compiled import compile_cholesky, compile_lu
+    from ..topology import chain, clique, grid
+
+    b = 32
+    cases: list[tuple[str, "CompiledGraph", "MachineSpec"]] = []
+
+    def add(label: str, cg: "CompiledGraph", nodes: int, cores: int,
+            topo_name: str) -> None:
+        machine = laptop(nodes=nodes, cores=cores)
+        bw = machine.network.bandwidth
+        lat = machine.network.latency
+        if topo_name == "clique":
+            topo = clique(nodes, bw, lat)
+        elif topo_name == "chain":
+            topo = chain(nodes, bw, lat)
+        else:
+            rows = 2 if nodes % 2 == 0 else 1
+            topo = grid(rows, nodes // rows, bw, lat)
+        machine = replace(machine, topology=topo)
+        cases.append((f"{label}/{topo_name}", cg, machine))
+
+    add("cholesky-n5/bc2d-2x2/c1", compile_cholesky(5, b, BlockCyclic2D(2, 2)),
+        nodes=4, cores=1, topo_name="clique")
+    add("cholesky-n4/bc2d-2x2/c2", compile_cholesky(4, b, BlockCyclic2D(2, 2)),
+        nodes=4, cores=2, topo_name="grid")
+    add("cholesky-n5/sbc3-ext/c2",
+        compile_cholesky(5, b, SymmetricBlockCyclic(3)),
+        nodes=3, cores=2, topo_name="chain")
+    add("lu-n4/bc2d-2x2/c2", compile_lu(4, b, BlockCyclic2D(2, 2)),
+        nodes=4, cores=2, topo_name="clique")
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# Certificates
+# ---------------------------------------------------------------------------
+
+def _canonical(doc: dict[str, Any]) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _certificate(policy_name: str, migrates: bool,
+                 results: Sequence[ModelCheckResult]) -> dict[str, Any]:
+    body: dict[str, Any] = {
+        "schema": CERT_SCHEMA,
+        "generator": "repro.analyze.mc",
+        "policy": policy_name,
+        "migrates": migrates,
+        "cases": [r.to_dict() for r in results],
+        "all_ok": bool(results) and all(r.ok() for r in results),
+    }
+    body["digest"] = hashlib.sha256(_canonical(body).encode()).hexdigest()
+    return body
+
+
+def verify_certificate(doc: dict[str, Any]) -> bool:
+    """Machine-check a certificate: schema, content digest, and every
+    property of every case proved."""
+    if not isinstance(doc, dict) or doc.get("schema") != CERT_SCHEMA:
+        return False
+    if doc.get("generator") != "repro.analyze.mc":
+        return False
+    body = {k: v for k, v in doc.items() if k != "digest"}
+    if hashlib.sha256(_canonical(body).encode()).hexdigest() != \
+            doc.get("digest"):
+        return False
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        return False
+    if not all(isinstance(c, dict) and c.get("properties") and
+               all(c["properties"].values()) for c in cases):
+        return False
+    return bool(doc.get("all_ok"))
+
+
+def certify_policies(
+    policies: Optional[Sequence[str]] = None,
+    out_dir: Optional[Union[str, Path]] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+    cases: Optional[Sequence[tuple[str, "CompiledGraph", "MachineSpec"]]]
+        = None,
+    rep: Optional[Report] = None,
+) -> tuple[dict[str, dict[str, Any]], Report]:
+    """Model-check every policy on the small-scope matrix and emit one
+    certificate per policy (optionally written to ``out_dir``)."""
+    from ..schedulers import POLICIES, get_policy
+
+    rep = rep if rep is not None else Report()
+    names = list(policies) if policies is not None else sorted(POLICIES)
+    matrix = list(cases) if cases is not None else small_scope_cases()
+    certs: dict[str, dict[str, Any]] = {}
+    for name in names:
+        pol = get_policy(name)
+        results = []
+        for label, cg, machine in matrix:
+            result, _ = model_check(cg, machine, pol, label,
+                                    max_states=max_states, rep=rep)
+            results.append(result)
+        cert = _certificate(pol.name, bool(pol.migrates), results)
+        certs[pol.name] = cert
+        states = sum(r.states for r in results)
+        rep.add(
+            "MC-CERT", "info",
+            f"policy {pol.name!r}: {len(results)} case(s), {states} "
+            f"states, all properties "
+            f"{'proved' if cert['all_ok'] else 'NOT proved'}",
+            f"mc:{pol.name}",
+        )
+    rep.note_pass("model-check", len(names) * len(matrix))
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for name, cert in certs.items():
+            path = out / f"{name}.cert.json"
+            path.write_text(json.dumps(cert, indent=2, sort_keys=True) + "\n",
+                            encoding="utf-8")
+    return certs, rep
+
+
+def require_certificates(
+    policies: Optional[Sequence[str]] = None,
+    max_states: int = DEFAULT_MAX_STATES,
+    cases: Optional[Sequence[tuple[str, "CompiledGraph", "MachineSpec"]]]
+        = None,
+) -> dict[str, dict[str, Any]]:
+    """Certify the given policies (default: the whole zoo) and raise if
+    any certificate fails verification — the tournament's pre-ranking
+    gate."""
+    certs, rep = certify_policies(policies, max_states=max_states,
+                                  cases=cases)
+    bad = sorted(name for name, cert in certs.items()
+                 if not verify_certificate(cert))
+    if bad:
+        detail = "; ".join(str(f) for f in rep.findings
+                           if f.severity == "error")
+        raise RuntimeError(
+            f"scheduler policies failed model checking: {', '.join(bad)}"
+            f" — {detail or 'certificate verification failed'}")
+    return certs

@@ -2,8 +2,10 @@
 
 The analyzers are only trustworthy if they *provably* catch the defect
 classes they claim to.  This module builds one small, clean Cholesky
-setup (graph + compiled graph + simulator trace), derives ≥ 10 mutants
-from it — each injecting exactly one defect of a named class — and runs
+setup (graph + compiled graph + simulator trace) plus paired source
+snippets and scheduler mutants, derives ≥ 24 mutants — each injecting
+exactly one defect of a named class (graph/capacity/distribution/trace
+tampering, FLOW-* dataflow defects, MC-* scheduler defects) — and runs
 the matching analyzer on each.  A mutant is *caught* when the analyzer
 reports at least one finding with the expected rule id.
 
@@ -27,12 +29,16 @@ from typing import Optional
 import numpy as np
 
 from ..config import MachineSpec, laptop
+from ..distributions.block_cyclic import BlockCyclic2D
 from ..distributions.sbc import SymmetricBlockCyclic
 from ..graph.cholesky import build_cholesky_graph
-from ..graph.compiled import CompiledGraph, compile_graph
+from ..graph.compiled import CompiledGraph, compile_cholesky, compile_graph
 from ..obs.events import Recorder
 from ..runtime.simulator.engine import simulate
+from ..schedulers import GraphView, ReadyQueue, SchedulePlan, SchedulerInterface
 from .findings import Report, Severity
+from .flow import flow_module
+from .mc import model_check
 from .races import compare_traces, detect_races
 from .schedule import (
     verify_compiled,
@@ -41,8 +47,8 @@ from .schedule import (
     verify_topology_capacity,
 )
 
-__all__ = ["Mutant", "MutationOutcome", "build_baseline", "run_mutation_harness",
-           "self_test"]
+__all__ = ["Baseline", "Mutant", "MutationOutcome", "build_baseline",
+           "run_mutation_harness", "self_test"]
 
 
 @dataclass
@@ -387,6 +393,298 @@ def _trace_mutants(base: Baseline, rng: random.Random) -> list[Mutant]:
     ]
 
 
+# ---------------------------------------------------------------------------
+# FLOW mutants: paired clean/defective source snippets through flow_module
+# ---------------------------------------------------------------------------
+
+#: ``(name, expected rule, clean twin, mutant, virtual path)``.  The
+#: clean twin is the *fixed* form of the same code; the harness runs it
+#: through the flow pass as part of the no-false-positive baseline.
+_FLOW_SNIPPETS: list[tuple[str, str, str, str, str]] = [
+    (
+        "flow-block-event-loop-fsync", "FLOW-BLOCK",
+        # The PR 7 service defect: fsync-under-submit must go through
+        # run_in_executor (passing _persist as a value, not calling it).
+        '''\
+import asyncio
+import os
+
+
+class Server:
+    async def submit(self, spec, record):
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._persist, spec, record)
+
+    def _persist(self, skey, record):
+        with open(skey, "ab") as fh:
+            os.fsync(fh.fileno())
+''',
+        '''\
+import os
+
+
+class Server:
+    async def submit(self, spec, record):
+        self._persist(spec, record)
+
+    def _persist(self, skey, record):
+        with open(skey, "ab") as fh:
+            os.fsync(fh.fileno())
+''',
+        "repro/service/_mutant.py",
+    ),
+    (
+        "flow-block-future-result", "FLOW-BLOCK",
+        '''\
+import asyncio
+
+
+async def run_job(pool, fn, spec):
+    return await asyncio.wrap_future(pool.submit(fn, spec))
+''',
+        '''\
+async def run_job(pool, fn, spec):
+    return pool.submit(fn, spec).result()
+''',
+        "repro/service/_mutant.py",
+    ),
+    (
+        "flow-await-lost-coroutine", "FLOW-AWAIT",
+        '''\
+class Client:
+    async def fetch(self, url):
+        return url
+
+    async def poll(self, url):
+        return await self.fetch(url)
+''',
+        '''\
+class Client:
+    async def fetch(self, url):
+        return url
+
+    async def poll(self, url):
+        coro = self.fetch(url)
+        return None
+''',
+        "repro/service/_mutant.py",
+    ),
+    (
+        "flow-shared-unlocked-global", "FLOW-SHARED",
+        '''\
+import asyncio
+import threading
+
+CACHE = {}
+_LOCK = threading.Lock()
+
+
+def _worker(key, value):
+    with _LOCK:
+        CACHE[key] = value
+
+
+async def handle(key, value):
+    with _LOCK:
+        CACHE[key] = value
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, _worker, key, value)
+''',
+        '''\
+import asyncio
+
+CACHE = {}
+
+
+def _worker(key, value):
+    CACHE[key] = value
+
+
+async def handle(key, value):
+    CACHE[key] = value
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, _worker, key, value)
+''',
+        "repro/service/_mutant.py",
+    ),
+    (
+        "flow-dictord-set-schedule", "FLOW-DICTORD",
+        '''\
+def order_tasks(ready, schedule):
+    pending = {t for t in ready}
+    for t in sorted(pending):
+        schedule.append(t)
+''',
+        '''\
+def order_tasks(ready, schedule):
+    pending = {t for t in ready}
+    for t in pending:
+        schedule.append(t)
+''',
+        "repro/service/_mutant.py",
+    ),
+    (
+        "flow-npovf-i32-index", "FLOW-NPOVF",
+        '''\
+import numpy as np
+
+
+def flat_ids(cg, n_tiles):
+    wide = cg.node.astype(np.int64)
+    return wide * n_tiles + cg.iteration
+''',
+        '''\
+def flat_ids(cg, n_tiles):
+    return cg.node * n_tiles + cg.iteration
+''',
+        "repro/graph/compiled.py",
+    ),
+]
+
+
+def _flow_mutants() -> list[Mutant]:
+    """Each defective snippet must trip its FLOW rule."""
+    out: list[Mutant] = []
+    for name, rule, _clean_src, bad_src, rel in _FLOW_SNIPPETS:
+        def run(bad_src: str = bad_src, rel: str = rel) -> Report:
+            return flow_module(bad_src, rel)
+        out.append(Mutant(name, "dataflow", rule, run))
+    return out
+
+
+def _flow_clean_baseline() -> Report:
+    """The clean twins through the flow pass (false-positive gate)."""
+    rep = Report()
+    for _name, _rule, clean_src, _bad_src, rel in _FLOW_SNIPPETS:
+        rep.extend(flow_module(clean_src, rel))
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# MC mutants: defective queue disciplines / policies through model_check
+# ---------------------------------------------------------------------------
+#
+# Module-level classes (not closures) so the checker's foreign-queue
+# cloning (pickle round-trip) works on their instances.
+
+class _HiddenBacklogQueue(ReadyQueue):
+    """Honest ledger, but ``depth()`` hides the backlog: pushed tasks
+    are never offered to a freeing worker, so the run strands ready
+    tasks with every worker idle — a deadlock."""
+
+    def __init__(self) -> None:
+        self._held: list[int] = []
+
+    def push(self, node: int, task: int, priority: float) -> None:
+        self._held.append(task)
+
+    def pop(self, node: int) -> Optional[int]:  # pragma: no cover - unreached
+        return None
+
+    def depth(self, node: int) -> int:
+        return 0
+
+    def total(self) -> int:
+        return len(self._held)
+
+
+class _RefusingQueue(ReadyQueue):
+    """Advertises backlog (``depth`` > 0) but refuses every ``pop`` —
+    a ready task is never assigned to the free worker (starvation)."""
+
+    def __init__(self) -> None:
+        self._held: list[int] = []
+
+    def push(self, node: int, task: int, priority: float) -> None:
+        self._held.append(task)
+
+    def pop(self, node: int) -> Optional[int]:
+        return None
+
+    def depth(self, node: int) -> int:
+        return len(self._held)
+
+    def total(self) -> int:
+        return len(self._held)
+
+
+class _LyingLedgerQueue(ReadyQueue):
+    """Accepts pushes but reports ``total() == 0``: the deadlock
+    accounting the engines rely on is silently wrong."""
+
+    def __init__(self) -> None:
+        self._held: list[int] = []
+
+    def push(self, node: int, task: int, priority: float) -> None:
+        self._held.append(task)
+
+    def pop(self, node: int) -> Optional[int]:
+        return self._held.pop(0) if self._held else None
+
+    def depth(self, node: int) -> int:
+        return len(self._held)
+
+    def total(self) -> int:
+        return 0
+
+
+def _queue_policy(policy_name: str, factory: Callable[[], ReadyQueue]
+                  ) -> SchedulerInterface:
+    class _QueueMutantPolicy(SchedulerInterface):
+        name = policy_name
+
+        def plan(self, view: GraphView) -> SchedulePlan:
+            return SchedulePlan(
+                queue_factory=lambda nodes, cores: factory())
+
+    return _QueueMutantPolicy()
+
+
+class _UndeclaredMigrator(SchedulerInterface):
+    """Returns a placement override without declaring ``migrates``."""
+
+    name = "mutant-migrator"
+
+    def plan(self, view: GraphView) -> SchedulePlan:
+        return SchedulePlan(assignment=[0] * view.n_tasks)
+
+
+def _mc_case() -> tuple[CompiledGraph, MachineSpec]:
+    """Tiny exhaustive case every MC mutant runs against."""
+    cg = compile_cholesky(4, 32, BlockCyclic2D(2, 2))
+    return cg, laptop(nodes=4, cores=1)
+
+
+def _mc_mutants() -> list[Mutant]:
+    cg, machine = _mc_case()
+
+    def check(policy: SchedulerInterface) -> Callable[[], Report]:
+        def run() -> Report:
+            _result, rep = model_check(cg, machine, policy,
+                                       label="mutant-case")
+            return rep
+        return run
+
+    return [
+        Mutant("mc-hidden-backlog-deadlock", "scheduler", "MC-DEADLOCK",
+               check(_queue_policy("mutant-deadlock", _HiddenBacklogQueue))),
+        Mutant("mc-refused-pop-starvation", "scheduler", "MC-STARVE",
+               check(_queue_policy("mutant-starve", _RefusingQueue))),
+        Mutant("mc-lying-queue-ledger", "scheduler", "MC-QUEUE",
+               check(_queue_policy("mutant-ledger", _LyingLedgerQueue))),
+        Mutant("mc-undeclared-migration", "scheduler", "MC-PLACE",
+               check(_UndeclaredMigrator())),
+    ]
+
+
+def _mc_clean_baseline() -> Report:
+    """The default policy model-checks clean on the tiny case."""
+    cg, machine = _mc_case()
+    _result, rep = model_check(cg, machine, "critical-path",
+                               label="mutant-case")
+    return rep
+
+
 def run_mutation_harness(
     seed: int = 0, base: Optional[Baseline] = None
 ) -> tuple[list[MutationOutcome], Report]:
@@ -412,6 +710,8 @@ def run_mutation_harness(
     clean.extend(compare_traces(base.recorder, rerun, name="baseline"))
     clean.extend(verify_topology_capacity(base.cg, base.machine,
                                           rep.makespan, name="baseline"))
+    clean.extend(_flow_clean_baseline())
+    clean.extend(_mc_clean_baseline())
     gate.note_pass("mutation-baseline", 1)
     for f in clean.by_severity(Severity.ERROR):
         gate.add("MUT-FALSE-POSITIVE", Severity.ERROR,
@@ -420,7 +720,8 @@ def run_mutation_harness(
                  "an analyzer reports defects on a verified-clean run")
 
     mutants = (_graph_mutants(base, rng) + _capacity_mutants(base)
-               + _distribution_mutants(base) + _trace_mutants(base, rng))
+               + _distribution_mutants(base) + _trace_mutants(base, rng)
+               + _flow_mutants() + _mc_mutants())
     outcomes: list[MutationOutcome] = []
     for m in mutants:
         found = m.run()
@@ -443,9 +744,10 @@ def run_mutation_harness(
     return outcomes, gate
 
 
-def self_test(seed: int = 0, verbose: bool = False) -> Report:
+def self_test(seed: int = 0, verbose: bool = False,
+              base: Optional[Baseline] = None) -> Report:
     """The ``--self-test`` entry: mutation gate as a findings report."""
-    outcomes, gate = run_mutation_harness(seed=seed)
+    outcomes, gate = run_mutation_harness(seed=seed, base=base)
     caught = sum(1 for o in outcomes if o.caught)
     if verbose:  # pragma: no cover - CLI cosmetics
         for o in outcomes:

@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 export of an analysis :class:`~repro.analyze.Report`.
+
+GitHub code scanning ingests SARIF, so publishing the findings document
+in this shape turns every analyzer rule — schedule invariants, races,
+lint, dataflow (FLOW-*) and model-checker (MC-*) results — into inline
+PR annotations.  ``python -m repro.analyze --all --sarif findings.sarif``
+writes the file; CI uploads it with ``github/codeql-action/upload-sarif``.
+
+Location mapping: findings whose location is a ``file:line`` pair (the
+lint and flow passes) become ``physicalLocation`` results that annotate
+the source line; synthetic locations (``graph:task 17``,
+``mc:case[policy]``, ``trace:transfer 0->3``) become
+``logicalLocations`` so they still appear in the code-scanning list.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Optional
+
+from .findings import Finding, Report, severity_rank
+
+__all__ = ["to_sarif", "write_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemas/provenance/sarif-schema-2.1.0.json")
+
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+#: ``repro/service/server.py:238`` — a real source coordinate.
+_FILE_LINE = re.compile(r"^(?P<file>[\w./-]+\.py):(?P<line>\d+)$")
+
+
+def _location(finding: Finding) -> dict[str, Any]:
+    m = _FILE_LINE.match(finding.location)
+    if m:
+        return {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": f"src/{m.group('file')}",
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {"startLine": int(m.group("line"))},
+            }
+        }
+    return {
+        "logicalLocations": [
+            {"fullyQualifiedName": finding.location, "kind": "member"}
+        ]
+    }
+
+
+def to_sarif(report: Report) -> dict[str, Any]:
+    """Render the report as one SARIF run, errors first."""
+    ordered = report.ordered()
+    rules: list[dict[str, Any]] = []
+    rule_index: dict[str, int] = {}
+    for f in ordered:
+        if f.rule not in rule_index:
+            rule_index[f.rule] = len(rules)
+            rules.append({
+                "id": f.rule,
+                "shortDescription": {"text": f.rule},
+                "helpUri": ("https://example.invalid/docs/analyze.md#"
+                            "rule-catalogue"),
+                "defaultConfiguration": {
+                    "level": _LEVELS.get(f.severity, "note"),
+                },
+            })
+    results = []
+    for f in ordered:
+        result: dict[str, Any] = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": _LEVELS.get(f.severity, "note"),
+            "message": {
+                "text": f.message + (f"  Hint: {f.hint}" if f.hint else ""),
+            },
+            "locations": [_location(f)],
+        }
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analyze",
+                        "informationUri":
+                            "https://example.invalid/docs/analyze.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "properties": {
+                    "passes": dict(report.passes),
+                    "maxSeverityRank": min(
+                        (severity_rank(f.severity) for f in ordered),
+                        default=len(_LEVELS)),
+                },
+            }
+        ],
+    }
+
+
+def write_sarif(report: Report, path: object,
+                indent: Optional[int] = 2) -> str:
+    """Serialize :func:`to_sarif` to ``path``; returns the path."""
+    with open(str(path), "w", encoding="utf-8") as fh:
+        json.dump(to_sarif(report), fh, indent=indent)
+        fh.write("\n")
+    return str(path)

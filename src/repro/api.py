@@ -13,7 +13,7 @@ communication counters and runtimes:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -81,7 +81,7 @@ def cholesky(
     num_threads: int = 0,
     a: Optional[np.ndarray] = None,
     recorder: Optional[Recorder] = None,
-) -> Tuple[np.ndarray, Dict]:
+) -> tuple[np.ndarray, dict]:
     """Factor an SPD matrix; returns (L, info).
 
     By default a seeded random SPD matrix is generated (and returned in
@@ -116,7 +116,7 @@ def solve(
     a: Optional[np.ndarray] = None,
     rhs: Optional[np.ndarray] = None,
     recorder: Optional[Recorder] = None,
-) -> Tuple[np.ndarray, Dict]:
+) -> tuple[np.ndarray, dict]:
     """POSV: solve A x = B for SPD A; returns (x, info).
 
     Seeded random A and B by default; pass ``a`` (dense SPD) and/or
@@ -153,7 +153,7 @@ def inverse(
     num_threads: int = 0,
     a: Optional[np.ndarray] = None,
     recorder: Optional[Recorder] = None,
-) -> Tuple[np.ndarray, Dict]:
+) -> tuple[np.ndarray, dict]:
     """POTRI: invert the seeded SPD matrix; returns (A^{-1}, info).
 
     Pass ``trtri_dist`` to use the paper's remapping strategy (TRTRI under
@@ -181,7 +181,7 @@ def lu(
     runtime: str = "local",
     num_threads: int = 0,
     recorder: Optional[Recorder] = None,
-) -> Tuple[np.ndarray, Dict]:
+) -> tuple[np.ndarray, dict]:
     """LU factorization without pivoting of a seeded diagonally-dominant
     matrix; returns (packed LU, info).  The packed result holds the strict
     lower part of the unit L factor and the full U factor, LAPACK-style.

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
 
 from ..graph.task import TaskGraph
 
@@ -29,11 +28,11 @@ class CommStats:
     total_bytes: int = 0
     num_messages: int = 0
     #: bytes sent, per source node
-    sent_bytes: Dict[int, int] = field(default_factory=dict)
+    sent_bytes: dict[int, int] = field(default_factory=dict)
     #: bytes received, per destination node
-    recv_bytes: Dict[int, int] = field(default_factory=dict)
+    recv_bytes: dict[int, int] = field(default_factory=dict)
     #: messages per kernel kind of the consuming task
-    messages_by_kind: Dict[str, int] = field(default_factory=dict)
+    messages_by_kind: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_gbytes(self) -> float:
@@ -66,7 +65,7 @@ def count_communications(graph: TaskGraph) -> CommStats:
             src = graph.source_of(k)
             if src == t.node:
                 continue
-            tag: Tuple = (k, t.node)
+            tag: tuple = (k, t.node)
             if tag in seen:
                 continue
             seen.add(tag)

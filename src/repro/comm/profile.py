@@ -10,7 +10,6 @@ count, and intensity of each iteration of a task graph.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from ..graph.task import TaskGraph
 
@@ -34,7 +33,7 @@ class IterationProfile:
         return self.flops / self.bytes
 
 
-def communication_profile(graph: TaskGraph) -> List[IterationProfile]:
+def communication_profile(graph: TaskGraph) -> list[IterationProfile]:
     """Exact per-iteration traffic of a task graph.
 
     A transfer is attributed to the iteration of the (first) consuming

@@ -28,7 +28,6 @@ of gap-``r/2`` pairs.
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 
@@ -72,7 +71,7 @@ def sbc_num_nodes(r: int, variant: str = "extended") -> int:
     raise ValueError(f"unknown SBC variant {variant!r}")
 
 
-def _odd_diagonal_patterns(r: int) -> List[List[int]]:
+def _odd_diagonal_patterns(r: int) -> list[list[int]]:
     """The (r-1)/2 diagonal patterns for odd r (§III-C.2, Figure 4).
 
     Pattern ``l`` places the gap-``l`` pairs (d, d+l) at positions
@@ -91,7 +90,7 @@ def _odd_diagonal_patterns(r: int) -> List[List[int]]:
     return patterns
 
 
-def _even_diagonal_patterns(r: int) -> List[List[int]]:
+def _even_diagonal_patterns(r: int) -> list[list[int]]:
     """The r-1 diagonal patterns for even r (§III-C.2, Figures 5-6).
 
     The first ``r/2 - 1`` patterns are built like in the odd case and split
@@ -104,8 +103,8 @@ def _even_diagonal_patterns(r: int) -> List[List[int]]:
     index-wise.
     """
     half = r // 2
-    lefts: List[List[int]] = []
-    rights: List[List[int]] = []
+    lefts: list[list[int]] = []
+    rights: list[list[int]] = []
     for l in range(1, half):
         diag = [0] * r
         for d in range(r - l):
@@ -164,7 +163,7 @@ class SymmetricBlockCyclic(Distribution):
     def num_diag_patterns(self) -> int:
         return len(self._diag_patterns)
 
-    def diagonal_patterns(self) -> List[List[int]]:
+    def diagonal_patterns(self) -> list[list[int]]:
         """Copy of the diagonal pattern family (one list of r entries each)."""
         return [list(p) for p in self._diag_patterns]
 

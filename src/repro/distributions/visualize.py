@@ -10,7 +10,7 @@ exact examples.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from .base import Distribution
 from .sbc import SymmetricBlockCyclic
@@ -38,7 +38,7 @@ def render_owner_grid(
         raise ValueError(f"need at least one tile, got N={N}")
     owners = dist.owner_map(N)
     width = max(2, len(str(int(owners.max()))) + 1)
-    lines: List[str] = []
+    lines: list[str] = []
     hsep = None
     if block:
         cells = ("-" * width + "-") * block

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from .comm import (
     bc2d_cholesky_volume,
@@ -45,7 +45,7 @@ B_DEFAULT = 500
 
 def fig8_volumes(
     sizes: Sequence[int] = (25, 50, 100, 200, 400, 600), b: int = B_DEFAULT
-) -> Dict[str, List[float]]:
+) -> dict[str, list[float]]:
     """Figure 8 series: exact POTRF volume (GB) per tile count."""
     dists = {
         "SBC r=7": SymmetricBlockCyclic(7),
@@ -61,7 +61,7 @@ def fig8_volumes(
 def fig9_performance(
     sizes: Sequence[int] = (30, 60, 100), b: int = B_DEFAULT,
     store=None,
-) -> Dict[str, List[float]]:
+) -> dict[str, list[float]]:
     """Figure 9 series: simulated GFlop/s per node for the P~28 configs.
 
     Runs as a thin client of the sweep service
@@ -93,7 +93,7 @@ def fig9_performance(
         results = client.sweep(specs)
     finally:
         client.close()
-    out: Dict[str, List[float]] = {}
+    out: dict[str, list[float]] = {}
     it = iter(results)
     for name, _P, _dist, _kw in configs:
         out[name] = [
@@ -102,7 +102,7 @@ def fig9_performance(
     return out
 
 
-def theorem1_table(ntiles: int = 240) -> List[Tuple[str, int, int, float]]:
+def theorem1_table(ntiles: int = 240) -> list[tuple[str, int, int, float]]:
     """(name, counted, formula, ratio) rows for the Theorem 1 comparison."""
     rows = []
     for r in (6, 7, 8, 9):
@@ -119,7 +119,7 @@ def theorem1_table(ntiles: int = 240) -> List[Tuple[str, int, int, float]]:
 
 
 def strong_scaling(ntiles: int = 72, b: int = B_DEFAULT,
-                   store=None) -> List[Tuple[str, int, float]]:
+                   store=None) -> list[tuple[str, int, float]]:
     """Figure 11 rows: (config, P, GFlop/s per node) at fixed matrix size.
 
     A sweep-service thin client like :func:`fig9_performance`: pass
@@ -178,7 +178,7 @@ def trace_run(r: int = 8, ntiles: int = 40, b: int = B_DEFAULT,
     return rep
 
 
-def _print_series(series: Dict[str, List[float]], sizes: Sequence[int], b: int,
+def _print_series(series: dict[str, list[float]], sizes: Sequence[int], b: int,
                   unit: str) -> None:
     names = list(series)
     print(f"{'n':>8} " + " ".join(f"{n:>14}" for n in names))

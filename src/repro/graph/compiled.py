@@ -34,8 +34,9 @@ segment-max reductions instead of an O(tasks) Python loop.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Optional
 
 import numpy as np
 import numpy.typing as npt
@@ -95,7 +96,7 @@ class CommPlan:
     kd_ptr: npt.NDArray[np.int64]
     #: (data id, home node) of misplaced initial versions, in the order
     #: the object engine kicks their eager transfers off at t = 0
-    initial_sources: Tuple[Tuple[int, int], ...]
+    initial_sources: tuple[tuple[int, int], ...]
 
 
 @dataclass
@@ -105,7 +106,7 @@ class CompiledGraph:
     b: int
     width: int
     element_size: int
-    kind_names: List[str]
+    kind_names: list[str]
     kind_codes: npt.NDArray[np.int16]  # per task
     node: npt.NDArray[np.int32]  # per task
     flops: npt.NDArray[np.float64]  # per task
@@ -120,15 +121,18 @@ class CompiledGraph:
     data_nbytes: npt.NDArray[np.int64]  # per data id
     #: DataKey per data id — kept by :func:`compile_graph` for tracing;
     #: the direct compilers skip it (keys are synthesized on demand).
-    data_keys: Optional[List[DataKey]] = None
+    data_keys: Optional[list[DataKey]] = None
     #: contiguous [lo, hi) task-id batches, in forward topological order,
     #: whose tasks are mutually independent (enables the vectorized
     #: priority sweep); None -> generic Python sweep.
-    level_ranges: Optional[List[Tuple[int, int]]] = None
+    level_ranges: Optional[list[tuple[int, int]]] = None
     _plan: Optional[CommPlan] = field(default=None, repr=False)
     _cons_csr: Optional[
-        Tuple[npt.NDArray[np.int64], npt.NDArray[np.int32]]
+        tuple[npt.NDArray[np.int64], npt.NDArray[np.int32]]
     ] = field(default=None, repr=False)
+    #: memoized :func:`repro.service.hashing.structure_hash` — the hash
+    #: covers only structural arrays, so it stays exact across reuse.
+    _structure_hash: Optional[str] = field(default=None, repr=False)
 
     @property
     def n_tasks(self) -> int:
@@ -175,7 +179,7 @@ class CompiledGraph:
 
     def consumers_csr(
         self,
-    ) -> Tuple[npt.NDArray[np.int64], npt.NDArray[np.int32]]:
+    ) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int32]]:
         """CSR over *tasks*: ids of tasks reading each task's output,
         in task-id order (the priority sweep's adjacency).  Built once
         and cached (the arrays are treated as read-only)."""
@@ -373,11 +377,11 @@ def compile_graph(graph: TaskGraph) -> CompiledGraph:
     ``compile_cholesky(...)`` array for array.
     """
     kind_names = list(CANONICAL_KINDS)
-    kind_code: Dict[str, int] = {k: i for i, k in enumerate(kind_names)}
+    kind_code: dict[str, int] = {k: i for i, k in enumerate(kind_names)}
 
-    data_id: Dict[DataKey, int] = {}
-    data_keys: List[DataKey] = []
-    homes: List[int] = []
+    data_id: dict[DataKey, int] = {}
+    data_keys: list[DataKey] = []
+    homes: list[int] = []
     for key, (home, _desc) in graph.initial.items():
         data_id[key] = len(data_keys)
         data_keys.append(key)
@@ -392,10 +396,10 @@ def compile_graph(graph: TaskGraph) -> CompiledGraph:
     priority = np.empty(n, dtype=np.float64)
     write_id = np.full(n, -1, dtype=np.int32)
     read_counts = np.empty(n, dtype=np.int64)
-    reads_flat: List[int] = []
+    reads_flat: list[int] = []
 
-    producer: List[int] = [-1] * n_init
-    source_node: List[int] = list(homes)
+    producer: list[int] = [-1] * n_init
+    source_node: list[int] = list(homes)
 
     for t in graph.tasks:
         code = kind_code.get(t.kind)
@@ -492,10 +496,10 @@ class _StreamedPlanState:
         # build time).  Pair rows stay chunked — there are few of them.
         self._lc = np.empty(n_reads, dtype=np.int32)
         self._rn = np.empty(n_reads, dtype=np.int32)
-        self._pd_chunks: List[np.ndarray] = []
-        self._pdst_chunks: List[np.ndarray] = []
-        self._pstart_chunks: List[np.ndarray] = []
-        self._pcount_chunks: List[np.ndarray] = []
+        self._pd_chunks: list[np.ndarray] = []
+        self._pdst_chunks: list[np.ndarray] = []
+        self._pstart_chunks: list[np.ndarray] = []
+        self._pcount_chunks: list[np.ndarray] = []
         self._lc_len = 0
         self._rn_len = 0
 
@@ -657,7 +661,7 @@ def compile_cholesky(N: int, b: int, dist: Distribution) -> CompiledGraph:
     iteration = np.empty(n_tasks, dtype=np.int32)
     read_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
     read_ids = np.empty(n_reads, dtype=np.int32)
-    levels: List[Tuple[int, int]] = []
+    levels: list[tuple[int, int]] = []
     plan = _StreamedPlanState(
         n_tasks, n_init + n_tasks, int(owners.max()) + 1, n_reads
     )
@@ -861,7 +865,7 @@ def compile_lu(N: int, b: int, dist: Distribution) -> CompiledGraph:
     iteration = np.empty(n_tasks, dtype=np.int32)
     read_ptr = np.zeros(n_tasks + 1, dtype=np.int64)
     read_ids = np.empty(n_reads, dtype=np.int32)
-    levels: List[Tuple[int, int]] = []
+    levels: list[tuple[int, int]] = []
     plan = _StreamedPlanState(
         n_tasks, n_init + n_tasks, int(owners.max()) + 1, n_reads
     )

@@ -13,7 +13,7 @@ POTRF-TRSM spine).  Two policies are provided:
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from .task import Task, TaskGraph
 

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict
 
 from .task import TaskGraph
 
@@ -75,18 +74,18 @@ def validate_graph(graph: TaskGraph) -> None:
         )
 
 
-def kind_counts(graph: TaskGraph) -> Dict[str, int]:
+def kind_counts(graph: TaskGraph) -> dict[str, int]:
     """Number of tasks of each kernel kind."""
     return dict(Counter(t.kind for t in graph.tasks))
 
 
-def node_task_counts(graph: TaskGraph, num_nodes: int) -> Dict[int, int]:
+def node_task_counts(graph: TaskGraph, num_nodes: int) -> dict[int, int]:
     """Number of tasks placed on each node."""
     c = Counter(t.node for t in graph.tasks)
     return {n: c.get(n, 0) for n in range(num_nodes)}
 
 
-def expected_cholesky_counts(N: int) -> Dict[str, int]:
+def expected_cholesky_counts(N: int) -> dict[str, int]:
     """Task counts of Algorithm 1 on N x N tiles."""
     return {
         "POTRF": N,
@@ -96,7 +95,7 @@ def expected_cholesky_counts(N: int) -> Dict[str, int]:
     }
 
 
-def expected_trtri_counts(N: int) -> Dict[str, int]:
+def expected_trtri_counts(N: int) -> dict[str, int]:
     """Task counts of the tiled TRTRI on N x N tiles."""
     return {
         "TRTRI": N,
@@ -106,7 +105,7 @@ def expected_trtri_counts(N: int) -> Dict[str, int]:
     }
 
 
-def expected_lauum_counts(N: int) -> Dict[str, int]:
+def expected_lauum_counts(N: int) -> dict[str, int]:
     """Task counts of the tiled LAUUM on N x N tiles."""
     return {
         "LAUUM": N,
@@ -123,7 +122,7 @@ class GraphStats:
     num_tasks: int
     num_edges: int
     total_flops: float
-    kinds: Dict[str, int]
+    kinds: dict[str, int]
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         kinds = ", ".join(f"{k}:{v}" for k, v in sorted(self.kinds.items()))

@@ -14,7 +14,8 @@ and the validators check it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
+from collections.abc import Callable, Iterator
+from typing import NamedTuple, Optional
 
 __all__ = ["DataKey", "Task", "TaskGraph", "GraphBuilder"]
 
@@ -54,8 +55,8 @@ class Task:
         id: int,
         kind: str,
         node: int,
-        coords: Tuple[int, ...],
-        reads: Tuple[DataKey, ...],
+        coords: tuple[int, ...],
+        reads: tuple[DataKey, ...],
         write: Optional[DataKey],
         flops: float,
         iteration: int,
@@ -81,12 +82,12 @@ class TaskGraph:
         self.b = b  # tile size
         self.width = width  # right-hand-side width (0 when unused)
         self.element_size = element_size
-        self.tasks: List[Task] = []
+        self.tasks: list[Task] = []
         #: DataKey -> producing task id
-        self.producer: Dict[DataKey, int] = {}
+        self.producer: dict[DataKey, int] = {}
         #: initial DataKey -> (home node, descriptor) where descriptor tells
         #: runtimes how to materialize the data ("spd", "rhs", "zero", ...)
-        self.initial: Dict[DataKey, Tuple[int, str]] = {}
+        self.initial: dict[DataKey, tuple[int, str]] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -101,8 +102,8 @@ class TaskGraph:
         self,
         kind: str,
         node: int,
-        coords: Tuple[int, ...],
-        reads: Tuple[DataKey, ...],
+        coords: tuple[int, ...],
+        reads: tuple[DataKey, ...],
         write: Optional[DataKey],
         flops: float,
         iteration: int,
@@ -141,15 +142,15 @@ class TaskGraph:
         except KeyError:
             raise KeyError(f"unknown data {key}") from None
 
-    def consumers(self) -> Dict[DataKey, List[int]]:
+    def consumers(self) -> dict[DataKey, list[int]]:
         """Map version -> ids of tasks reading it (insertion order)."""
-        out: Dict[DataKey, List[int]] = {}
+        out: dict[DataKey, list[int]] = {}
         for t in self.tasks:
             for k in t.reads:
                 out.setdefault(k, []).append(t.id)
         return out
 
-    def dependency_edges(self) -> Iterator[Tuple[int, int]]:
+    def dependency_edges(self) -> Iterator[tuple[int, int]]:
         """(producer id, consumer id) pairs — initial data yields no edge."""
         for t in self.tasks:
             for k in t.reads:
@@ -175,7 +176,7 @@ class GraphBuilder:
     def __init__(self, graph: TaskGraph):
         self.graph = graph
         # (name, i, j, part) -> current version number
-        self._ver: Dict[Tuple[str, int, int, int], int] = {}
+        self._ver: dict[tuple[str, int, int, int], int] = {}
 
     def declare(
         self, name: str, i: int, j: int, home: int, descriptor: str, part: int = 0
@@ -204,8 +205,8 @@ class GraphBuilder:
         self,
         kind: str,
         node: int,
-        coords: Tuple[int, ...],
-        reads: Tuple[DataKey, ...],
+        coords: tuple[int, ...],
+        reads: tuple[DataKey, ...],
         write: Optional[DataKey],
         flops: float,
         iteration: int,

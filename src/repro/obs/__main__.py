@@ -17,8 +17,9 @@ import argparse
 import json
 import sys
 import tempfile
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional
 
 from . import Recorder, read_jsonl, write_chrome_trace, write_jsonl
 from .doclint import default_doc_paths, find_dead_links

@@ -17,8 +17,9 @@ Wired into the test suite (``tests/test_docs.py``) and exposed as
 from __future__ import annotations
 
 import re
+from collections.abc import Iterable
 from pathlib import Path
-from typing import Dict, Iterable, List, NamedTuple, Set
+from typing import NamedTuple
 
 __all__ = ["DeadLink", "find_dead_links", "default_doc_paths", "heading_anchors"]
 
@@ -49,14 +50,14 @@ def _slugify(heading: str) -> str:
     return text.strip().replace(" ", "-")
 
 
-def heading_anchors(path: Path) -> Set[str]:
+def heading_anchors(path: Path) -> set[str]:
     """Every anchor the markdown file at ``path`` defines.
 
     Follows GitHub rendering: ATX headings outside fenced code blocks;
     a repeated slug gets ``-1``, ``-2``, ... suffixes.
     """
-    anchors: Set[str] = set()
-    counts: Dict[str, int] = {}
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
     in_fence = False
     for line in Path(path).read_text().splitlines():
         if line.lstrip().startswith(("```", "~~~")):
@@ -74,7 +75,7 @@ def heading_anchors(path: Path) -> Set[str]:
     return anchors
 
 
-def default_doc_paths(root) -> List[Path]:
+def default_doc_paths(root) -> list[Path]:
     """The documentation set the repo lints: README.md + docs/*.md."""
     root = Path(root)
     out = []
@@ -85,14 +86,14 @@ def default_doc_paths(root) -> List[Path]:
     return out
 
 
-def find_dead_links(paths: Iterable) -> List[DeadLink]:
+def find_dead_links(paths: Iterable) -> list[DeadLink]:
     """Scan markdown files; returns every intra-repo link that does not
     resolve — to a file on disk, and (for markdown targets carrying an
     anchor) to a heading inside that file."""
-    dead: List[DeadLink] = []
-    anchor_cache: Dict[Path, Set[str]] = {}
+    dead: list[DeadLink] = []
+    anchor_cache: dict[Path, set[str]] = {}
 
-    def anchors_of(p: Path) -> Set[str]:
+    def anchors_of(p: Path) -> set[str]:
         p = p.resolve()
         if p not in anchor_cache:
             anchor_cache[p] = heading_anchors(p)

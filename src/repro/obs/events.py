@@ -29,7 +29,7 @@ method is a no-op, so instrumented code can either branch on
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from .metrics import MetricsRegistry
 
@@ -158,11 +158,11 @@ class Recorder:
 
     def __init__(self, source: str = ""):
         self.source = source
-        self.task_events: List[TaskEvent] = []
-        self.transfer_events: List[TransferEvent] = []
-        self.io_events: List[IOEvent] = []
-        self.cache_events: List[CacheEvent] = []
-        self.fault_events: List[FaultEvent] = []
+        self.task_events: list[TaskEvent] = []
+        self.transfer_events: list[TransferEvent] = []
+        self.io_events: list[IOEvent] = []
+        self.cache_events: list[CacheEvent] = []
+        self.fault_events: list[FaultEvent] = []
         self.metrics = MetricsRegistry()
 
     # -- recording ----------------------------------------------------------
@@ -260,7 +260,7 @@ class Recorder:
             if makespan > 0:
                 g_util.set(busy / (makespan * cores_per_node), labels=(node,))
 
-    def bytes_by_pair(self) -> Dict[Tuple[int, int], int]:
+    def bytes_by_pair(self) -> dict[tuple[int, int], int]:
         """Wire bytes per (src, dst) pair, from the ``net.bytes`` counter."""
         counter = self.metrics.get("net.bytes")
         if counter is None:

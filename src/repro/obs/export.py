@@ -20,8 +20,8 @@ The field-by-field schema of both formats is documented in
 from __future__ import annotations
 
 import json
+from collections.abc import Sequence
 from dataclasses import asdict
-from typing import Dict, List, Sequence, Tuple
 
 from ..graph.task import DataKey
 from .events import Recorder
@@ -73,7 +73,7 @@ def _key_label(key) -> str:
 # -- Chrome trace-event / Perfetto export -------------------------------------
 
 
-def _assign_lanes(spans: Sequence[Tuple[float, float]]) -> List[int]:
+def _assign_lanes(spans: Sequence[tuple[float, float]]) -> list[int]:
     """Greedy interval-graph colouring: first free lane per span.
 
     ``spans`` are (start, end) pairs; the result maps each span to a lane
@@ -81,7 +81,7 @@ def _assign_lanes(spans: Sequence[Tuple[float, float]]) -> List[int]:
     needs to render concurrent slices side by side.
     """
     order = sorted(range(len(spans)), key=lambda i: (spans[i][0], spans[i][1]))
-    lanes_end: List[float] = []
+    lanes_end: list[float] = []
     out = [0] * len(spans)
     for i in order:
         start, end = spans[i]
@@ -105,9 +105,9 @@ def _fault_node(e) -> int:
     return 0
 
 
-def chrome_trace(recorder: Recorder) -> Dict:
+def chrome_trace(recorder: Recorder) -> dict:
     """Render a recorder as a Chrome trace-event JSON document (a dict)."""
-    events: List[Dict] = []
+    events: list[dict] = []
     nodes = sorted(
         {e.node for e in recorder.task_events}
         | {e.src for e in recorder.transfer_events}
@@ -121,7 +121,7 @@ def chrome_trace(recorder: Recorder) -> Dict:
                        "args": {"sort_index": node}})
 
     # Task slices: one worker lane per concurrently-running task.
-    by_node: Dict[int, List] = {}
+    by_node: dict[int, list] = {}
     for e in recorder.task_events:
         by_node.setdefault(e.node, []).append(e)
     for node, evs in by_node.items():
@@ -141,7 +141,7 @@ def chrome_trace(recorder: Recorder) -> Dict:
 
     # Transfer slices live on the *source* node's NIC lanes, spanning
     # first-push to delivery.
-    by_src: Dict[int, List] = {}
+    by_src: dict[int, list] = {}
     for e in recorder.transfer_events:
         by_src.setdefault(e.src, []).append(e)
     for src, evs in by_src.items():

@@ -12,11 +12,12 @@ consumption and ``summary()`` for humans.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
+from typing import Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
-Labels = Tuple
+Labels = tuple
 
 
 def _labels(labels) -> Labels:
@@ -36,7 +37,7 @@ class Counter:
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
-        self.values: Dict[Labels, float] = {}
+        self.values: dict[Labels, float] = {}
 
     def inc(self, amount: float = 1.0, labels=None) -> None:
         if amount < 0:
@@ -60,7 +61,7 @@ class Gauge:
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
-        self.values: Dict[Labels, float] = {}
+        self.values: dict[Labels, float] = {}
 
     def set(self, value: float, labels=None) -> None:
         self.values[_labels(labels)] = value
@@ -90,11 +91,11 @@ class Histogram:
                  buckets: Sequence[float] = DEFAULT_BUCKETS):
         self.name = name
         self.help = help
-        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.buckets: tuple[float, ...] = tuple(sorted(buckets))
         if not self.buckets:
             raise ValueError("histogram needs at least one bucket boundary")
         # counts[i] = samples <= buckets[i]; one overflow slot at the end.
-        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.counts: list[int] = [0] * (len(self.buckets) + 1)
         self.count = 0
         self.sum = 0.0
         self.min = float("inf")
@@ -134,7 +135,7 @@ class MetricsRegistry:
     """Named metrics namespace with get-or-create accessors."""
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, object] = {}
+        self._metrics: dict[str, object] = {}
 
     def _get(self, name: str, cls, **kwargs):
         m = self._metrics.get(name)
@@ -160,7 +161,7 @@ class MetricsRegistry:
     def get(self, name: str) -> Optional[object]:
         return self._metrics.get(name)
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         return sorted(self._metrics)
 
     def __len__(self) -> int:
@@ -169,9 +170,9 @@ class MetricsRegistry:
     def __iter__(self) -> Iterable:
         return iter(self._metrics.values())
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """JSON-friendly dump: label tuples become '|'-joined strings."""
-        out: Dict[str, object] = {}
+        out: dict[str, object] = {}
         for name in self.names():
             m = self._metrics[name]
             if isinstance(m, Histogram):

@@ -10,7 +10,8 @@ of a simulated out-of-core execution.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from collections.abc import Hashable
+from typing import Optional
 
 from ..obs import Recorder
 
@@ -55,7 +56,7 @@ class TileCache:
             self._rec.source = "ooc"
         self._tick = 0
         # key -> (size, pinned, dirty); OrderedDict gives LRU order.
-        self._entries: "OrderedDict[Hashable, Tuple[int, bool, bool]]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, tuple[int, bool, bool]]" = OrderedDict()
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries

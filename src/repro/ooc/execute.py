@@ -18,7 +18,7 @@ The schedule, for each target block (I, J) of the q-grid, I >= J:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 import scipy.linalg
@@ -109,7 +109,7 @@ def execute_block_left_looking(
 
     nb = -(-n // q)
     # "Slow memory": the factored blocks live here after being stored.
-    slow: Dict[Tuple[int, int], np.ndarray] = {}
+    slow: dict[tuple[int, int], np.ndarray] = {}
     fast = _FastMemory(M, recorder)
 
     def span(I: int) -> slice:

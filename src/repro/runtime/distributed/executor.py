@@ -37,7 +37,7 @@ import queue as queue_lib
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -55,7 +55,7 @@ __all__ = [
 ]
 
 #: Wire format of one task: (task id, kind, reads, write, flops)
-_WireTask = Tuple[int, str, Tuple[DataKey, ...], Optional[DataKey], float]
+_WireTask = tuple[int, str, tuple[DataKey, ...], Optional[DataKey], float]
 
 #: Exit code used by injected worker crashes (``FaultPlan.crashes``).
 CRASH_EXIT_CODE = 17
@@ -77,9 +77,9 @@ class _Aborted(Exception):
 class DistributedReport:
     """Gathered results of a distributed run."""
 
-    store: Dict[DataKey, np.ndarray]
-    sent_bytes: Dict[int, int]
-    sent_messages: Dict[int, int]
+    store: dict[DataKey, np.ndarray]
+    sent_bytes: dict[int, int]
+    sent_messages: dict[int, int]
     num_nodes: int = 0
     #: the recorder that collected per-task / per-send events (None on
     #: un-traced runs); see :mod:`repro.obs`.
@@ -88,7 +88,7 @@ class DistributedReport:
     #: zero everywhere on a healthy run.  Retransmitted traffic is NOT
     #: included in ``sent_bytes``/``sent_messages``, which count logical
     #: (first-transmission) traffic only.
-    retransmits: Dict[int, int] = field(default_factory=dict)
+    retransmits: dict[int, int] = field(default_factory=dict)
 
     @property
     def total_bytes(self) -> int:
@@ -105,11 +105,11 @@ class DistributedReport:
 
 def _worker(
     node: int,
-    tasks: List[_WireTask],
-    initial: List[Tuple[DataKey, str]],
-    sends: Dict[DataKey, List[int]],
-    local_refs: Dict[DataKey, int],
-    finals: List[DataKey],
+    tasks: list[_WireTask],
+    initial: list[tuple[DataKey, str]],
+    sends: dict[DataKey, list[int]],
+    local_refs: dict[DataKey, int],
+    finals: list[DataKey],
     spec: InitialDataSpec,
     inbox,
     outboxes,
@@ -126,7 +126,7 @@ def _worker(
     events: Optional[list] = [] if trace_base is not None else None
     retransmits = 0
     try:
-        store: Dict[DataKey, np.ndarray] = {}
+        store: dict[DataKey, np.ndarray] = {}
         refs = dict(local_refs)
         finals_set = set(finals)
         sent_bytes = 0
@@ -142,7 +142,7 @@ def _worker(
         # In-flight sends awaiting an ack: msg id -> [dst, key, arr,
         # attempt, retransmit deadline].  Ids are strided by the node
         # count so they are globally unique without coordination.
-        pending: Dict[int, list] = {}
+        pending: dict[int, list] = {}
         next_msg = node
         seen_msgs = set()  # retransmitted duplicates are acked, not re-stored
 
@@ -336,9 +336,9 @@ def execute_distributed(
         rec.source = "distributed"
 
     # Per-node plans.
-    node_tasks: List[List[_WireTask]] = [[] for _ in range(num_nodes)]
-    sends: List[Dict[DataKey, List[int]]] = [dict() for _ in range(num_nodes)]
-    local_refs: List[Dict[DataKey, int]] = [dict() for _ in range(num_nodes)]
+    node_tasks: list[list[_WireTask]] = [[] for _ in range(num_nodes)]
+    sends: list[dict[DataKey, list[int]]] = [dict() for _ in range(num_nodes)]
+    local_refs: list[dict[DataKey, int]] = [dict() for _ in range(num_nodes)]
     for t in graph.tasks:
         node_tasks[t.node].append((t.id, t.kind, t.reads, t.write, t.flops))
         for k in t.reads:
@@ -349,10 +349,10 @@ def execute_distributed(
                 dsts = sends[src].setdefault(k, [])
                 if t.node not in dsts:
                     dsts.append(t.node)
-    initial: List[List[Tuple[DataKey, str]]] = [[] for _ in range(num_nodes)]
+    initial: list[list[tuple[DataKey, str]]] = [[] for _ in range(num_nodes)]
     for key, (home, descriptor) in graph.initial.items():
         initial[home].append((key, descriptor))
-    finals: List[List[DataKey]] = [[] for _ in range(num_nodes)]
+    finals: list[list[DataKey]] = [[] for _ in range(num_nodes)]
     for key in final_versions(graph).values():
         finals[graph.source_of(key)].append(key)
 
@@ -388,10 +388,10 @@ def execute_distributed(
         p.start()
         procs.append(p)
 
-    store: Dict[DataKey, np.ndarray] = {}
-    sent_bytes: Dict[int, int] = {}
-    sent_messages: Dict[int, int] = {}
-    retransmits: Dict[int, int] = {}
+    store: dict[DataKey, np.ndarray] = {}
+    sent_bytes: dict[int, int] = {}
+    sent_messages: dict[int, int] = {}
+    retransmits: dict[int, int] = {}
     all_events: list = []
     reported = set()
     error: Optional[str] = None

@@ -17,7 +17,7 @@ the paper likewise excludes the initial distribution from its measurements.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from collections.abc import Callable
 
 import numpy as np
 
@@ -48,7 +48,7 @@ def _gemm_rhs(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 #: kind -> kernel taking the read arrays (in builder order) -> written array
-KERNEL_DISPATCH: Dict[str, Callable[..., np.ndarray]] = {
+KERNEL_DISPATCH: dict[str, Callable[..., np.ndarray]] = {
     "POTRF": blas.potrf,
     "TRSM": blas.trsm,
     "SYRK": blas.syrk,
@@ -156,7 +156,7 @@ class InitialDataSpec:
         raise ValueError(f"unknown initial data descriptor {descriptor!r}")
 
 
-def materialize_initial(graph: TaskGraph, spec: InitialDataSpec) -> Dict[DataKey, np.ndarray]:
+def materialize_initial(graph: TaskGraph, spec: InitialDataSpec) -> dict[DataKey, np.ndarray]:
     """All initial versions of a graph, keyed by their DataKey."""
     return {
         key: spec.materialize(key, descriptor)

@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 __all__ = [
     "SlowdownWindow",
@@ -171,7 +171,7 @@ class LossState:
     def __init__(self, seed: int, rate: float):
         self._seed = seed
         self._rate = rate
-        self._counts: Dict[Tuple[int, int], int] = {}
+        self._counts: dict[tuple[int, int], int] = {}
 
     def lost(self, src: int, dst: int) -> bool:
         """Decide the fate of the next delivery attempt on (src, dst)."""
@@ -188,11 +188,11 @@ class FaultPlan:
     """Seeded, immutable description of the faults of one execution."""
 
     seed: int = 0
-    slowdowns: Tuple[SlowdownWindow, ...] = ()
-    links: Tuple[LinkDegradation, ...] = ()
+    slowdowns: tuple[SlowdownWindow, ...] = ()
+    links: tuple[LinkDegradation, ...] = ()
     loss_rate: float = 0.0
     retransmit_timeout: float = 1e-3
-    crashes: Tuple[WorkerCrash, ...] = ()
+    crashes: tuple[WorkerCrash, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate < 1.0:

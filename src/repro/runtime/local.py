@@ -15,7 +15,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -33,14 +33,14 @@ __all__ = [
 ]
 
 
-def final_versions(graph: TaskGraph) -> Dict[Tuple[str, int, int], DataKey]:
+def final_versions(graph: TaskGraph) -> dict[tuple[str, int, int], DataKey]:
     """Last-written version of every tile (falling back to initial data).
 
     In 2.5D graphs the partial streams of non-final slices are dead after
     their REDUCE; the last write to a tile is always the version holding
     its final value, so this map is valid for every builder in the library.
     """
-    out: Dict[Tuple[str, int, int], DataKey] = {}
+    out: dict[tuple[str, int, int], DataKey] = {}
     for key in graph.initial:
         slot = (key.name, key.i, key.j)
         if slot not in out:
@@ -56,7 +56,7 @@ def execute_graph(
     spec: InitialDataSpec,
     num_threads: int = 0,
     recorder: Optional[Recorder] = None,
-) -> Dict[DataKey, np.ndarray]:
+) -> dict[DataKey, np.ndarray]:
     """Run every task; returns the store restricted to final versions.
 
     ``num_threads`` <= 1 selects the sequential executor.  Pass a
@@ -74,15 +74,15 @@ def execute_graph(
     return _execute_sequential(graph, spec, keep, rec)
 
 
-def _initial_store(graph: TaskGraph, spec: InitialDataSpec) -> Dict[DataKey, np.ndarray]:
+def _initial_store(graph: TaskGraph, spec: InitialDataSpec) -> dict[DataKey, np.ndarray]:
     return {
         key: spec.materialize(key, descriptor)
         for key, (_home, descriptor) in graph.initial.items()
     }
 
 
-def _refcounts(graph: TaskGraph) -> Dict[DataKey, int]:
-    counts: Dict[DataKey, int] = {}
+def _refcounts(graph: TaskGraph) -> dict[DataKey, int]:
+    counts: dict[DataKey, int] = {}
     for t in graph.tasks:
         for k in t.reads:
             counts[k] = counts.get(k, 0) + 1
@@ -92,7 +92,7 @@ def _refcounts(graph: TaskGraph) -> Dict[DataKey, int]:
 def _execute_sequential(
     graph: TaskGraph, spec: InitialDataSpec, keep: set,
     rec: Optional[Recorder] = None,
-) -> Dict[DataKey, np.ndarray]:
+) -> dict[DataKey, np.ndarray]:
     store = _initial_store(graph, spec)
     refs = _refcounts(graph)
     if rec is not None:
@@ -126,12 +126,12 @@ def _execute_sequential(
 def _execute_threaded(
     graph: TaskGraph, spec: InitialDataSpec, num_threads: int, keep: set,
     rec: Optional[Recorder] = None,
-) -> Dict[DataKey, np.ndarray]:
+) -> dict[DataKey, np.ndarray]:
     store = _initial_store(graph, spec)
     refs = _refcounts(graph)
     lock = threading.Lock()
     t0 = time.perf_counter()
-    ready_time: Dict[int, float] = {}
+    ready_time: dict[int, float] = {}
 
     # Dependency bookkeeping: indegree = number of reads with a producer.
     indeg = [0] * len(graph.tasks)
@@ -194,7 +194,7 @@ def _execute_threaded(
 
 
 def assemble_lower(
-    graph: TaskGraph, store: Dict[DataKey, np.ndarray], grid: TileGrid
+    graph: TaskGraph, store: dict[DataKey, np.ndarray], grid: TileGrid
 ) -> np.ndarray:
     """Assemble the final "A" tiles into a dense lower-triangular matrix."""
     out = np.zeros((grid.n, grid.n))
@@ -209,7 +209,7 @@ def assemble_lower(
 
 
 def assemble_symmetric(
-    graph: TaskGraph, store: Dict[DataKey, np.ndarray], grid: TileGrid
+    graph: TaskGraph, store: dict[DataKey, np.ndarray], grid: TileGrid
 ) -> np.ndarray:
     """Assemble final "A" tiles into a dense symmetric matrix (POTRI result)."""
     out = np.zeros((grid.n, grid.n))
@@ -221,7 +221,7 @@ def assemble_symmetric(
 
 
 def assemble_rhs(
-    graph: TaskGraph, store: Dict[DataKey, np.ndarray], grid: TileGrid, width: int
+    graph: TaskGraph, store: dict[DataKey, np.ndarray], grid: TileGrid, width: int
 ) -> np.ndarray:
     """Assemble the final "B" tiles into a dense (n, width) matrix."""
     out = np.zeros((grid.n, width))

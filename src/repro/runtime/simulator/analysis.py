@@ -22,7 +22,7 @@ schedule slow?" for any distribution/graph combination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from ...graph.task import DataKey, TaskGraph
 from .engine import SimReport
@@ -48,9 +48,9 @@ class CriticalPathBreakdown:
     worker_wait: float = 0.0
     hops: int = 0
     #: number of critical-path tasks per kernel kind
-    kinds: Dict[str, int] = field(default_factory=dict)
+    kinds: dict[str, int] = field(default_factory=dict)
     #: task ids along the path, sink first
-    path: List[int] = field(default_factory=list)
+    path: list[int] = field(default_factory=list)
 
     @property
     def communication_fraction(self) -> float:
@@ -75,11 +75,11 @@ def critical_path_breakdown(
     if report.trace is None or report.transfers is None:
         raise ValueError("simulate(..., trace=True) is required for analysis")
     traces = {t.task_id: t for t in report.trace}
-    deliveries: Dict[Tuple[DataKey, int], object] = {
+    deliveries: dict[tuple[DataKey, int], object] = {
         (t.key, t.dst): t for t in report.transfers
     }
     # Map (node, end-time) -> task, to attribute worker waits.
-    end_at_node: Dict[Tuple[int, float], int] = {}
+    end_at_node: dict[tuple[int, float], int] = {}
     for t in report.trace:
         end_at_node.setdefault((graph.tasks[t.task_id].node, round(t.end, 12)), t.task_id)
 
@@ -119,7 +119,7 @@ def critical_path_breakdown(
     return out
 
 
-def iteration_profile(graph: TaskGraph, report: SimReport) -> List[Tuple[int, float]]:
+def iteration_profile(graph: TaskGraph, report: SimReport) -> list[tuple[int, float]]:
     """Completion time of each iteration (the per-panel rhythm).
 
     Returns (iteration, last task end) pairs in iteration order — the gaps
@@ -127,7 +127,7 @@ def iteration_profile(graph: TaskGraph, report: SimReport) -> List[Tuple[int, fl
     """
     if report.trace is None:
         raise ValueError("simulate(..., trace=True) is required for analysis")
-    ends: Dict[int, float] = {}
+    ends: dict[int, float] = {}
     for t in report.trace:
         it = graph.tasks[t.task_id].iteration
         ends[it] = max(ends.get(it, 0.0), t.end)
@@ -136,7 +136,7 @@ def iteration_profile(graph: TaskGraph, report: SimReport) -> List[Tuple[int, fl
 
 def utilization_timeline(
     report: SimReport, buckets: int = 50
-) -> List[Tuple[float, float]]:
+) -> list[tuple[float, float]]:
     """Worker utilization over time, as (bucket start, busy fraction) pairs.
 
     Shows the paper's pipeline phases: the ramp-up while the first panels

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import heapq
 from collections import defaultdict
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Optional
 
 from ...config import MachineSpec
 from ...graph.priorities import set_critical_path_priorities
@@ -50,12 +51,12 @@ class SimReport:
     num_nodes: int
     comm_bytes: int
     comm_messages: int
-    busy_time: List[float] = field(default_factory=list)
-    time_by_kind: Dict[str, float] = field(default_factory=dict)
+    busy_time: list[float] = field(default_factory=list)
+    time_by_kind: dict[str, float] = field(default_factory=dict)
     num_tasks: int = 0
     cores_per_node: int = 1
-    trace: Optional[List[TaskEvent]] = None
-    transfers: Optional[List[TransferEvent]] = None
+    trace: Optional[list[TaskEvent]] = None
+    transfers: Optional[list[TransferEvent]] = None
     #: the recorder that collected the trace (None on un-traced runs);
     #: carries the metrics registry and feeds the repro.obs exporters.
     obs: Optional[Recorder] = None
@@ -73,7 +74,7 @@ class SimReport:
         workers = len(self.busy_time) * self.cores_per_node
         return sum(self.busy_time) / (self.makespan * workers)
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """JSON-serializable summary (durations in seconds, traffic in bytes)."""
         return {
             "makespan": self.makespan,
@@ -183,8 +184,8 @@ def simulate(
             duration_fn = lambda t: kernel.duration(t.flops, b)  # noqa: E731
 
     queue = None
-    saved_nodes: Optional[List[int]] = None
-    saved_prios: Optional[List[float]] = None
+    saved_nodes: Optional[list[int]] = None
+    saved_prios: Optional[list[float]] = None
     if scheduler is not None:
         from ...schedulers import ObjectGraphView, get_policy
 
@@ -260,12 +261,12 @@ def _simulate(
     # missing[t] = input instances not yet present at t.node.
     missing = [0] * n_tasks
     # consumers on the producing node, released when the producer finishes.
-    local_consumers: Dict[DataKey, List[int]] = defaultdict(list)
+    local_consumers: dict[DataKey, list[int]] = defaultdict(list)
     # consumers at remote nodes, released when the transfer arrives.
-    remote_needers: Dict[Tuple[DataKey, int], List[int]] = defaultdict(list)
+    remote_needers: dict[tuple[DataKey, int], list[int]] = defaultdict(list)
     # destination nodes awaiting each key (drives eager transfer fan-out).
-    key_dsts: Dict[DataKey, List[int]] = defaultdict(list)
-    initial_sources: List[Tuple[DataKey, int]] = []  # misplaced initial data
+    key_dsts: dict[DataKey, list[int]] = defaultdict(list)
+    initial_sources: list[tuple[DataKey, int]] = []  # misplaced initial data
     for t in tasks:
         for k in t.reads:
             pid = graph.producer.get(k)
@@ -293,7 +294,7 @@ def _simulate(
     iter_remaining = [0] * len(iterations)
     for t in tasks:
         iter_remaining[iter_pos[t.iteration]] += 1
-    iter_blocked: Dict[int, List[Task]] = defaultdict(list)
+    iter_blocked: dict[int, list[Task]] = defaultdict(list)
     released_idx = 0  # tasks with iteration index <= released_idx may run
 
     # --- fault-plan state ---------------------------------------------------
@@ -327,7 +328,7 @@ def _simulate(
     events: list = []  # (time, seq, kind, payload)
     seq = 0
     busy_time = [0.0] * num_nodes
-    time_by_kind: Dict[str, float] = defaultdict(float)
+    time_by_kind: dict[str, float] = defaultdict(float)
     done = 0
     now = 0.0
 
@@ -344,7 +345,7 @@ def _simulate(
         rec = Recorder(source="simulator") if trace and recorder is None else None
         trace = rec is not None
     ready_time = [0.0] * n_tasks if trace else None
-    first_chunk_start: Dict[Tuple[DataKey, int], float] = {}
+    first_chunk_start: dict[tuple[DataKey, int], float] = {}
 
     if trace and faults is not None:
         # Declare the plan's windows up front so the trace shows them even
@@ -419,7 +420,7 @@ def _simulate(
             push_event(chunk.delivery, "xfer", tr)
 
     # Forwarding plans for tree broadcasts: (key, node) -> child nodes.
-    tree_children: Dict[Tuple[DataKey, int], List[int]] = {}
+    tree_children: dict[tuple[DataKey, int], list[int]] = {}
 
     def _send(key: DataKey, src: int, dst: int, prio: float, time: float) -> None:
         started = net.submit(Transfer(key, src, dst, graph.data_bytes(key), prio), time)
@@ -443,7 +444,7 @@ def _simulate(
         # index i is served by the node at index i - 2^floor(log2 i).
         order = sorted(dsts, key=lambda d: -prios[d])
         ring = [src] + order
-        children: Dict[int, List[int]] = defaultdict(list)
+        children: dict[int, list[int]] = defaultdict(list)
         for i in range(1, len(ring)):
             parent = i - (1 << (i.bit_length() - 1))
             children[parent].append(i)
@@ -464,7 +465,7 @@ def _simulate(
             for c in children.get(i, ()):
                 _forward_prios[(key, ring[c])] = subtree_prio[c]
 
-    _forward_prios: Dict[Tuple[DataKey, int], float] = {}
+    _forward_prios: dict[tuple[DataKey, int], float] = {}
 
     def release_iterations(time: float) -> None:
         nonlocal released_idx

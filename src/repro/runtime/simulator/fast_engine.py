@@ -42,7 +42,7 @@ import gc
 from dataclasses import replace
 from heapq import heappop, heappush
 from collections import defaultdict, deque
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -148,8 +148,9 @@ def simulate_compiled(
         if splan.assignment is not None:
             asg = np.ascontiguousarray(splan.assignment, dtype=cg.node.dtype)
             if asg.shape != (n_tasks,):
+                got = asg.shape[0] if asg.ndim == 1 else asg.shape
                 raise ValueError(
-                    f"policy {policy.name!r} returned {asg.shape[0] if asg.ndim == 1 else asg.shape} "
+                    f"policy {policy.name!r} returned {got} "
                     f"assignments for {n_tasks} tasks"
                 )
             if asg.size and (int(asg.min()) < 0 or int(asg.max()) >= num_nodes):
@@ -310,7 +311,7 @@ def simulate_compiled(
         ipos = None
         iter_remaining = []
         n_iters = 0
-    iter_blocked: Dict[int, List[int]] = defaultdict(list)
+    iter_blocked: dict[int, list[int]] = defaultdict(list)
     released_idx = 0
 
     free = [machine.cores_for(i) for i in range(num_nodes)]
@@ -320,8 +321,8 @@ def simulate_compiled(
     # object engine's (-priority, seq) heap, but push/pop cost no
     # log-depth tuple comparisons — the queues hold millions of entries
     # at paper scale.
-    buckets: List[dict] = [{} for _ in range(num_nodes)]
-    pheap: List[list] = [[] for _ in range(num_nodes)]
+    buckets: list[dict] = [{} for _ in range(num_nodes)]
+    pheap: list[list] = [[] for _ in range(num_nodes)]
     qlen = [0] * num_nodes  # queue depth, only tracked for the trace gauge
 
     # --- fault-plan state (mirrors engine.simulate) -------------------------
@@ -379,7 +380,7 @@ def simulate_compiled(
         rec = Recorder(source="simulator") if trace and recorder is None else None
         trace = rec is not None
     ready_time = [0.0] * n_tasks if trace else None
-    first_chunk_start: Dict[Tuple[int, int], float] = {}
+    first_chunk_start: dict[tuple[int, int], float] = {}
     data_keys = cg.data_keys
     kind_names = cg.kind_names
 
@@ -463,8 +464,8 @@ def simulate_compiled(
             launch(started)
 
     # Forwarding plans for tree broadcasts: (data id, node) -> child nodes.
-    tree_children: Dict[Tuple[int, int], List[int]] = {}
-    _forward_prios: Dict[Tuple[int, int], float] = {}
+    tree_children: dict[tuple[int, int], list[int]] = {}
+    _forward_prios: dict[tuple[int, int], float] = {}
 
     def request_transfers(d: int, src: int, time: float) -> None:
         p0 = int(kd_ptr[d])
@@ -481,7 +482,7 @@ def simulate_compiled(
         prios = {dsts[k]: pair_prio[p0 + k] for k in range(p1 - p0)}
         order = sorted(dsts, key=lambda x: -prios[x])
         ring = [src] + order
-        children: Dict[int, List[int]] = defaultdict(list)
+        children: dict[int, list[int]] = defaultdict(list)
         for i in range(1, len(ring)):
             parent = i - (1 << (i.bit_length() - 1))
             children[parent].append(i)
@@ -1083,7 +1084,7 @@ def _run_kernel(
 
     # Misplaced initial data kicks off its transfers at t = 0, pairs in
     # CSR order per data — the numpy path's kick-off sequence.
-    init: List[int] = []
+    init: list[int] = []
     kd_ptr = plan.kd_ptr
     for d, _home in plan.initial_sources:
         init.extend(range(int(kd_ptr[d]), int(kd_ptr[d + 1])))

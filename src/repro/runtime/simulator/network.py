@@ -33,8 +33,9 @@ bit-equality pin for default (clique) runs.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Callable
 from heapq import heappop, heappush
-from typing import Callable, List, NamedTuple, Optional
+from typing import NamedTuple, Optional
 
 from ...config import NetworkSpec
 
@@ -120,13 +121,13 @@ class NetworkSim:
         self._egress_busy = [False] * num_nodes
         self._ingress_free = [0.0] * num_nodes
         # Per-source priority queues of transfers with bytes left to push.
-        self._queues: List[list] = [[] for _ in range(num_nodes)]
+        self._queues: list[list] = [[] for _ in range(num_nodes)]
         # Aggregation index: per source, the queued-but-unstarted transfer
         # headed to each destination (at most one exists — a second submit
         # to the same destination piggy-backs instead of queueing).  Entries
         # go stale once _serve starts the transfer; submit validates lazily,
         # so _serve stays untouched (the compiled engine inlines it).
-        self._unstarted: List[dict] = [{} for _ in range(num_nodes)]
+        self._unstarted: list[dict] = [{} for _ in range(num_nodes)]
         self._seq = 0
         self.total_bytes = 0
         self.total_messages = 0

@@ -14,7 +14,7 @@ policy x distribution tournament.
 
 from __future__ import annotations
 
-from typing import Dict, Type, Union
+from typing import Union
 
 from .base import GraphView, ReadyQueue, SchedulePlan, SchedulerInterface
 from .policies import (
@@ -48,7 +48,7 @@ __all__ = [
 ]
 
 #: Registry of every policy, keyed by its ``name`` (= ``JobSpec.policy``).
-POLICIES: Dict[str, Type[SchedulerInterface]] = {
+POLICIES: dict[str, type[SchedulerInterface]] = {
     cls.name: cls
     for cls in (
         CriticalPathOwnerComputes,

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, ClassVar, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import ClassVar, Optional
 
 __all__ = [
     "GraphView",
@@ -76,31 +77,31 @@ class GraphView(abc.ABC):
 
     @property
     @abc.abstractmethod
-    def durations(self) -> List[float]: ...
+    def durations(self) -> Sequence[float]: ...
 
     @property
     @abc.abstractmethod
-    def node(self) -> List[int]: ...
+    def node(self) -> Sequence[int]: ...
 
     @property
     @abc.abstractmethod
-    def kinds(self) -> List[str]: ...
+    def kinds(self) -> Sequence[str]: ...
 
     @property
     @abc.abstractmethod
-    def iterations(self) -> List[int]: ...
+    def iterations(self) -> Sequence[int]: ...
 
     @property
     @abc.abstractmethod
-    def out_bytes(self) -> List[int]: ...
+    def out_bytes(self) -> Sequence[int]: ...
 
     @property
     @abc.abstractmethod
-    def consumers(self) -> List[List[int]]: ...
+    def consumers(self) -> list[list[int]]: ...
 
     @property
     @abc.abstractmethod
-    def inputs(self) -> List[List[Tuple[int, int, int]]]: ...
+    def inputs(self) -> list[list[tuple[int, int, int]]]: ...
 
     def comm_cost(self, nbytes: int) -> float:
         """Seconds to move ``nbytes`` over one link (latency + wire)."""

@@ -10,8 +10,6 @@ object-vs-compiled equality suite.
 
 from __future__ import annotations
 
-from typing import List
-
 from .base import GraphView, SchedulePlan, SchedulerInterface
 from .queues import WorkStealingQueues
 
@@ -25,7 +23,7 @@ __all__ = [
 ]
 
 
-def _bottom_levels(view: GraphView, comm_weighted: bool) -> List[float]:
+def _bottom_levels(view: GraphView, comm_weighted: bool) -> list[float]:
     """Duration-weighted longest path to a sink, per task.
 
     With ``comm_weighted`` the edge to a consumer on another node also
@@ -134,7 +132,7 @@ class LookaheadHEFT(SchedulerInterface):
         placed = [0] * n
         for t in order:
             best_node = 0
-            best_eft = None
+            best_eft = float("inf")
             for cand in range(num_nodes):
                 est = 0.0
                 for pid, nbytes, src in inputs[t]:
@@ -152,7 +150,7 @@ class LookaheadHEFT(SchedulerInterface):
                 if free > est:
                     est = free
                 eft = est + dur[t]
-                if best_eft is None or eft < best_eft:
+                if eft < best_eft:
                     best_eft = eft
                     best_node = cand
             placed[t] = best_node

@@ -8,7 +8,7 @@ keeps the two-engine equality contract for free.
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional
+from typing import Optional
 
 from .base import ReadyQueue
 
@@ -33,10 +33,11 @@ class WorkStealingQueues(ReadyQueue):
     communication pattern (and the analyze placement rule) is untouched.
     """
 
-    def __init__(self, num_nodes: int, cores: int):
+    def __init__(self, num_nodes: int, cores: int) -> None:
         self.cores = max(1, cores)
-        self._deques: List[List[deque]] = [
-            [deque() for _ in range(self.cores)] for _ in range(num_nodes)
+        self._deques: list[list[deque[int]]] = [
+            [deque() for _ in range(self.cores)]
+            for _ in range(num_nodes)
         ]
         self._next_core = [0] * num_nodes
         self._depth = [0] * num_nodes

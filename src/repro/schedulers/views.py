@@ -14,22 +14,24 @@ policy computes the identical plan whichever engine invokes it:
 * inputs — task read order is preserved by ``compile_graph`` and the
   direct compilers, so the per-read tuples line up slot for slot.
 
-Every column is built lazily on first access (``cached_property``): the
-default policy never touches the view, so the hot service path pays only
-the adapter construction (a few attribute stores).
+Every column is built lazily on first access (a per-column backing
+field, the plain-property spelling of ``cached_property`` that
+``mypy --strict`` can check against the abstract base): the default
+policy never touches the view, so the hot service path pays only the
+adapter construction (a few attribute stores).
 """
 
 from __future__ import annotations
 
 from array import array
-from functools import cached_property
-from typing import List, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import Optional
 
 import numpy as np
 
 from ..config import MachineSpec
 from ..graph.compiled import CompiledGraph
-from ..graph.task import TaskGraph
+from ..graph.task import Task, TaskGraph
 from .base import GraphView
 
 __all__ = ["ObjectGraphView", "CompiledGraphView"]
@@ -38,7 +40,8 @@ __all__ = ["ObjectGraphView", "CompiledGraphView"]
 class ObjectGraphView(GraphView):
     """View over a :class:`TaskGraph` (the object engine's plane)."""
 
-    def __init__(self, graph: TaskGraph, machine: MachineSpec, duration_fn):
+    def __init__(self, graph: TaskGraph, machine: MachineSpec,
+                 duration_fn: Callable[[Task], float]) -> None:
         self._graph = graph
         self._duration_fn = duration_fn
         self.num_nodes = machine.nodes
@@ -48,68 +51,91 @@ class ObjectGraphView(GraphView):
         #: Optional repro.topology.Topology — policies may inspect the
         #: routed interconnect / heterogeneity (None = uniform clique).
         self.topology = machine.topology
+        self._durations: Optional[list[float]] = None
+        self._node: Optional[list[int]] = None
+        self._kinds: Optional[list[str]] = None
+        self._iterations: Optional[list[int]] = None
+        self._out_bytes: Optional[list[int]] = None
+        self._consumers: Optional[list[list[int]]] = None
+        self._inputs: Optional[list[list[tuple[int, int, int]]]] = None
 
     @property
     def n_tasks(self) -> int:
         return len(self._graph.tasks)
 
-    @cached_property
-    def durations(self) -> List[float]:
-        fn = self._duration_fn
-        return [fn(t) for t in self._graph.tasks]
+    @property
+    def durations(self) -> Sequence[float]:
+        if self._durations is None:
+            fn = self._duration_fn
+            self._durations = [fn(t) for t in self._graph.tasks]
+        return self._durations
 
-    @cached_property
-    def node(self) -> List[int]:
-        return [t.node for t in self._graph.tasks]
+    @property
+    def node(self) -> Sequence[int]:
+        if self._node is None:
+            self._node = [t.node for t in self._graph.tasks]
+        return self._node
 
-    @cached_property
-    def kinds(self) -> List[str]:
-        return [t.kind for t in self._graph.tasks]
+    @property
+    def kinds(self) -> Sequence[str]:
+        if self._kinds is None:
+            self._kinds = [t.kind for t in self._graph.tasks]
+        return self._kinds
 
-    @cached_property
-    def iterations(self) -> List[int]:
-        return [t.iteration for t in self._graph.tasks]
+    @property
+    def iterations(self) -> Sequence[int]:
+        if self._iterations is None:
+            self._iterations = [t.iteration for t in self._graph.tasks]
+        return self._iterations
 
-    @cached_property
-    def out_bytes(self) -> List[int]:
-        g = self._graph
-        return [g.data_bytes(t.write) if t.write is not None else 0
+    @property
+    def out_bytes(self) -> Sequence[int]:
+        if self._out_bytes is None:
+            g = self._graph
+            self._out_bytes = [
+                g.data_bytes(t.write) if t.write is not None else 0
                 for t in g.tasks]
+        return self._out_bytes
 
-    @cached_property
-    def consumers(self) -> List[List[int]]:
-        g = self._graph
-        cons: List[List[int]] = [[] for _ in range(len(g.tasks))]
-        for t in g.tasks:
-            for k in t.reads:
-                pid = g.producer.get(k)
-                if pid is not None:
-                    cons[pid].append(t.id)
-        return cons
+    @property
+    def consumers(self) -> list[list[int]]:
+        if self._consumers is None:
+            g = self._graph
+            cons: list[list[int]] = [[] for _ in range(len(g.tasks))]
+            for t in g.tasks:
+                for k in t.reads:
+                    pid = g.producer.get(k)
+                    if pid is not None:
+                        cons[pid].append(t.id)
+            self._consumers = cons
+        return self._consumers
 
-    @cached_property
-    def inputs(self) -> List[List[Tuple[int, int, int]]]:
-        g = self._graph
-        out: List[List[Tuple[int, int, int]]] = []
-        for t in g.tasks:
-            rows = []
-            for k in t.reads:
-                pid = g.producer.get(k)
-                if pid is not None:
-                    rows.append((pid, g.data_bytes(k), g.tasks[pid].node))
-                else:
-                    rows.append((-1, g.data_bytes(k), g.initial[k][0]))
-            out.append(rows)
-        return out
+    @property
+    def inputs(self) -> list[list[tuple[int, int, int]]]:
+        if self._inputs is None:
+            g = self._graph
+            out: list[list[tuple[int, int, int]]] = []
+            for t in g.tasks:
+                rows: list[tuple[int, int, int]] = []
+                for k in t.reads:
+                    pid = g.producer.get(k)
+                    if pid is not None:
+                        rows.append((pid, g.data_bytes(k),
+                                     g.tasks[pid].node))
+                    else:
+                        rows.append((-1, g.data_bytes(k), g.initial[k][0]))
+                out.append(rows)
+            self._inputs = out
+        return self._inputs
 
 
 class CompiledGraphView(GraphView):
     """View over a :class:`CompiledGraph` (the compiled engine's plane)."""
 
     def __init__(self, cg: CompiledGraph, machine: MachineSpec,
-                 durations: np.ndarray):
+                 durations: np.ndarray) -> None:
         self._cg = cg
-        self._durations = durations
+        self._raw_durations = durations
         self.num_nodes = machine.nodes
         self.cores = machine.cores
         self.bandwidth = machine.network.bandwidth
@@ -117,6 +143,13 @@ class CompiledGraphView(GraphView):
         #: Optional repro.topology.Topology — policies may inspect the
         #: routed interconnect / heterogeneity (None = uniform clique).
         self.topology = machine.topology
+        self._durations: Optional[Sequence[float]] = None
+        self._node: Optional[Sequence[int]] = None
+        self._kinds: Optional[list[str]] = None
+        self._iterations: Optional[Sequence[int]] = None
+        self._out_bytes: Optional[Sequence[int]] = None
+        self._consumers: Optional[list[list[int]]] = None
+        self._inputs: Optional[list[list[tuple[int, int, int]]]] = None
 
     @property
     def n_tasks(self) -> int:
@@ -129,51 +162,66 @@ class CompiledGraphView(GraphView):
     # instead of ~32 — policy sweeps at N = 400 keep ~1 GB of boxed
     # numbers off the worker heap.
 
-    @cached_property
+    @property
     def durations(self) -> Sequence[float]:
-        return array("d", np.ascontiguousarray(
-            self._durations, dtype=np.float64).tobytes())
+        if self._durations is None:
+            self._durations = array("d", np.ascontiguousarray(
+                self._raw_durations, dtype=np.float64).tobytes())
+        return self._durations
 
-    @cached_property
+    @property
     def node(self) -> Sequence[int]:
-        return array("i", np.ascontiguousarray(
-            self._cg.node, dtype=np.int32).tobytes())
+        if self._node is None:
+            self._node = array("i", np.ascontiguousarray(
+                self._cg.node, dtype=np.int32).tobytes())
+        return self._node
 
-    @cached_property
-    def kinds(self) -> List[str]:
-        names = self._cg.kind_names
-        return [names[c] for c in self._cg.kind_codes.tolist()]
+    @property
+    def kinds(self) -> Sequence[str]:
+        if self._kinds is None:
+            names = self._cg.kind_names
+            self._kinds = [names[c] for c in self._cg.kind_codes.tolist()]
+        return self._kinds
 
-    @cached_property
+    @property
     def iterations(self) -> Sequence[int]:
-        return array("i", np.ascontiguousarray(
-            self._cg.iteration, dtype=np.int32).tobytes())
+        if self._iterations is None:
+            self._iterations = array("i", np.ascontiguousarray(
+                self._cg.iteration, dtype=np.int32).tobytes())
+        return self._iterations
 
-    @cached_property
+    @property
     def out_bytes(self) -> Sequence[int]:
-        cg = self._cg
-        out = np.zeros(cg.n_tasks, dtype=np.int64)
-        has = cg.write_id >= 0
-        out[has] = cg.data_nbytes[cg.write_id[has]]
-        return array("q", out.tobytes())
+        if self._out_bytes is None:
+            cg = self._cg
+            out = np.zeros(cg.n_tasks, dtype=np.int64)
+            has = cg.write_id >= 0
+            out[has] = cg.data_nbytes[cg.write_id[has]]
+            self._out_bytes = array("q", out.tobytes())
+        return self._out_bytes
 
-    @cached_property
-    def consumers(self) -> List[List[int]]:
-        ptr, ids = self._cg.consumers_csr()
-        ptr_l = ptr.tolist()
-        ids_l = ids.tolist()
-        return [ids_l[ptr_l[t]:ptr_l[t + 1]] for t in range(self._cg.n_tasks)]
+    @property
+    def consumers(self) -> list[list[int]]:
+        if self._consumers is None:
+            ptr, ids = self._cg.consumers_csr()
+            ptr_l = ptr.tolist()
+            ids_l = ids.tolist()
+            self._consumers = [ids_l[ptr_l[t]:ptr_l[t + 1]]
+                               for t in range(self._cg.n_tasks)]
+        return self._consumers
 
-    @cached_property
-    def inputs(self) -> List[List[Tuple[int, int, int]]]:
-        cg = self._cg
-        ptr = cg.read_ptr.tolist()
-        rids = cg.read_ids.tolist()
-        prod = cg.data_producer.tolist()
-        src = cg.data_source_node.tolist()
-        nbytes = cg.data_nbytes.tolist()
-        out: List[List[Tuple[int, int, int]]] = []
-        for t in range(cg.n_tasks):
-            out.append([(prod[d], nbytes[d], src[d])
-                        for d in rids[ptr[t]:ptr[t + 1]]])
-        return out
+    @property
+    def inputs(self) -> list[list[tuple[int, int, int]]]:
+        if self._inputs is None:
+            cg = self._cg
+            ptr = cg.read_ptr.tolist()
+            rids = cg.read_ids.tolist()
+            prod = cg.data_producer.tolist()
+            src = cg.data_source_node.tolist()
+            nbytes = cg.data_nbytes.tolist()
+            out: list[list[tuple[int, int, int]]] = []
+            for t in range(cg.n_tasks):
+                out.append([(prod[d], nbytes[d], src[d])
+                            for d in rids[ptr[t]:ptr[t + 1]]])
+            self._inputs = out
+        return self._inputs

@@ -31,7 +31,8 @@ import argparse
 import asyncio
 import json
 import sys
-from typing import Any, Dict, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any, Optional
 
 from ..config import bora
 from .client import SweepClient
@@ -43,7 +44,7 @@ from .store import ResultStore
 __all__ = ["main"]
 
 
-def parse_dist(text: str) -> Dict[str, Any]:
+def parse_dist(text: str) -> dict[str, Any]:
     """Parse the compact ``--dist`` syntax into a dist spec dict."""
     kind, _, rest = text.partition(":")
     if kind == "sbc":

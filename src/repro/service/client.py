@@ -25,7 +25,8 @@ import asyncio
 import json
 import os
 import tempfile
-from typing import Any, Dict, List, Optional, Sequence, Union
+from collections.abc import Sequence
+from typing import Any, Optional, Union, cast
 from urllib.parse import urlsplit
 
 from .jobs import JobSpec
@@ -53,10 +54,10 @@ class SweepClient:
 
     def __init__(
         self,
-        store: Union[ResultStore, os.PathLike, str, None] = None,
+        store: Union[ResultStore, os.PathLike[str], str, None] = None,
         url: Optional[str] = None,
         workers: int = 0,
-    ):
+    ) -> None:
         self.url = url
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self.server: Optional[SweepServer] = None
@@ -76,7 +77,7 @@ class SweepClient:
         assert self._loop is not None and self.server is not None
         return self._loop.run_until_complete(self.server.submit(spec))
 
-    def sweep(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+    def sweep(self, specs: Sequence[JobSpec]) -> list[JobResult]:
         """Resolve many points; in-process mode runs them concurrently."""
         if self.url is not None:
             return [self._http_submit(s) for s in specs]
@@ -87,11 +88,11 @@ class SweepClient:
         if self.url is not None:
             doc = self._http_json("POST", "/status",
                                   json.dumps(spec.to_dict()).encode())
-            return doc["status"]
+            return str(doc["status"])
         assert self.server is not None
         return self.server.status(spec)
 
-    def result_by_hash(self, point_hash: str) -> Optional[Dict[str, Any]]:
+    def result_by_hash(self, point_hash: str) -> Optional[dict[str, Any]]:
         if self.url is not None:
             try:
                 return self._http_json("GET", f"/result/{point_hash}")
@@ -116,18 +117,19 @@ class SweepClient:
             self._loop.close()
             self._loop = None
 
-    def __enter__(self) -> "SweepClient":
+    def __enter__(self) -> SweepClient:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- HTTP transport ------------------------------------------------------
 
     def _http_json(self, method: str, path: str,
-                   body: Optional[bytes] = None) -> Dict[str, Any]:
+                   body: Optional[bytes] = None) -> dict[str, Any]:
         import http.client
 
+        assert self.url is not None
         parts = urlsplit(self.url)
         conn = http.client.HTTPConnection(parts.hostname,
                                           parts.port or 80, timeout=600)
@@ -142,7 +144,7 @@ class SweepClient:
                 raise RuntimeError(
                     f"{method} {path} -> {resp.status}: {payload[:200]!r}"
                 )
-            return json.loads(payload.decode())
+            return cast("dict[str, Any]", json.loads(payload.decode()))
         finally:
             conn.close()
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Optional
 
 from .jobs import JobSpec
 from .server import SweepServer
@@ -54,13 +54,13 @@ class HttpSweepService:
     """One listening socket bound to one :class:`SweepServer`."""
 
     def __init__(self, server: SweepServer, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0) -> None:
         self.server = server
         self.host = host
         self.port = port
         self._asyncio_server: Optional[asyncio.AbstractServer] = None
 
-    async def start(self) -> Tuple[str, int]:
+    async def start(self) -> tuple[str, int]:
         """Bind and listen; returns the (host, actual port) pair."""
         self._asyncio_server = await asyncio.start_server(
             self._handle, self.host, self.port
@@ -97,7 +97,7 @@ class HttpSweepService:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
+    ) -> tuple[str, str, bytes]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         parts = request_line.split()
         if len(parts) < 2:
@@ -142,7 +142,7 @@ class HttpSweepService:
                 return _response("200 OK",
                                  _json_bytes({"status": self.server.status(spec)}))
             result = await self.server.submit(spec)
-            doc: Dict[str, Any] = dict(
+            doc: dict[str, Any] = dict(
                 self.server.result_by_hash(result.hash) or {}
             )
             doc["cached"] = result.cached

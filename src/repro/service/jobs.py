@@ -17,11 +17,11 @@ interpreter details.
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Optional, Union
 
 from ..config import KernelModel, MachineSpec, NetworkSpec
-from ..topology import topology_from_spec, topology_to_spec
 from ..distributions import (
     BlockCyclic2D,
     Distribution,
@@ -29,6 +29,7 @@ from ..distributions import (
     SymmetricBlockCyclic,
     TwoDotFiveD,
 )
+from ..topology import topology_from_spec, topology_to_spec
 from ..runtime.faults import (
     FaultPlan,
     LinkDegradation,
@@ -58,7 +59,7 @@ ENGINES = ("compiled", "object")
 KERNELS = ("auto", "numpy", "jit", "interp")
 
 
-def _policy_names() -> Tuple[str, ...]:
+def _policy_names() -> tuple[str, ...]:
     # Deferred import: repro.schedulers pulls in the graph/compiled stack,
     # which this module must not load at import time (the service CLI
     # imports jobs for --help before any heavy work).
@@ -76,7 +77,7 @@ def canonical_json(obj: Any) -> str:
 # distribution <-> spec dict
 # --------------------------------------------------------------------------
 
-def dist_to_spec(dist: Union[Distribution, TwoDotFiveD]) -> Dict[str, Any]:
+def dist_to_spec(dist: Union[Distribution, TwoDotFiveD]) -> dict[str, Any]:
     """Serialize a distribution to a plain, canonical dict."""
     if isinstance(dist, SymmetricBlockCyclic):
         return {"kind": "sbc", "r": dist.r, "variant": dist.variant}
@@ -114,7 +115,7 @@ def dist_from_spec(spec: Mapping[str, Any]) -> Union[Distribution, TwoDotFiveD]:
 # machine <-> spec dict
 # --------------------------------------------------------------------------
 
-def machine_to_spec(machine: MachineSpec) -> Dict[str, Any]:
+def machine_to_spec(machine: MachineSpec) -> dict[str, Any]:
     """Flatten a :class:`repro.config.MachineSpec` to a canonical dict.
 
     The interconnect topology (when attached) is embedded under
@@ -159,7 +160,7 @@ def machine_from_spec(spec: Mapping[str, Any]) -> MachineSpec:
 # fault plan <-> spec dict
 # --------------------------------------------------------------------------
 
-def faults_to_spec(plan: Optional[FaultPlan]) -> Optional[Dict[str, Any]]:
+def faults_to_spec(plan: Optional[FaultPlan]) -> Optional[dict[str, Any]]:
     """Serialize a :class:`FaultPlan` (None stays None)."""
     if plan is None:
         return None
@@ -248,13 +249,13 @@ class JobSpec:
     algorithm: str
     ntiles: int
     b: int
-    dist: Tuple  # frozen dist spec
-    machine: Tuple  # frozen machine spec
+    dist: tuple[Any, ...]  # frozen dist spec
+    machine: tuple[Any, ...]  # frozen machine spec
     engine: str = "compiled"
     synchronized: bool = False
     broadcast: str = "direct"
     aggregate: bool = False
-    faults: Optional[Tuple] = None
+    faults: Optional[tuple[Any, ...]] = None
     collect_metrics: bool = False
     #: Scheduling policy (a :data:`repro.schedulers.POLICIES` name).  Part
     #: of the config digest — sweeping policies re-simulates each point —
@@ -308,7 +309,7 @@ class JobSpec:
         collect_metrics: bool = False,
         policy: str = "critical-path",
         kernel: str = "auto",
-    ) -> "JobSpec":
+    ) -> JobSpec:
         """Build a spec from live objects or plain dicts."""
         dspec = dist if isinstance(dist, Mapping) else dist_to_spec(dist)
         mspec = (machine if isinstance(machine, Mapping)
@@ -332,7 +333,7 @@ class JobSpec:
         )
 
     @classmethod
-    def from_dict(cls, d: Mapping[str, Any]) -> "JobSpec":
+    def from_dict(cls, d: Mapping[str, Any]) -> JobSpec:
         """Rebuild a spec from :meth:`to_dict` output (JSON data)."""
         return cls.make(
             algorithm=d["algorithm"],
@@ -352,7 +353,7 @@ class JobSpec:
 
     # -- canonical views ----------------------------------------------------
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-JSON shape; the canonical serialization of the point."""
         return {
             "algorithm": self.algorithm,
@@ -374,7 +375,7 @@ class JobSpec:
         """Canonical JSON of the full spec (the config-digest input)."""
         return canonical_json(self.to_dict())
 
-    def structure_fields(self) -> Dict[str, Any]:
+    def structure_fields(self) -> dict[str, Any]:
         """The subset of fields the task-graph *structure* depends on.
 
         Everything else (machine constants, engine, simulator options,
@@ -402,7 +403,7 @@ class JobSpec:
         return faults_from_spec(None if self.faults is None
                                 else _thaw(self.faults))
 
-    def with_(self, **changes: Any) -> "JobSpec":
+    def with_(self, **changes: Any) -> JobSpec:
         """Copy with plain-field changes (dist/machine/faults take dicts)."""
         d = self.to_dict()
         d.update(changes)

@@ -27,7 +27,8 @@ from __future__ import annotations
 import resource
 import threading
 import time
-from typing import Any, Dict, Mapping, Optional, Tuple
+from collections.abc import Callable, Mapping
+from typing import Any, Optional
 
 from ..graph import (
     build_cholesky_graph,
@@ -38,6 +39,8 @@ from ..graph import (
     compile_graph,
     compile_lu,
 )
+from ..graph.compiled import CompiledGraph
+from ..graph.task import TaskGraph
 from ..obs import Recorder
 from ..runtime.faults import SimulatedFailure
 from ..runtime.simulator import SimReport, simulate, simulate_compiled
@@ -51,7 +54,7 @@ __all__ = [
 ]
 
 
-def report_to_dict(rep: SimReport) -> Dict[str, Any]:
+def report_to_dict(rep: SimReport) -> dict[str, Any]:
     """Lossless JSON form of a :class:`SimReport` (event traces dropped).
 
     ``json`` serializes floats via ``repr``, which round-trips doubles
@@ -85,7 +88,7 @@ def report_from_dict(d: Mapping[str, Any]) -> SimReport:
     )
 
 
-def _build_object_graph(spec: JobSpec):
+def _build_object_graph(spec: JobSpec) -> TaskGraph:
     dist = spec.distribution()
     from ..distributions import TwoDotFiveD
 
@@ -98,7 +101,7 @@ def _build_object_graph(spec: JobSpec):
     return builder(spec.ntiles, spec.b, dist)
 
 
-def _compile(spec: JobSpec):
+def _compile(spec: JobSpec) -> CompiledGraph:
     """Compiled graph for the spec (direct compiler when one exists)."""
     dist = spec.distribution()
     from ..distributions import TwoDotFiveD
@@ -127,10 +130,10 @@ def _compile(spec: JobSpec):
 # the sweep's input).
 
 _graph_cache_lock = threading.Lock()
-_graph_cache: Optional[Tuple[str, Any]] = None
+_graph_cache: Optional[tuple[str, CompiledGraph]] = None
 
 
-def _checkout_graph(spec: JobSpec, skey: str) -> Tuple[Any, bool]:
+def _checkout_graph(spec: JobSpec, skey: str) -> tuple[CompiledGraph, bool]:
     """(compiled graph, reused?) — reuse only on an exact structure match."""
     global _graph_cache
     with _graph_cache_lock:
@@ -148,13 +151,13 @@ def _checkout_graph(spec: JobSpec, skey: str) -> Tuple[Any, bool]:
     return _compile(spec), False
 
 
-def _checkin_graph(skey: str, cg: Any) -> None:
+def _checkin_graph(skey: str, cg: CompiledGraph) -> None:
     global _graph_cache
     with _graph_cache_lock:
         _graph_cache = (skey, cg)
 
 
-def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
+def run_point(spec_dict: Mapping[str, Any]) -> dict[str, Any]:
     """Execute one sweep point; returns the store-ready record body."""
     spec = JobSpec.from_dict(dict(spec_dict))
     faults = spec.fault_plan()
@@ -162,7 +165,7 @@ def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
     recorder = Recorder(source="service") if spec.collect_metrics else None
 
     graph_reused = False
-    checkin = None
+    checkin: Optional[Callable[[], None]] = None
 
     t0 = time.perf_counter()
     if spec.engine == "compiled":
@@ -170,10 +173,11 @@ def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
         cg, graph_reused = _checkout_graph(spec, skey)
         # The hash covers only structural arrays (not priorities), so a
         # reused graph's memoized hash is still exact.
-        struct = getattr(cg, "_structure_hash", None)
-        if struct is None:
-            struct = structure_hash(cg)
-            cg._structure_hash = struct
+        memo = cg._structure_hash
+        if memo is None:
+            memo = structure_hash(cg)
+            cg._structure_hash = memo
+        struct = memo
         t1 = time.perf_counter()
         cg.comm_plan()
         t2 = time.perf_counter()
@@ -205,7 +209,7 @@ def run_point(spec_dict: Mapping[str, Any]) -> Dict[str, Any]:
 
     status = "ok"
     error: Optional[str] = None
-    report: Optional[Dict[str, Any]] = None
+    report: Optional[dict[str, Any]] = None
     try:
         rep = runner()
         report = report_to_dict(rep)

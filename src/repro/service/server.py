@@ -35,7 +35,8 @@ import asyncio
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any, Optional
 
 from ..obs.metrics import MetricsRegistry
 from .hashing import config_digest, point_hash, structure_key
@@ -69,8 +70,8 @@ class JobResult:
     status: str  # "ok" | "failed"
     cached: bool  # True when no new simulation ran for this submit
     report: Optional[Any]  # SimReport (None on failed runs)
-    timings: Dict[str, float]
-    metrics: Optional[Dict[str, Any]] = None
+    timings: dict[str, float]
+    metrics: Optional[dict[str, Any]] = None
     error: Optional[str] = None
     #: RSS high-water mark (MiB) of the worker that simulated the point —
     #: measured inside :func:`repro.service.runner.run_point`, so it is
@@ -81,13 +82,13 @@ class JobResult:
     #: point (incremental re-simulation) instead of rebuilding.
     graph_reused: bool = False
 
-    def raise_for_status(self) -> "JobResult":
+    def raise_for_status(self) -> JobResult:
         if self.status != "ok":
             raise RuntimeError(f"sweep point failed: {self.error}")
         return self
 
 
-def _result_from_record(spec: JobSpec, record: Dict[str, Any],
+def _result_from_record(spec: JobSpec, record: dict[str, Any],
                         cached: bool) -> JobResult:
     report = record.get("report")
     return JobResult(
@@ -112,11 +113,11 @@ class SweepServer:
         store: ResultStore,
         workers: int = 0,
         metrics: Optional[MetricsRegistry] = None,
-    ):
+    ) -> None:
         self.store = store
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self._inflight: Dict[str, asyncio.Future] = {}
-        self._subscribers: List[asyncio.Queue] = []
+        self._inflight: dict[str, asyncio.Future[dict[str, Any]]] = {}
+        self._subscribers: list[asyncio.Queue[SweepEvent]] = []
         self._pool: Optional[ProcessPoolExecutor] = (
             ProcessPoolExecutor(max_workers=workers) if workers > 0 else None
         )
@@ -130,7 +131,7 @@ class SweepServer:
 
     # -- events --------------------------------------------------------------
 
-    def subscribe(self, maxsize: int = 0) -> asyncio.Queue:
+    def subscribe(self, maxsize: int = 0) -> asyncio.Queue[SweepEvent]:
         """A queue receiving every :class:`SweepEvent` from now on.
 
         ``maxsize`` bounds the queue (0 = unbounded, the historical
@@ -141,11 +142,11 @@ class SweepServer:
         Dropped events are counted in the ``service.events.dropped``
         metric.
         """
-        q: asyncio.Queue = asyncio.Queue(maxsize=maxsize)
+        q: asyncio.Queue[SweepEvent] = asyncio.Queue(maxsize=maxsize)
         self._subscribers.append(q)
         return q
 
-    def unsubscribe(self, q: asyncio.Queue) -> None:
+    def unsubscribe(self, q: asyncio.Queue[SweepEvent]) -> None:
         if q in self._subscribers:
             self._subscribers.remove(q)
 
@@ -185,7 +186,7 @@ class SweepServer:
 
     # -- the pipeline --------------------------------------------------------
 
-    def _lookup(self, spec: JobSpec, ckey: str) -> Optional[Dict[str, Any]]:
+    def _lookup(self, spec: JobSpec, ckey: str) -> Optional[dict[str, Any]]:
         """Store lookup via the structure-hash memo; None on any miss."""
         struct = self.store.get_structure(structure_key(spec))
         if struct is None:
@@ -225,7 +226,7 @@ class SweepServer:
 
         # 3. simulate on the worker executor.
         loop = asyncio.get_running_loop()
-        future: asyncio.Future = loop.create_future()
+        future: asyncio.Future[dict[str, Any]] = loop.create_future()
         self._inflight[ckey] = future
         self._emit("started", ckey)
         try:
@@ -252,12 +253,12 @@ class SweepServer:
             del self._inflight[ckey]
         return _result_from_record(spec, record, cached=False)
 
-    def _persist(self, skey: str, record: Dict[str, Any]) -> None:
+    def _persist(self, skey: str, record: dict[str, Any]) -> None:
         """Append one record + its structure memo (runs on ``self._io``)."""
         self.store.put_structure(skey, record["structure"])
         self.store.put(record)
 
-    async def sweep(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+    async def sweep(self, specs: Sequence[JobSpec]) -> list[JobResult]:
         """Submit many points concurrently; results in input order.
 
         One point raising (a bad spec, an executor crash) must not
@@ -270,7 +271,7 @@ class SweepServer:
         outcomes = await asyncio.gather(
             *(self.submit(s) for s in specs), return_exceptions=True
         )
-        results: List[JobResult] = []
+        results: list[JobResult] = []
         for spec, out in zip(specs, outcomes):
             if isinstance(out, BaseException):
                 if not isinstance(out, Exception):
@@ -295,7 +296,7 @@ class SweepServer:
             return "cached"
         return "unknown"
 
-    def result_by_hash(self, point: str) -> Optional[Dict[str, Any]]:
+    def result_by_hash(self, point: str) -> Optional[dict[str, Any]]:
         """Raw stored record for a point hash (None when absent)."""
         return self.store.get(point)
 

@@ -38,8 +38,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections.abc import Iterator, Mapping
 from pathlib import Path
-from typing import Any, Dict, Iterator, Mapping, Optional
+from typing import Any, Optional, Union
 
 from .hashing import SCHEMA_VERSION
 from .jobs import canonical_json
@@ -51,7 +52,7 @@ def _checksum(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
-def _seal(payload: Dict[str, Any]) -> str:
+def _seal(payload: dict[str, Any]) -> str:
     """Envelope one payload as a JSONL line with schema + checksum."""
     body = dict(payload)
     body["schema"] = SCHEMA_VERSION
@@ -59,7 +60,7 @@ def _seal(payload: Dict[str, Any]) -> str:
     return json.dumps(body, sort_keys=True, separators=(",", ":"))
 
 
-def _open_valid(line: str) -> Optional[Dict[str, Any]]:
+def _open_valid(line: str) -> Optional[dict[str, Any]]:
     """Parse + verify one envelope line; None when corrupt/foreign."""
     try:
         body = json.loads(line)
@@ -86,8 +87,9 @@ class ResultStore:
     #: few points after a crash (appends are idempotent, so that is safe).
     FSYNC_MODES = ("always", "batch")
 
-    def __init__(self, root: os.PathLike, fsync: str = "always",
-                 max_bytes: Optional[int] = None):
+    def __init__(self, root: Union[str, os.PathLike[str]],
+                 fsync: str = "always",
+                 max_bytes: Optional[int] = None) -> None:
         if fsync not in self.FSYNC_MODES:
             raise ValueError(
                 f"fsync must be one of {self.FSYNC_MODES}, got {fsync!r}")
@@ -105,11 +107,11 @@ class ResultStore:
         self.evictions = 0
         # Insertion order doubles as the LRU order: get() re-inserts on
         # hit, so the first key is always the coldest.
-        self._results: Dict[str, Dict[str, Any]] = {}
-        self._structures: Dict[str, str] = {}
+        self._results: dict[str, dict[str, Any]] = {}
+        self._structures: dict[str, str] = {}
         # Sealed-line size per live record (+1 for the newline) and the
         # running totals used by the cap / compaction heuristics.
-        self._sizes: Dict[str, int] = {}
+        self._sizes: dict[str, int] = {}
         self._live_bytes = 0
         self._log_bytes = 0
         self._load()
@@ -152,7 +154,7 @@ class ResultStore:
 
     # -- results ------------------------------------------------------------
 
-    def get(self, point_hash: str) -> Optional[Dict[str, Any]]:
+    def get(self, point_hash: str) -> Optional[dict[str, Any]]:
         """The stored record for ``point_hash``, or None when uncached."""
         body = self._results.get(point_hash)
         if body is not None:
@@ -253,7 +255,7 @@ class ResultStore:
     def __len__(self) -> int:
         return len(self._results)
 
-    def hashes(self):
+    def hashes(self) -> list[str]:
         return list(self._results)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -11,7 +11,6 @@ same trick Chameleon uses for its test harness.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

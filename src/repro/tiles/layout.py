@@ -10,8 +10,8 @@ iteration helpers and tile-count formulas used throughout the library.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator, Tuple
 
 __all__ = ["TileGrid"]
 
@@ -44,7 +44,7 @@ class TileGrid:
         self._check_index(i)
         return min(self.b, self.n - i * self.b)
 
-    def tile_shape(self, i: int, j: int) -> Tuple[int, int]:
+    def tile_shape(self, i: int, j: int) -> tuple[int, int]:
         """Shape of tile (i, j)."""
         return (self.tile_rows(i), self.tile_rows(j))
 
@@ -62,13 +62,13 @@ class TileGrid:
         self._check_index(i)
         self._check_index(j)
 
-    def lower_tiles(self) -> Iterator[Tuple[int, int]]:
+    def lower_tiles(self) -> Iterator[tuple[int, int]]:
         """All (i, j) with i >= j — the stored tiles of a symmetric matrix."""
         for j in range(self.ntiles):
             for i in range(j, self.ntiles):
                 yield (i, j)
 
-    def all_tiles(self) -> Iterator[Tuple[int, int]]:
+    def all_tiles(self) -> Iterator[tuple[int, int]]:
         """All (i, j) tile coordinates of the full square grid."""
         for i in range(self.ntiles):
             for j in range(self.ntiles):

@@ -11,7 +11,7 @@ them in place without aliasing surprises.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from .layout import TileGrid
 
 __all__ = ["TiledMatrix", "SymmetricTiledMatrix"]
 
-TileKey = Tuple[int, int]
+TileKey = tuple[int, int]
 
 
 class TiledMatrix:
@@ -29,7 +29,7 @@ class TiledMatrix:
 
     def __init__(self, grid: TileGrid):
         self.grid = grid
-        self._tiles: Dict[TileKey, np.ndarray] = {}
+        self._tiles: dict[TileKey, np.ndarray] = {}
 
     @classmethod
     def from_dense(cls, a: np.ndarray, b: int) -> "TiledMatrix":

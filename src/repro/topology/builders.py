@@ -86,7 +86,7 @@ def grid(rows: int, cols: int, bandwidth: float = DEFAULT_BANDWIDTH,
     """A ``rows x cols`` 2D mesh; node ``(r, c)`` is vertex ``r*cols + c``."""
     if rows < 1 or cols < 1:
         raise ValueError(f"grid dimensions must be positive, got {rows}x{cols}")
-    links = []
+    links: list[Link] = []
     for r in range(rows):
         for c in range(cols):
             u = r * cols + c
@@ -140,7 +140,7 @@ def fat_tree(num_nodes: int, arity: int = 4,
     if uplink_bandwidth is None:
         uplink_bandwidth = arity * bandwidth
     core = num_nodes + n_leaves
-    links = [
+    links: list[Link] = [
         Link(i, num_nodes + i // arity, bandwidth, latency)
         for i in range(num_nodes)
     ]

@@ -43,7 +43,8 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
+from typing import Any, Optional
 
 __all__ = [
     "Link",
@@ -94,8 +95,8 @@ class Heterogeneity:
     empty, meaning "keep the machine's homogeneous value".
     """
 
-    speed: Tuple[float, ...] = ()
-    cores: Tuple[int, ...] = ()
+    speed: tuple[float, ...] = ()
+    cores: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "speed", tuple(float(s) for s in self.speed))
@@ -133,14 +134,14 @@ class Topology:
     """
 
     num_nodes: int
-    links: Tuple[Link, ...]
+    links: tuple[Link, ...]
     num_switches: int = 0
     #: per-switch backplane bandwidth (bytes/s); ``inf`` = non-blocking.
-    switch_bandwidth: Tuple[float, ...] = ()
+    switch_bandwidth: tuple[float, ...] = ()
     #: per-node compute-speed multipliers; empty = homogeneous.
-    speed: Tuple[float, ...] = ()
+    speed: tuple[float, ...] = ()
     #: per-node core counts; empty = the machine's uniform ``cores``.
-    cores: Tuple[int, ...] = ()
+    cores: tuple[int, ...] = ()
     #: builder provenance label (``"clique"``, ``"chain"``, ... or
     #: ``"custom"``); cosmetic only — equality and hashing use the graph.
     kind: str = "custom"
@@ -151,8 +152,8 @@ class Topology:
         if self.num_switches < 0:
             raise ValueError(f"num_switches must be >= 0, got {self.num_switches}")
         n_vertices = self.num_nodes + self.num_switches
-        canon: List[Link] = []
-        seen = set()
+        canon: list[Link] = []
+        seen: set[tuple[int, int]] = set()
         for ln in self.links:
             if not (0 <= ln.u < n_vertices and 0 <= ln.v < n_vertices):
                 raise ValueError(
@@ -207,7 +208,7 @@ class Topology:
 
     def with_heterogeneity(self, hetero: Heterogeneity) -> "Topology":
         """Copy of this topology with the spec's speed/cores applied."""
-        changes: Dict[str, Any] = {}
+        changes: dict[str, Any] = {}
         if hetero.speed:
             if len(hetero.speed) != self.num_nodes:
                 raise ValueError(
@@ -224,7 +225,8 @@ class Topology:
 
     def compiled(self) -> "CompiledTopology":
         """Routing/occupancy tables (memoized; instances are immutable)."""
-        cached = self.__dict__.get("_compiled")
+        cached: Optional[CompiledTopology] = \
+            self.__dict__.get("_compiled")
         if cached is None:
             cached = CompiledTopology(self)
             object.__setattr__(self, "_compiled", cached)
@@ -262,18 +264,18 @@ class CompiledTopology:
                  "edge_u", "edge_v", "edge_bw", "edge_sw", "switch_bw",
                  "path_ptr", "path_eid", "pair_lat", "max_hops", "_arrays")
 
-    def __init__(self, topo: Topology):
+    def __init__(self, topo: Topology) -> None:
         P = topo.num_nodes
         V = topo.n_vertices
         self.num_nodes = P
         self.n_vertices = V
         self.n_switches = topo.num_switches
         self.switch_bw = list(topo.switch_bandwidth)
-        edge_u: List[int] = []
-        edge_v: List[int] = []
-        edge_bw: List[float] = []
-        edge_lat: List[float] = []
-        adj: List[List[Tuple[int, int]]] = [[] for _ in range(V)]
+        edge_u: list[int] = []
+        edge_v: list[int] = []
+        edge_bw: list[float] = []
+        edge_lat: list[float] = []
+        adj: list[list[tuple[int, int]]] = [[] for _ in range(V)]
         for ln in topo.links:
             for a, b in ((ln.u, ln.v), (ln.v, ln.u)):
                 eid = len(edge_u)
@@ -291,7 +293,7 @@ class CompiledTopology:
         self.n_edges = len(edge_u)
 
         path_ptr = [0] * (P * P + 1)
-        path_eid: List[int] = []
+        path_eid: list[int] = []
         pair_lat = [0.0] * (P * P)
         max_hops = 0
         for src in range(P):
@@ -315,7 +317,7 @@ class CompiledTopology:
                         raise ValueError(
                             f"topology is disconnected: no route from node "
                             f"{src} to node {dst}")
-                    hops: List[int] = []
+                    hops: list[int] = []
                     v = dst
                     while v != src:
                         eid = parent_edge[v]
@@ -331,14 +333,14 @@ class CompiledTopology:
         self.path_eid = path_eid
         self.pair_lat = pair_lat
         self.max_hops = max_hops
-        self._arrays: Optional[Dict[str, Any]] = None
+        self._arrays: Optional[dict[str, Any]] = None
 
-    def pair_edges(self, src: int, dst: int) -> List[int]:
+    def pair_edges(self, src: int, dst: int) -> list[int]:
         """Directed-edge ids of the route from ``src`` to ``dst``."""
         pi = src * self.num_nodes + dst
         return self.path_eid[self.path_ptr[pi]:self.path_ptr[pi + 1]]
 
-    def roll_loss(self, loss, src: int, dst: int) -> bool:
+    def roll_loss(self, loss: Any, src: int, dst: int) -> bool:
         """Decide the fate of one delivery attempt on the (src, dst) route.
 
         Rolls every edge's per-link attempt counter (in path order) so
@@ -356,7 +358,7 @@ class CompiledTopology:
                 lost = True
         return lost
 
-    def as_arrays(self) -> Dict[str, Any]:
+    def as_arrays(self) -> dict[str, Any]:
         """Numpy form of the static tables (cached), for kernel lowering."""
         if self._arrays is None:
             import numpy as np
@@ -381,7 +383,7 @@ def _num(x: float) -> Optional[float]:
     return None if math.isinf(x) else x
 
 
-def topology_to_spec(topo: Optional[Topology]) -> Optional[Dict[str, Any]]:
+def topology_to_spec(topo: Optional[Topology]) -> Optional[dict[str, Any]]:
     """Canonical plain-JSON form of a topology (None stays None).
 
     Every field that changes routing or heterogeneity is present, so two

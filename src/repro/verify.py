@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import sys
 import traceback
-from typing import Callable, List, Tuple
+from collections.abc import Callable
 
 import numpy as np
 import scipy.linalg
@@ -105,7 +105,7 @@ def _check_distributed() -> None:
     assert rep.total_bytes == count_communications(g).total_bytes
 
 
-CHECKS: List[Tuple[str, Callable[[], None]]] = [
+CHECKS: list[tuple[str, Callable[[], None]]] = [
     ("numerics vs SciPy (POTRF/POSV/POTRI)", _check_numerics),
     ("volume counters (graph == vectorized)", _check_counters),
     ("Theorem 1 bound", _check_theorem1),

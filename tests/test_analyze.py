@@ -68,7 +68,7 @@ def test_report_roundtrip_and_exit_codes(tmp_path):
     path = tmp_path / "findings.json"
     rep.write(path)
     doc = json.loads(path.read_text())
-    assert doc["version"] == 1
+    assert doc["version"] == 2
     assert doc["summary"] == {"errors": 1, "warnings": 1, "info": 1}
     assert doc["passes"] == {"schedule": 3}
     assert {f["rule"] for f in doc["findings"]} == {
@@ -142,7 +142,7 @@ def test_verifier_catches_cross_distribution_placement():
 @pytest.mark.parametrize("seed", [0, 1, 7])
 def test_mutation_harness_catches_every_defect(baseline, seed):
     outcomes, gate = run_mutation_harness(seed=seed, base=baseline)
-    assert len(outcomes) >= 10
+    assert len(outcomes) >= 24
     missed = [o for o in outcomes if not o.caught]
     assert not missed, "undetected mutants: " + ", ".join(
         f"{o.name} (expected {o.expected_rule}, got {o.rules_hit})"
@@ -154,7 +154,11 @@ def test_mutation_harness_catches_every_defect(baseline, seed):
     # The defect classes ISSUE requires are all represented.
     defects = {o.defect for o in outcomes}
     assert {"cycle", "double-writer", "symmetry-break", "volume-bound",
-            "race"} <= defects
+            "race", "dataflow", "scheduler"} <= defects
+    # ≥ 8 of the mutants cover the FLOW-*/MC-* rules specifically.
+    new_rules = [o for o in outcomes
+                 if o.expected_rule.startswith(("FLOW-", "MC-"))]
+    assert len(new_rules) >= 8
 
 
 def test_mutation_outcomes_have_expected_rules(baseline):
@@ -415,7 +419,7 @@ def test_cli_self_test_and_report(tmp_path, capsys):
     assert code == 0
     doc = json.loads(report.read_text())
     assert doc["summary"]["errors"] == 0
-    assert doc["passes"]["mutation"] >= 10
+    assert doc["passes"]["mutation"] >= 24
 
 
 def test_cli_lint_on_repo(capsys):
